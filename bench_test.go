@@ -1,0 +1,322 @@
+package fairbench
+
+import (
+	"fmt"
+	"testing"
+
+	"fairbench/internal/experiments"
+	"fairbench/internal/fair"
+	"fairbench/internal/postproc"
+	"fairbench/internal/preproc"
+	"fairbench/internal/registry"
+	"fairbench/internal/rng"
+	"fairbench/internal/synth"
+)
+
+// Benchmark sizes are scaled-down dataset samples so the full suite runs
+// in minutes; the CLI (`fairbench <figN>`) runs the paper-size versions.
+const (
+	benchAdultN  = 2500
+	benchCompasN = 1500
+	benchGermanN = 1000
+)
+
+// ---- Figure 7: correctness & fairness, one bench per dataset ----
+
+func benchFig7(b *testing.B, src *synth.Source) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CorrectnessFairness(src, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7_Adult(b *testing.B)  { benchFig7(b, synth.Adult(benchAdultN, 1)) }
+func BenchmarkFig7_COMPAS(b *testing.B) { benchFig7(b, synth.COMPAS(benchCompasN, 1)) }
+func BenchmarkFig7_German(b *testing.B) { benchFig7(b, synth.German(benchGermanN, 1)) }
+
+// ---- Figure 8: efficiency & scalability sweeps ----
+
+func BenchmarkFig8_Rows(b *testing.B) {
+	src := synth.Adult(4000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ScalabilityRows(src, []int{500, 1000, 2000}, registry.Names, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8_Attrs(b *testing.B) {
+	src := synth.Adult(3000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ScalabilityAttrs(src, []int{2, 5, 9}, registry.Names, 2000, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Per-approach training scaling: the raw series behind Figure 8(a-c).
+func BenchmarkFig8_PerApproach(b *testing.B) {
+	src := synth.Adult(3000, 1)
+	train, test := src.Data.Split(0.7, rng.New(1))
+	for _, name := range registry.Names {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a, err := registry.New(name, registry.Config{Graph: src.Graph, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := a.Fit(train); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := a.Predict(test); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Figure 9: robustness to data errors ----
+
+func BenchmarkFig9_Robustness(b *testing.B) {
+	src := synth.COMPAS(benchCompasN, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Robustness(src, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figure 10/21: model sensitivity ----
+
+func BenchmarkFig10_ModelSensitivity(b *testing.B) {
+	src := synth.Adult(benchAdultN, 1)
+	// Three representative approaches x five models keeps iterations short.
+	approaches := []string{"Feld-DP", "KamCal-DP", "KamKar-DP"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ModelSensitivity(src, approaches, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figures 16-18: cross-validation tables ----
+
+func BenchmarkCVTables(b *testing.B) {
+	src := synth.German(benchGermanN, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CrossValidate(src, 5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figure 22: stability ----
+
+func BenchmarkFig22_Stability(b *testing.B) {
+	src := synth.COMPAS(benchCompasN, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Stability(src, 3, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figure 23: data efficiency ----
+
+func BenchmarkFig23_DataEfficiency(b *testing.B) {
+	src := synth.Adult(benchAdultN, 1)
+	names := []string{"LR", "KamCal-DP", "Hardt-EO", "Pleiss-EOP"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DataEfficiency(src, []int{100, 500, 1000}, names, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablation benches (design choices DESIGN.md calls out) ----
+
+// Kam-Cal's two faces: weighted resampling (evaluated variant) vs pure
+// instance weighting.
+func BenchmarkAblation_ReweighVsResample(b *testing.B) {
+	src := synth.COMPAS(benchCompasN, 1)
+	train, test := src.Data.Split(0.7, rng.New(1))
+	for _, mode := range []string{"resample", "weighted"} {
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var a fair.Approach
+				if mode == "resample" {
+					a = preproc.NewKamCal(nil, 1)
+				} else {
+					a = preproc.NewKamCalWeighted(nil)
+				}
+				if err := a.Fit(train); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := a.Predict(test); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Salimi's two repair solvers at growing stratum complexity.
+func BenchmarkAblation_SalimiSolvers(b *testing.B) {
+	src := synth.Adult(2000, 1)
+	for _, matFac := range []bool{false, true} {
+		name := "MaxSAT"
+		if matFac {
+			name = "MatFac"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sal := &preproc.Salimi{
+					Inadmissible: preproc.DefaultInadmissible,
+					UseMatFac:    matFac,
+					Seed:         1,
+				}
+				if _, err := sal.Repair(src.Data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Zafar's fairness/accuracy dial: the covariance bound sweep that traces
+// the trade-off curve of Section 4.2.
+func BenchmarkAblation_ZafarPenalty(b *testing.B) {
+	src := synth.COMPAS(benchCompasN, 1)
+	train, test := src.Data.Split(0.7, rng.New(1))
+	for _, bound := range []float64{1e-4, 1e-2, 1e-1} {
+		b.Run(fmt.Sprintf("cov=%g", bound), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := &inprocZafar{bound: bound}
+				if err := a.fit(train, test); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Hardt's exact LP vs a naive grid search over the four mixing rates.
+func BenchmarkAblation_HardtLPvsGrid(b *testing.B) {
+	src := synth.COMPAS(benchCompasN, 1)
+	train, _ := src.Data.Split(0.7, rng.New(1))
+	base := fair.NewBaseline()
+	if err := base.Fit(train); err != nil {
+		b.Fatal(err)
+	}
+	proba := make([]float64, train.Len())
+	for i := range proba {
+		proba[i] = base.Proba(train.X[i], train.S[i])
+	}
+	b.Run("LP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h := &postproc.Hardt{}
+			if err := h.FitAdjust(train, proba); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gridEqualizeOdds(train.Y, train.S, proba, 20)
+		}
+	})
+}
+
+// gridEqualizeOdds is the brute-force comparator for the Hardt ablation:
+// it scans a k^4 grid of mixing rates for the feasible minimum-error cell.
+func gridEqualizeOdds(y, s []int, proba []float64, k int) [4]float64 {
+	var tp, fp, pn, nn [2]float64
+	for i, p := range proba {
+		pred := 0
+		if p >= 0.5 {
+			pred = 1
+		}
+		if y[i] == 1 {
+			pn[s[i]]++
+			if pred == 1 {
+				tp[s[i]]++
+			}
+		} else {
+			nn[s[i]]++
+			if pred == 1 {
+				fp[s[i]]++
+			}
+		}
+	}
+	var tpr, fpr [2]float64
+	for g := 0; g < 2; g++ {
+		if pn[g] > 0 {
+			tpr[g] = tp[g] / pn[g]
+		}
+		if nn[g] > 0 {
+			fpr[g] = fp[g] / nn[g]
+		}
+	}
+	best := [4]float64{1, 1, 0, 0}
+	bestErr := 1e18
+	step := 1.0 / float64(k)
+	n := float64(len(y))
+	for a0 := 0.0; a0 <= 1; a0 += step {
+		for a1 := 0.0; a1 <= 1; a1 += step {
+			for b0 := 0.0; b0 <= 1; b0 += step {
+				for b1 := 0.0; b1 <= 1; b1 += step {
+					t0 := a0*tpr[0] + b0*(1-tpr[0])
+					t1 := a1*tpr[1] + b1*(1-tpr[1])
+					f0 := a0*fpr[0] + b0*(1-fpr[0])
+					f1 := a1*fpr[1] + b1*(1-fpr[1])
+					if abs(t0-t1) > 0.02 || abs(f0-f1) > 0.02 {
+						continue
+					}
+					errv := pn[0]/n*(1-t0) + nn[0]/n*f0 + pn[1]/n*(1-t1) + nn[1]/n*f1
+					if errv < bestErr {
+						bestErr = errv
+						best = [4]float64{a0, a1, b0, b1}
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// inprocZafar wraps the registry construction for the penalty ablation.
+type inprocZafar struct{ bound float64 }
+
+func (z *inprocZafar) fit(train, test *Dataset) error {
+	a, err := registry.New("Zafar-DP-Fair", registry.Config{Seed: 1})
+	if err != nil {
+		return err
+	}
+	type boundSetter interface{ SetCovBound(float64) }
+	if bs, ok := a.(boundSetter); ok {
+		bs.SetCovBound(z.bound)
+	}
+	if err := a.Fit(train); err != nil {
+		return err
+	}
+	_, err = a.Predict(test)
+	return err
+}

@@ -1,0 +1,422 @@
+// Command fairbench regenerates the paper's evaluation artifacts from the
+// command line:
+//
+//	fairbench list                        enumerate approaches and stages
+//	fairbench eval   -dataset compas -approach KamCal-DP
+//	fairbench fig7   [-dataset adult|compas|german|all] [-n N]
+//	fairbench fig8   [-n N]               efficiency & scalability sweeps
+//	fairbench fig9   [-n N]               robustness to data errors (T1-T3)
+//	fairbench fig10  [-n N]               model sensitivity (pre/post x 5)
+//	fairbench cv     [-dataset ...] [-k 5]  cross-validation tables
+//	fairbench fig22  [-runs 10] [-n N]    stability
+//	fairbench fig23  [-n N]               data efficiency
+//
+// -n caps the generated dataset size (0 = the paper's full size); smaller
+// values keep exploratory runs fast.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"fairbench"
+	"fairbench/internal/experiments"
+	"fairbench/internal/fair"
+	"fairbench/internal/registry"
+	"fairbench/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	datasetFlag := fs.String("dataset", "all", "adult|compas|german|all")
+	approachFlag := fs.String("approach", "", "approach name for eval (see list)")
+	nFlag := fs.Int("n", 0, "dataset size cap (0 = paper size)")
+	kFlag := fs.Int("k", 5, "cross-validation folds")
+	runsFlag := fs.Int("runs", 10, "stability runs")
+	seedFlag := fs.Int64("seed", 1, "global seed")
+	fs.Parse(os.Args[2:])
+
+	var err error
+	switch cmd {
+	case "list":
+		err = cmdList()
+	case "eval":
+		err = cmdEval(*datasetFlag, *approachFlag, *nFlag, *seedFlag)
+	case "fig7":
+		err = cmdFig7(*datasetFlag, *nFlag, *seedFlag)
+	case "fig8":
+		err = cmdFig8(*nFlag, *seedFlag)
+	case "fig9":
+		err = cmdFig9(*nFlag, *seedFlag)
+	case "fig10":
+		err = cmdFig10(*nFlag, *seedFlag)
+	case "fig15":
+		err = cmdFig15(*datasetFlag, *nFlag, *seedFlag)
+	case "cv":
+		err = cmdCV(*datasetFlag, *nFlag, *kFlag, *seedFlag)
+	case "fig22":
+		err = cmdFig22(*nFlag, *runsFlag, *seedFlag)
+	case "fig23":
+		err = cmdFig23(*nFlag, *seedFlag)
+	case "all":
+		for _, c := range []func() error{
+			func() error { return cmdFig7("all", *nFlag, *seedFlag) },
+			func() error { return cmdFig8(*nFlag, *seedFlag) },
+			func() error { return cmdFig9(*nFlag, *seedFlag) },
+			func() error { return cmdFig10(*nFlag, *seedFlag) },
+			func() error { return cmdCV("all", *nFlag, *kFlag, *seedFlag) },
+			func() error { return cmdFig22(*nFlag, *runsFlag, *seedFlag) },
+			func() error { return cmdFig23(*nFlag, *seedFlag) },
+		} {
+			if err = c(); err != nil {
+				break
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fairbench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: fairbench <list|eval|fig7|fig8|fig9|fig10|fig15|cv|fig22|fig23|all> [flags]`)
+}
+
+func sources(name string, n int, seed int64) ([]*fairbench.Source, error) {
+	switch strings.ToLower(name) {
+	case "adult":
+		return []*fairbench.Source{fairbench.Adult(n, seed)}, nil
+	case "compas":
+		return []*fairbench.Source{fairbench.COMPAS(n, seed)}, nil
+	case "german":
+		return []*fairbench.Source{fairbench.German(n, seed)}, nil
+	case "all", "":
+		return []*fairbench.Source{
+			fairbench.Adult(n, seed), fairbench.COMPAS(n, seed), fairbench.German(n, seed),
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", name)
+	}
+}
+
+func cmdList() error {
+	byStage := registry.ByStage()
+	for _, stage := range []fair.Stage{fair.StagePre, fair.StageIn, fair.StagePost} {
+		fmt.Printf("%s-processing:\n", stage)
+		for _, n := range byStage[stage] {
+			a, err := registry.New(n, registry.Config{})
+			if err != nil {
+				return err
+			}
+			var targets []string
+			for _, t := range a.Targets() {
+				targets = append(targets, string(t))
+			}
+			desc := strings.Join(targets, ", ")
+			if desc == "" {
+				desc = "(notion outside the five evaluated metrics)"
+			}
+			fmt.Printf("  %-18s optimizes %s\n", n, desc)
+		}
+	}
+	return nil
+}
+
+func rowsTable(title string, rows []fairbench.Row) *report.Table {
+	t := &report.Table{
+		Title: title,
+		Headers: []string{"approach", "stage", "acc", "prec", "rec", "f1",
+			"DI*", "1-|TPRB|", "1-|TNRB|", "1-ID", "1-|TE|", "1-|NDE|", "1-|NIE|", "overhead(s)"},
+	}
+	for _, r := range rows {
+		t.Add(r.Approach, r.Stage,
+			report.F(r.Correct.Accuracy), report.F(r.Correct.Precision),
+			report.F(r.Correct.Recall), report.F(r.Correct.F1),
+			report.F(r.Fair.DIStar), report.F(r.Fair.TPRB), report.F(r.Fair.TNRB),
+			report.F(r.Fair.ID), report.F(r.Fair.TE), report.F(r.Fair.NDE),
+			report.F(r.Fair.NIE), report.F(r.Overhead))
+	}
+	return t
+}
+
+func cmdEval(ds, approach string, n int, seed int64) error {
+	if approach == "" {
+		return fmt.Errorf("eval requires -approach (see 'fairbench list')")
+	}
+	srcs, err := sources(ds, n, seed)
+	if err != nil {
+		return err
+	}
+	for _, src := range srcs {
+		train, test := fairbench.Split(src.Data, 0.7, seed)
+		a, err := fairbench.NewApproach(approach, src.Graph, seed)
+		if err != nil {
+			return err
+		}
+		row, err := fairbench.Evaluate(a, train, test, src.Graph)
+		if err != nil {
+			return err
+		}
+		if err := rowsTable(src.Data.Name, []fairbench.Row{row}).Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdFig7(ds string, n int, seed int64) error {
+	srcs, err := sources(ds, n, seed)
+	if err != nil {
+		return err
+	}
+	for _, src := range srcs {
+		rows, err := fairbench.RunCorrectnessFairness(src, seed)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Figure 7 — correctness & fairness on %s (|D|=%d)", src.Data.Name, src.Data.Len())
+		if err := rowsTable(title, rows).Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdFig15(ds string, n int, seed int64) error {
+	srcs, err := sources(ds, n, seed)
+	if err != nil {
+		return err
+	}
+	for _, src := range srcs {
+		rows, err := experiments.Extensions(src, seed)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Figure 15 — appendix extensions on %s (|D|=%d)", src.Data.Name, src.Data.Len())
+		if err := rowsTable(title, rows).Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdFig8(n int, seed int64) error {
+	src := fairbench.Adult(n, seed)
+	sizes := []int{1000, 5000, 10000, 20000, 30000}
+	if n > 0 {
+		sizes = nil
+		for _, s := range []int{500, 1000, 2000, 4000} {
+			if s <= n {
+				sizes = append(sizes, s)
+			}
+		}
+	}
+	rowsBySize, err := fairbench.RunScalabilityRows(src, sizes, seed)
+	if err != nil {
+		return err
+	}
+	if err := scalabilityTable("Figure 8(a-c) — runtime overhead vs #data points (Adult)", "points", rowsBySize).Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	attrCounts := []int{2, 4, 6, 8, 9}
+	sample := 8000
+	if n > 0 && n < sample {
+		sample = n
+	}
+	rowsByAttr, err := fairbench.RunScalabilityAttrs(src, attrCounts, sample, seed)
+	if err != nil {
+		return err
+	}
+	if err := scalabilityTable("Figure 8(d-f) — runtime overhead vs #attributes (Adult)", "attrs", rowsByAttr).Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func scalabilityTable(title, xlabel string, series map[string][]experiments.ScalabilityPoint) *report.Table {
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var xs []int
+	if len(names) > 0 {
+		for _, p := range series[names[0]] {
+			xs = append(xs, p.X)
+		}
+	}
+	headers := []string{"approach"}
+	for _, x := range xs {
+		headers = append(headers, fmt.Sprintf("%s=%d", xlabel, x))
+	}
+	t := &report.Table{Title: title, Headers: headers}
+	for _, n := range names {
+		cells := []string{n}
+		for _, p := range series[n] {
+			cells = append(cells, fmt.Sprintf("%.3fs", p.Overhead))
+		}
+		t.Add(cells...)
+	}
+	return t
+}
+
+func cmdFig9(n int, seed int64) error {
+	src := fairbench.COMPAS(n, seed)
+	clean, err := fairbench.RunCorrectnessFairness(src, seed)
+	if err != nil {
+		return err
+	}
+	results, err := fairbench.RunRobustness(src, seed)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		title := fmt.Sprintf("Figure 9 — robustness on COMPAS + %s", res.Template)
+		if err := rowsTable(title, res.Rows).Render(os.Stdout); err != nil {
+			return err
+		}
+		dt := &report.Table{
+			Title:   fmt.Sprintf("Δ vs clean training (%s)", res.Template),
+			Headers: []string{"approach", "accuracy drop", "target-fairness drop"},
+		}
+		for _, d := range experiments.Deltas(clean, res) {
+			dt.Add(d.Approach, report.F(d.AccuracyDrop), report.F(d.TargetFairDrop))
+		}
+		if err := dt.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdFig10(n int, seed int64) error {
+	src := fairbench.Adult(n, seed)
+	rows, err := fairbench.RunModelSensitivity(src, seed)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:   "Figure 10/21 — model sensitivity on Adult",
+		Headers: []string{"approach", "model", "acc", "DI*", "1-|TE|"},
+	}
+	for _, r := range rows {
+		t.Add(r.Approach, r.Model, report.F(r.Row.Correct.Accuracy),
+			report.F(r.Row.Fair.DIStar), report.F(r.Row.Fair.TE))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	st := &report.Table{
+		Title:   "Per-approach spread across models (pre varies, post stays flat)",
+		Headers: []string{"approach", "stage", "acc spread", "DI* spread"},
+	}
+	for _, s := range experiments.Spreads(rows) {
+		st.Add(s.Approach, s.Stage, report.F(s.AccSpread), report.F(s.DISpread))
+	}
+	fmt.Println()
+	return st.Render(os.Stdout)
+}
+
+func cmdCV(ds string, n, k int, seed int64) error {
+	srcs, err := sources(ds, n, seed)
+	if err != nil {
+		return err
+	}
+	for _, src := range srcs {
+		rows, err := fairbench.RunCrossValidation(src, k, seed)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Figures 16-18 — %d-fold cross validation on %s", k, src.Data.Name)
+		if err := rowsTable(title, rows).Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdFig22(n, runs int, seed int64) error {
+	src := fairbench.Adult(n, seed)
+	rows, err := fairbench.RunStability(src, runs, seed)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Figure 22 — stability over %d random folds (Adult)", runs),
+		Headers: []string{"approach", "stage", "acc mean±std", "DI* mean±std", "1-|TPRB| mean±std", "f1 mean±std"},
+	}
+	for _, r := range rows {
+		t.Add(r.Approach, r.Stage,
+			fmt.Sprintf("%.3f±%.3f", r.AccMean, r.AccStd),
+			fmt.Sprintf("%.3f±%.3f", r.DIMean, r.DIStd),
+			fmt.Sprintf("%.3f±%.3f", r.TPRBMean, r.TPRBStd),
+			fmt.Sprintf("%.3f±%.3f", r.F1Mean, r.F1Std))
+	}
+	return t.Render(os.Stdout)
+}
+
+func cmdFig23(n int, seed int64) error {
+	src := fairbench.Adult(n, seed)
+	sizes := []int{100, 500, 1000, 5000, 10000, 20000}
+	if n > 0 {
+		sizes = nil
+		for _, s := range []int{100, 500, 1000, 2000} {
+			if s <= n {
+				sizes = append(sizes, s)
+			}
+		}
+	}
+	series, err := fairbench.RunDataEfficiency(src, sizes, seed)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	headers := []string{"approach"}
+	for _, s := range sizes {
+		headers = append(headers, fmt.Sprintf("acc@%d", s))
+	}
+	t := &report.Table{Title: "Figure 23 — data efficiency on Adult (accuracy by training size)", Headers: headers}
+	for _, name := range names {
+		cells := []string{name}
+		for _, p := range series[name] {
+			cells = append(cells, report.F(p.Row.Correct.Accuracy))
+		}
+		t.Add(cells...)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	t2 := &report.Table{Title: "Figure 23 — DI* by training size", Headers: headers}
+	for _, name := range names {
+		cells := []string{name}
+		for _, p := range series[name] {
+			cells = append(cells, report.F(p.Row.Fair.DIStar))
+		}
+		t2.Add(cells...)
+	}
+	fmt.Println()
+	return t2.Render(os.Stdout)
+}

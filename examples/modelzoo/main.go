@@ -1,0 +1,65 @@
+// Modelzoo: pair a pre-processing repair (Feld) and a post-processing
+// adjustment (Kam-Kar) with all five classifier families of Section 4.5
+// and observe that pre-processing results swing with the model while
+// post-processing barely moves.
+//
+//	go run ./examples/modelzoo
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fairbench"
+	"fairbench/internal/report"
+)
+
+func main() {
+	src := fairbench.Adult(8000, 4)
+	train, test := fairbench.Split(src.Data, 0.7, 13)
+
+	models := []string{"LR", "SVM", "kNN", "RF", "MLP"}
+	approaches := []string{"Feld-DP", "KamKar-DP"}
+
+	t := &report.Table{
+		Title:   "Model sensitivity on Adult (8k sample)",
+		Headers: []string{"approach", "model", "accuracy", "DI*"},
+	}
+	spread := map[string][2]float64{} // approach -> min/max DI*
+	for _, ap := range approaches {
+		for _, m := range models {
+			a, err := fairbench.NewApproachWithModel(ap, m, src.Graph, 3)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row, err := fairbench.Evaluate(a, train, test, src.Graph)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t.Add(ap, m, report.F(row.Correct.Accuracy), report.F(row.Fair.DIStar))
+			mm, ok := spread[ap]
+			if !ok {
+				mm = [2]float64{row.Fair.DIStar, row.Fair.DIStar}
+			}
+			if row.Fair.DIStar < mm[0] {
+				mm[0] = row.Fair.DIStar
+			}
+			if row.Fair.DIStar > mm[1] {
+				mm[1] = row.Fair.DIStar
+			}
+			spread[ap] = mm
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	for _, ap := range approaches {
+		mm := spread[ap]
+		fmt.Printf("%s: DI* spread across models = %.3f\n", ap, mm[1]-mm[0])
+	}
+	fmt.Println("\nPre-processing repairs the data and then trusts whatever model trains")
+	fmt.Println("on it, so its fairness swings with the model; post-processing wraps the")
+	fmt.Println("model's output and is nearly invariant (Section 4.5).")
+}

@@ -1,0 +1,66 @@
+// Robustness: train fair classifiers on error-injected COMPAS data
+// (Section 4.4's T1-T3 templates) and watch which pipeline stages survive
+// — post-processing degrades gracefully, pre-/in-processing lose their
+// fairness guarantees.
+//
+//	go run ./examples/robustness
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fairbench"
+)
+
+func main() {
+	src := fairbench.COMPAS(4000, 5)
+	train, test := fairbench.Split(src.Data, 0.7, 31)
+
+	// One representative per stage plus the baseline.
+	names := []string{"LR", "KamCal-DP", "ZhaLe-EO", "Hardt-EO"}
+
+	evalOn := func(trainSet *fairbench.Dataset) map[string]fairbench.Row {
+		out := map[string]fairbench.Row{}
+		for _, name := range names {
+			a, err := fairbench.NewApproach(name, src.Graph, 9)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row, err := fairbench.Evaluate(a, trainSet, test, src.Graph)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out[name] = row
+		}
+		return out
+	}
+
+	clean := evalOn(train)
+	fmt.Println("Clean training data:")
+	for _, name := range names {
+		r := clean[name]
+		fmt.Printf("  %-10s acc=%.3f DI*=%.3f 1-|TPRB|=%.3f\n",
+			name, r.Correct.Accuracy, r.Fair.DIStar, r.Fair.TPRB)
+	}
+
+	for _, tmpl := range []fairbench.ErrorTemplate{fairbench.T1, fairbench.T2, fairbench.T3} {
+		dirty, err := fairbench.Corrupt(train, tmpl, 100+int64(tmpl))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows := evalOn(dirty)
+		fmt.Printf("\nTraining on %s-corrupted data (50%% unprivileged / 10%% privileged):\n", tmpl)
+		for _, name := range names {
+			r, c := rows[name], clean[name]
+			fmt.Printf("  %-10s acc=%.3f (Δ%+.3f)  DI*=%.3f (Δ%+.3f)  1-|TPRB|=%.3f (Δ%+.3f)\n",
+				name,
+				r.Correct.Accuracy, r.Correct.Accuracy-c.Correct.Accuracy,
+				r.Fair.DIStar, r.Fair.DIStar-c.Fair.DIStar,
+				r.Fair.TPRB, r.Fair.TPRB-c.Fair.TPRB)
+		}
+	}
+	fmt.Println("\nPost-processing only reads (Ŷ, S, Y), so feature-level errors (T1, T2)")
+	fmt.Println("barely touch it; the sensitive-attribute/label template (T3) is the one")
+	fmt.Println("that hurts every stage — the paper's Section 4.4 finding.")
+}

@@ -1,0 +1,195 @@
+// Package fairbench is a from-scratch Go reproduction of "Through the Data
+// Management Lens: Experimental Analysis and Evaluation of Fair
+// Classification" (Islam, Fariha, Meliou, Salimi — SIGMOD 2022).
+//
+// It provides, behind one public API:
+//
+//   - the three benchmark datasets (Adult, COMPAS, German) as calibrated
+//     structural-causal-model generators with their literature causal
+//     graphs;
+//   - the 18 evaluated fair-classification variants across the three
+//     pipeline stages (pre-, in-, and post-processing), plus the
+//     fairness-unaware logistic-regression baseline;
+//   - the paper's correctness metrics (accuracy, precision, recall, F1)
+//     and fairness metrics (DI*, TPRB, TNRB, ID, TE, NDE, NIE);
+//   - the five classifier families of the model-sensitivity study;
+//   - the full experiment harness regenerating every figure and table of
+//     the paper's evaluation section.
+//
+// Quick start:
+//
+//	src := fairbench.COMPAS(0, 1)
+//	rows, err := fairbench.RunCorrectnessFairness(src, 42)
+//
+// See the examples/ directory for runnable programs.
+package fairbench
+
+import (
+	"fairbench/internal/causal"
+	"fairbench/internal/classifier"
+	"fairbench/internal/corrupt"
+	"fairbench/internal/dataset"
+	"fairbench/internal/experiments"
+	"fairbench/internal/fair"
+	"fairbench/internal/metrics"
+	"fairbench/internal/registry"
+	"fairbench/internal/rng"
+	"fairbench/internal/synth"
+)
+
+// Re-exported core types. The facade keeps downstream users off the
+// internal packages while exposing the full object model.
+type (
+	// Dataset is an annotated dataset with schema (X, S; Y).
+	Dataset = dataset.Dataset
+	// Attr describes one attribute of X.
+	Attr = dataset.Attr
+	// Source bundles a dataset with its causal graph.
+	Source = synth.Source
+	// Graph is a causal DAG over the dataset's attributes.
+	Graph = causal.Graph
+	// Approach is a complete fair-classification pipeline.
+	Approach = fair.Approach
+	// Stage is the fairness-enforcing pipeline stage.
+	Stage = fair.Stage
+	// Classifier is a binary probabilistic classifier.
+	Classifier = classifier.Classifier
+	// Correctness holds the Figure 2 metrics.
+	Correctness = metrics.Correctness
+	// Fairness holds the raw Figure 4 metrics.
+	Fairness = metrics.Fairness
+	// NormalizedFairness holds the paper's [0,1] presentation scale.
+	NormalizedFairness = metrics.Normalized
+	// Row is the per-approach result of one evaluation.
+	Row = experiments.Row
+	// ErrorTemplate selects a Section 4.4 corruption template.
+	ErrorTemplate = corrupt.Template
+)
+
+// Pipeline stages.
+const (
+	StagePre  = fair.StagePre
+	StageIn   = fair.StageIn
+	StagePost = fair.StagePost
+)
+
+// Error templates of the robustness experiment.
+const (
+	T1 = corrupt.T1
+	T2 = corrupt.T2
+	T3 = corrupt.T3
+)
+
+// Adult generates the Adult census benchmark (n <= 0 uses the paper's
+// 45,222 tuples). The sensitive attribute is Sex; the task is predicting
+// income >= $50K.
+func Adult(n int, seed int64) *Source { return synth.Adult(n, seed) }
+
+// COMPAS generates the COMPAS recidivism benchmark (n <= 0 uses 7,214
+// tuples). The sensitive attribute is Race; Y=1 is the favorable
+// "does not reoffend" outcome.
+func COMPAS(n int, seed int64) *Source { return synth.COMPAS(n, seed) }
+
+// German generates the German credit benchmark (n <= 0 uses 1,000
+// tuples). The sensitive attribute is Sex; Y=1 is low credit risk.
+func German(n int, seed int64) *Source { return synth.German(n, seed) }
+
+// Sources returns all three benchmarks at their paper sizes.
+func Sources(seed int64) []*Source {
+	return []*Source{Adult(0, seed), COMPAS(0, seed), German(0, seed)}
+}
+
+// ApproachNames lists the 18 evaluated variants in presentation order.
+func ApproachNames() []string { return append([]string(nil), registry.Names...) }
+
+// NewApproach constructs a variant by name ("LR" gives the baseline). The
+// graph is required by the causal approaches and may be nil otherwise.
+func NewApproach(name string, g *Graph, seed int64) (Approach, error) {
+	return registry.New(name, registry.Config{Graph: g, Seed: seed})
+}
+
+// NewApproachWithModel is NewApproach with an explicit downstream model
+// family for pre- and post-processing ("LR", "SVM", "kNN", "RF", "MLP").
+func NewApproachWithModel(name, model string, g *Graph, seed int64) (Approach, error) {
+	return registry.New(name, registry.Config{
+		Graph: g, Factory: experiments.ModelFactory(model), Seed: seed,
+	})
+}
+
+// Baseline returns the fairness-unaware logistic-regression classifier.
+func Baseline() Approach { return fair.NewBaseline() }
+
+// Split partitions a dataset with the paper's random hold-out protocol.
+func Split(d *Dataset, trainFrac float64, seed int64) (train, test *Dataset) {
+	return d.Split(trainFrac, rng.New(seed))
+}
+
+// Evaluate fits an approach and computes every metric on the test set.
+func Evaluate(a Approach, train, test *Dataset, g *Graph) (Row, error) {
+	return experiments.Evaluate(a, train, test, g)
+}
+
+// MeasureFairness computes the raw fairness metrics of predictions yhat on
+// d. The predictor p enables the ID metric and may be nil; the graph
+// enables the causal metrics and may be nil.
+func MeasureFairness(d *Dataset, yhat []int, p Approach, g *Graph) Fairness {
+	var pred metrics.Predictor
+	if p != nil {
+		pred = p
+	}
+	return metrics.ComputeFairness(d, yhat, pred, g)
+}
+
+// MeasureCorrectness computes the Figure 2 metrics.
+func MeasureCorrectness(y, yhat []int) Correctness {
+	return metrics.ComputeCorrectness(y, yhat)
+}
+
+// Normalize maps raw fairness values onto the paper's [0,1] scale.
+func Normalize(f Fairness) NormalizedFairness { return metrics.Normalize(f) }
+
+// Corrupt applies one of the Section 4.4 error templates (COMPAS schema)
+// with the paper's 50%/10% disproportionate rates.
+func Corrupt(d *Dataset, t ErrorTemplate, seed int64) (*Dataset, error) {
+	return corrupt.ApplyCOMPAS(d, t, seed)
+}
+
+// RunCorrectnessFairness regenerates Figure 7 for one dataset.
+func RunCorrectnessFairness(src *Source, seed int64) ([]Row, error) {
+	return experiments.CorrectnessFairness(src, seed)
+}
+
+// RunRobustness regenerates Figure 9 (T1-T3 on a COMPAS-schema source).
+func RunRobustness(src *Source, seed int64) ([]experiments.RobustnessResult, error) {
+	return experiments.Robustness(src, seed)
+}
+
+// RunModelSensitivity regenerates Figure 10 / Figure 21.
+func RunModelSensitivity(src *Source, seed int64) ([]experiments.SensitivityRow, error) {
+	return experiments.ModelSensitivity(src, nil, seed)
+}
+
+// RunCrossValidation regenerates the Figures 16-18 k-fold tables.
+func RunCrossValidation(src *Source, k int, seed int64) ([]Row, error) {
+	return experiments.CrossValidate(src, k, seed)
+}
+
+// RunStability regenerates Figure 22.
+func RunStability(src *Source, runs int, seed int64) ([]experiments.StabilityRow, error) {
+	return experiments.Stability(src, runs, seed)
+}
+
+// RunDataEfficiency regenerates Figure 23.
+func RunDataEfficiency(src *Source, sizes []int, seed int64) (map[string][]experiments.EfficiencyPoint, error) {
+	return experiments.DataEfficiency(src, sizes, nil, seed)
+}
+
+// RunScalabilityRows regenerates Figure 8(a-c).
+func RunScalabilityRows(src *Source, sizes []int, seed int64) (map[string][]experiments.ScalabilityPoint, error) {
+	return experiments.ScalabilityRows(src, sizes, registry.Names, seed)
+}
+
+// RunScalabilityAttrs regenerates Figure 8(d-f).
+func RunScalabilityAttrs(src *Source, attrCounts []int, sampleSize int, seed int64) (map[string][]experiments.ScalabilityPoint, error) {
+	return experiments.ScalabilityAttrs(src, attrCounts, registry.Names, sampleSize, seed)
+}

@@ -1,0 +1,105 @@
+package fairbench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeQuickPath(t *testing.T) {
+	src := COMPAS(1200, 1)
+	train, test := Split(src.Data, 0.7, 3)
+	a, err := NewApproach("KamCal-DP", src.Graph, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := Evaluate(a, train, test, src.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Approach != "KamCal-DP" || row.Stage != "pre" {
+		t.Fatalf("row identity: %+v", row)
+	}
+	if row.Fair.DIStar <= 0 || row.Fair.DIStar > 1 {
+		t.Fatalf("DI*: %v", row.Fair.DIStar)
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	for _, src := range Sources(1) {
+		if err := src.Data.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if Adult(100, 1).Data.Len() != 100 {
+		t.Fatal("size override")
+	}
+}
+
+func TestFacadeApproachNames(t *testing.T) {
+	names := ApproachNames()
+	if len(names) != 18 {
+		t.Fatalf("variant count: %d", len(names))
+	}
+	// Mutating the returned slice must not corrupt the registry.
+	names[0] = "clobbered"
+	if ApproachNames()[0] == "clobbered" {
+		t.Fatal("ApproachNames must return a copy")
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	y := []int{1, 0, 1, 0}
+	yhat := []int{1, 0, 0, 1}
+	c := MeasureCorrectness(y, yhat)
+	if c.Accuracy != 0.5 {
+		t.Fatalf("accuracy: %v", c.Accuracy)
+	}
+	n := Normalize(Fairness{DI: 2})
+	if n.DIStar != 0.5 || !n.Reverse.DI {
+		t.Fatalf("normalize: %+v", n)
+	}
+}
+
+func TestFacadeCorrupt(t *testing.T) {
+	src := COMPAS(500, 1)
+	dirty, err := Corrupt(src.Data, T2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty.Len() != 500 {
+		t.Fatal("corruption changed size")
+	}
+}
+
+func TestFacadeModelSwap(t *testing.T) {
+	src := COMPAS(800, 1)
+	train, test := Split(src.Data, 0.7, 3)
+	a, err := NewApproachWithModel("KamKar-DP", "kNN", src.Graph, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := Evaluate(a, train, test, src.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(row.Correct.Accuracy) {
+		t.Fatal("NaN accuracy")
+	}
+}
+
+func TestFacadeBaselineUnfairOnAdult(t *testing.T) {
+	// The paper's headline observation: the fairness-unaware LR on Adult
+	// has very low DI (Figure 7a) while staying fairly accurate.
+	src := Adult(6000, 2)
+	train, test := Split(src.Data, 0.7, 7)
+	row, err := Evaluate(Baseline(), train, test, src.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Correct.Accuracy < 0.7 {
+		t.Fatalf("baseline accuracy: %v", row.Correct.Accuracy)
+	}
+	if row.Fair.DIStar > 0.5 {
+		t.Fatalf("Adult baseline should have low DI*, got %v", row.Fair.DIStar)
+	}
+}

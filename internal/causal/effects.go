@@ -1,0 +1,174 @@
+package causal
+
+import (
+	"fairbench/internal/dataset"
+)
+
+// Effects holds the three causal quantities the paper evaluates: the total
+// effect TE of the sensitive attribute S on the prediction, and its
+// decomposition into the natural direct effect NDE (through the edge
+// S -> Yhat) and natural indirect effect NIE (through mediator attributes).
+type Effects struct {
+	TE, NDE, NIE float64
+}
+
+// Estimator estimates interventional quantities of a classifier's
+// predictions from empirical (discretized) data and the dataset's causal
+// graph. All three benchmark datasets have a root sensitive attribute
+// (Appendix C), so TE is identified by the observational contrast
+// P(Yhat=1|S=1) - P(Yhat=1|S=0) (paper, Example 4), and NDE/NIE follow the
+// mediator adjustment formulas of Zhang et al. (Theorems 4-5) quoted in the
+// paper's appendix:
+//
+//	NDE = Σ_{w,z} P(Ŷ=1|S=1,W=w,Z=z) P(Z=z|S=0) P(W=w) - P(Ŷ=1|S=0)
+//	NIE = Σ_{w,z} P(Ŷ=1|S=0,W=w,Z=z) P(Z=z|S=1) P(W=w) - P(Ŷ=1|S=0)
+//
+// where Z are the mediators (descendants of S) and W the remaining
+// attributes.
+type Estimator struct {
+	graph *Graph
+	disc  *dataset.Discretizer
+	med   []int // attribute indices of mediators Z
+	other []int // attribute indices of non-mediators W
+}
+
+// NewEstimator builds an estimator for dataset d under graph g. Numeric
+// attributes are discretized into bins equal-frequency bins for
+// stratification (the paper computes causal quantities on discretized
+// attributes via DoWhy).
+func NewEstimator(d *dataset.Dataset, g *Graph, bins int) *Estimator {
+	disc := dataset.FitDiscretizer(d, bins)
+	desc := g.Descendants(d.SName)
+	est := &Estimator{graph: g, disc: disc}
+	for j, a := range d.Attrs {
+		if desc[a.Name] {
+			est.med = append(est.med, j)
+		} else {
+			est.other = append(est.other, j)
+		}
+	}
+	return est
+}
+
+// Mediators returns the attribute indices treated as mediators Z.
+func (e *Estimator) Mediators() []int { return append([]int(nil), e.med...) }
+
+// Estimate computes TE, NDE, and NIE of S on the predictions yhat over d.
+func (e *Estimator) Estimate(d *dataset.Dataset, yhat []int) Effects {
+	n := d.Len()
+	if n == 0 {
+		return Effects{}
+	}
+
+	// Observational contrasts: P(Ŷ=1 | S=s).
+	var n0, n1, p0, p1 float64
+	for i := 0; i < n; i++ {
+		if d.S[i] == 1 {
+			n1++
+			p1 += float64(yhat[i])
+		} else {
+			n0++
+			p0 += float64(yhat[i])
+		}
+	}
+	if n0 > 0 {
+		p0 /= n0
+	}
+	if n1 > 0 {
+		p1 /= n1
+	}
+	te := p1 - p0
+
+	if len(e.med) == 0 {
+		// No mediators: the entire effect is direct.
+		return Effects{TE: te, NDE: te, NIE: 0}
+	}
+
+	// Empirical tables over strata. zKey/wKey are joint codes over the
+	// mediator and non-mediator attribute subsets.
+	type cell struct{ pos, tot float64 }
+	condSZW := map[[3]int]*cell{} // (s, zKey, wKey) -> E[Ŷ]
+	condSZ := map[[2]int]*cell{}  // (s, zKey)       -> fallback
+	zGivenS := map[[2]int]float64{}
+	zCountS := [2]float64{}
+	wMarg := map[int]float64{}
+
+	for i := 0; i < n; i++ {
+		z, _ := e.disc.Code(d.X[i], e.med)
+		w, _ := e.disc.Code(d.X[i], e.other)
+		s := d.S[i]
+		k3 := [3]int{s, z, w}
+		c := condSZW[k3]
+		if c == nil {
+			c = &cell{}
+			condSZW[k3] = c
+		}
+		c.pos += float64(yhat[i])
+		c.tot++
+		k2 := [2]int{s, z}
+		c2 := condSZ[k2]
+		if c2 == nil {
+			c2 = &cell{}
+			condSZ[k2] = c2
+		}
+		c2.pos += float64(yhat[i])
+		c2.tot++
+		zGivenS[[2]int{s, z}] += 0 // ensure key exists alongside count below
+		zGivenS[[2]int{s, z}]++
+		zCountS[s]++
+		wMarg[w]++
+	}
+	for k := range zGivenS {
+		if zCountS[k[0]] > 0 {
+			zGivenS[k] /= zCountS[k[0]]
+		}
+	}
+	for k := range wMarg {
+		wMarg[k] /= float64(n)
+	}
+
+	// expY returns E[Ŷ | S=s, Z=z, W=w] with progressive fallback to the
+	// coarser conditional and finally to the group mean, so sparse strata
+	// do not zero out the estimate.
+	groupMean := [2]float64{p0, p1}
+	expY := func(s, z, w int) float64 {
+		if c := condSZW[[3]int{s, z, w}]; c != nil && c.tot > 0 {
+			return c.pos / c.tot
+		}
+		if c := condSZ[[2]int{s, z}]; c != nil && c.tot > 0 {
+			return c.pos / c.tot
+		}
+		return groupMean[s]
+	}
+
+	// Collect the observed z strata (with P(z|S=0), P(z|S=1)) and observed
+	// w strata (with P(w)); the adjustment sums range over their product.
+	type zent struct {
+		z        int
+		p0z, p1z float64
+	}
+	zset := map[int]*zent{}
+	for k, p := range zGivenS {
+		e, ok := zset[k[1]]
+		if !ok {
+			e = &zent{z: k[1]}
+			zset[k[1]] = e
+		}
+		if k[0] == 0 {
+			e.p0z = p
+		} else {
+			e.p1z = p
+		}
+	}
+
+	var nde, nie float64
+	for _, ze := range zset {
+		for w, pw := range wMarg {
+			nde += expY(1, ze.z, w) * ze.p0z * pw
+			nie += expY(0, ze.z, w) * ze.p1z * pw
+		}
+	}
+	nde -= p0
+	nie -= p0
+	return Effects{TE: te, NDE: nde, NIE: nie}
+}

@@ -1,0 +1,70 @@
+// Package classifier implements the binary classifiers the benchmark pairs
+// with fair approaches: logistic regression (the paper's default and its
+// fairness-unaware baseline), linear SVM, k-nearest neighbors, random
+// forest, and a one-hidden-layer MLP — the five model families of the
+// model-sensitivity experiment (Section 4.5, Appendix F).
+//
+// All models share the Classifier interface over plain feature matrices;
+// whether the sensitive attribute is part of the features is decided by
+// the caller (the fair-approach layer).
+package classifier
+
+import "fmt"
+
+// Classifier is a binary probabilistic classifier. Fit trains on the
+// design matrix x (row-major), labels y in {0,1}, and optional per-row
+// weights w (nil = uniform).
+type Classifier interface {
+	Fit(x [][]float64, y []int, w []float64) error
+	// PredictProba returns P(Y=1 | x).
+	PredictProba(x []float64) float64
+}
+
+// Factory builds fresh classifier instances; approaches use it so each
+// variant trains its own model.
+type Factory func() Classifier
+
+// Predict thresholds PredictProba at 0.5.
+func Predict(c Classifier, x []float64) int {
+	if c.PredictProba(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// PredictAll applies c to every row of x.
+func PredictAll(c Classifier, x [][]float64) []int {
+	out := make([]int, len(x))
+	for i, row := range x {
+		out[i] = Predict(c, row)
+	}
+	return out
+}
+
+// ProbaAll returns P(Y=1|x) for every row of x.
+func ProbaAll(c Classifier, x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = c.PredictProba(row)
+	}
+	return out
+}
+
+func checkFitInput(x [][]float64, y []int, w []float64) error {
+	if len(x) == 0 {
+		return fmt.Errorf("classifier: empty training set")
+	}
+	if len(y) != len(x) {
+		return fmt.Errorf("classifier: %d rows but %d labels", len(x), len(y))
+	}
+	if w != nil && len(w) != len(x) {
+		return fmt.Errorf("classifier: %d rows but %d weights", len(x), len(w))
+	}
+	d := len(x[0])
+	for i, row := range x {
+		if len(row) != d {
+			return fmt.Errorf("classifier: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	return nil
+}

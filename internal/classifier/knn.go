@@ -1,0 +1,100 @@
+package classifier
+
+import "container/heap"
+
+// KNN is a k-nearest-neighbors classifier using Euclidean distance. The
+// paper's model-sensitivity experiment uses k = 33 (Appendix F).
+type KNN struct {
+	// K is the neighborhood size (default 33).
+	K int
+
+	x [][]float64
+	y []int
+	w []float64
+}
+
+// NewKNN returns a kNN classifier with the paper's default k.
+func NewKNN() *KNN { return &KNN{K: 33} }
+
+// Fit memorizes the training data.
+func (k *KNN) Fit(x [][]float64, y []int, w []float64) error {
+	if err := checkFitInput(x, y, w); err != nil {
+		return err
+	}
+	if k.K == 0 {
+		k.K = 33
+	}
+	k.x, k.y, k.w = x, y, w
+	return nil
+}
+
+// neighborHeap is a max-heap on distance so the root is the farthest of
+// the current k candidates and can be evicted cheaply.
+type neighborHeap []neighbor
+
+type neighbor struct {
+	dist float64
+	idx  int
+}
+
+func (h neighborHeap) Len() int            { return len(h) }
+func (h neighborHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(neighbor)) }
+func (h *neighborHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// PredictProba returns the (weighted) fraction of positive labels among
+// the k nearest training points.
+func (k *KNN) PredictProba(q []float64) float64 {
+	if len(k.x) == 0 {
+		return 0.5
+	}
+	kk := k.K
+	if kk > len(k.x) {
+		kk = len(k.x)
+	}
+	h := make(neighborHeap, 0, kk)
+	for i, row := range k.x {
+		d := sqDist(row, q)
+		if len(h) < kk {
+			heap.Push(&h, neighbor{d, i})
+		} else if d < h[0].dist {
+			h[0] = neighbor{d, i}
+			heap.Fix(&h, 0)
+		}
+	}
+	var pos, tot float64
+	for _, nb := range h {
+		wi := 1.0
+		if k.w != nil {
+			wi = k.w[nb.idx]
+		}
+		tot += wi
+		if k.y[nb.idx] == 1 {
+			pos += wi
+		}
+	}
+	if tot == 0 {
+		return 0.5
+	}
+	return pos / tot
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

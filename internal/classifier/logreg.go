@@ -1,0 +1,112 @@
+package classifier
+
+import (
+	"fairbench/internal/matrix"
+	"fairbench/internal/optimize"
+)
+
+// LogisticRegression is an L2-regularized logistic-regression classifier
+// trained by full-batch Adam on the weighted log loss. It is the paper's
+// fairness-unaware baseline and the default model completing pre- and
+// post-processing pipelines.
+type LogisticRegression struct {
+	// L2 is the ridge penalty on the non-intercept weights (default 1e-3,
+	// matching scikit-learn's mild default regularization role).
+	L2 float64
+	// MaxIter bounds the optimizer (default 300).
+	MaxIter int
+	// Step is the Adam learning rate (default 0.1).
+	Step float64
+
+	// W holds the learned weights; the last entry is the intercept.
+	W []float64
+}
+
+// NewLogistic returns a logistic regression with benchmark defaults.
+func NewLogistic() *LogisticRegression {
+	return &LogisticRegression{L2: 1e-3, MaxIter: 300, Step: 0.1}
+}
+
+// Fit trains the model; w may be nil for uniform weights.
+func (lr *LogisticRegression) Fit(x [][]float64, y []int, w []float64) error {
+	if err := checkFitInput(x, y, w); err != nil {
+		return err
+	}
+	if lr.MaxIter == 0 {
+		lr.MaxIter = 300
+	}
+	if lr.Step == 0 {
+		lr.Step = 0.1
+	}
+	d := len(x[0])
+	var totalW float64
+	if w == nil {
+		totalW = float64(len(x))
+	} else {
+		totalW = matrix.Sum(w)
+	}
+	if totalW <= 0 {
+		totalW = 1
+	}
+	obj := func(theta []float64, grad []float64) float64 {
+		for j := range grad {
+			grad[j] = 0
+		}
+		var loss float64
+		for i, row := range x {
+			wi := 1.0
+			if w != nil {
+				wi = w[i]
+			}
+			z := theta[d]
+			for j, v := range row {
+				z += theta[j] * v
+			}
+			p := matrix.Sigmoid(z)
+			yi := float64(y[i])
+			loss += wi * logLoss(p, yi)
+			g := wi * (p - yi)
+			for j, v := range row {
+				grad[j] += g * v
+			}
+			grad[d] += g
+		}
+		loss /= totalW
+		for j := range grad {
+			grad[j] /= totalW
+		}
+		for j := 0; j < d; j++ { // no penalty on intercept
+			loss += lr.L2 * theta[j] * theta[j]
+			grad[j] += 2 * lr.L2 * theta[j]
+		}
+		return loss
+	}
+	w0 := make([]float64, d+1)
+	theta, _ := optimize.Adam(obj, w0, optimize.AdamConfig{Step: lr.Step, MaxIter: lr.MaxIter})
+	lr.W = theta
+	return nil
+}
+
+// Score returns the raw decision value (signed distance proxy) wᵀx + b.
+func (lr *LogisticRegression) Score(x []float64) float64 {
+	d := len(lr.W) - 1
+	z := lr.W[d]
+	for j := 0; j < d && j < len(x); j++ {
+		z += lr.W[j] * x[j]
+	}
+	return z
+}
+
+// PredictProba returns the sigmoid of the decision value.
+func (lr *LogisticRegression) PredictProba(x []float64) float64 {
+	return matrix.Sigmoid(lr.Score(x))
+}
+
+func logLoss(p, y float64) float64 {
+	const eps = 1e-12
+	p = matrix.Clamp(p, eps, 1-eps)
+	if y >= 0.5 {
+		return -ln(p)
+	}
+	return -ln(1 - p)
+}

@@ -1,0 +1,146 @@
+package classifier
+
+import (
+	"math"
+
+	"fairbench/internal/matrix"
+	"fairbench/internal/rng"
+)
+
+// MLP is a one-hidden-layer perceptron with tanh hidden units and a
+// sigmoid output, trained by mini-batch SGD on the weighted log loss with
+// L2 regularization — the paper's fifth model family (20 hidden neurons,
+// alpha = 0.01, Appendix F).
+type MLP struct {
+	// Hidden is the hidden-layer width (default 20).
+	Hidden int
+	// Alpha is the L2 penalty (default 0.01).
+	Alpha float64
+	// Epochs is the number of training passes (default 60).
+	Epochs int
+	// Step is the SGD learning rate (default 0.05).
+	Step float64
+	// Batch is the mini-batch size (default 32).
+	Batch int
+	// Seed drives initialization and shuffling.
+	Seed int64
+
+	w1 [][]float64 // hidden x (d+1), last column bias
+	w2 []float64   // hidden+1, last entry bias
+}
+
+// NewMLP returns an MLP with the paper's defaults.
+func NewMLP() *MLP {
+	return &MLP{Hidden: 20, Alpha: 0.01, Epochs: 60, Step: 0.05, Batch: 32, Seed: 3}
+}
+
+// Fit trains the network.
+func (m *MLP) Fit(x [][]float64, y []int, w []float64) error {
+	if err := checkFitInput(x, y, w); err != nil {
+		return err
+	}
+	if m.Hidden == 0 {
+		m.Hidden = 20
+	}
+	if m.Epochs == 0 {
+		m.Epochs = 60
+	}
+	if m.Step == 0 {
+		m.Step = 0.05
+	}
+	if m.Batch == 0 {
+		m.Batch = 32
+	}
+	n, d := len(x), len(x[0])
+	g := rng.New(m.Seed)
+	scale := 1 / math.Sqrt(float64(d)+1)
+	m.w1 = make([][]float64, m.Hidden)
+	for h := range m.w1 {
+		m.w1[h] = make([]float64, d+1)
+		for j := range m.w1[h] {
+			m.w1[h][j] = g.Normal(0, scale)
+		}
+	}
+	m.w2 = make([]float64, m.Hidden+1)
+	for h := range m.w2 {
+		m.w2[h] = g.Normal(0, 1/math.Sqrt(float64(m.Hidden)+1))
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	hid := make([]float64, m.Hidden)
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		g.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for start := 0; start < n; start += m.Batch {
+			end := start + m.Batch
+			if end > n {
+				end = n
+			}
+			g1 := make([][]float64, m.Hidden)
+			for h := range g1 {
+				g1[h] = make([]float64, d+1)
+			}
+			g2 := make([]float64, m.Hidden+1)
+			var bw float64
+			for _, i := range order[start:end] {
+				wi := weightOf(w, i)
+				bw += wi
+				// Forward.
+				for h := 0; h < m.Hidden; h++ {
+					z := m.w1[h][d]
+					for j, v := range x[i] {
+						z += m.w1[h][j] * v
+					}
+					hid[h] = math.Tanh(z)
+				}
+				out := m.w2[m.Hidden]
+				for h := 0; h < m.Hidden; h++ {
+					out += m.w2[h] * hid[h]
+				}
+				p := matrix.Sigmoid(out)
+				// Backward.
+				dOut := wi * (p - float64(y[i]))
+				for h := 0; h < m.Hidden; h++ {
+					g2[h] += dOut * hid[h]
+					dHid := dOut * m.w2[h] * (1 - hid[h]*hid[h])
+					for j, v := range x[i] {
+						g1[h][j] += dHid * v
+					}
+					g1[h][d] += dHid
+				}
+				g2[m.Hidden] += dOut
+			}
+			if bw == 0 {
+				continue
+			}
+			lr := m.Step
+			for h := 0; h < m.Hidden; h++ {
+				for j := 0; j <= d; j++ {
+					m.w1[h][j] -= lr * (g1[h][j]/bw + m.Alpha*m.w1[h][j])
+				}
+				m.w2[h] -= lr * (g2[h]/bw + m.Alpha*m.w2[h])
+			}
+			m.w2[m.Hidden] -= lr * g2[m.Hidden] / bw
+		}
+	}
+	return nil
+}
+
+// PredictProba runs the forward pass.
+func (m *MLP) PredictProba(x []float64) float64 {
+	if m.w1 == nil {
+		return 0.5
+	}
+	d := len(m.w1[0]) - 1
+	out := m.w2[m.Hidden]
+	for h := 0; h < m.Hidden; h++ {
+		z := m.w1[h][d]
+		for j := 0; j < d && j < len(x); j++ {
+			z += m.w1[h][j] * x[j]
+		}
+		out += m.w2[h] * math.Tanh(z)
+	}
+	return matrix.Sigmoid(out)
+}

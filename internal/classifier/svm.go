@@ -1,0 +1,112 @@
+package classifier
+
+import (
+	"math"
+
+	"fairbench/internal/matrix"
+	"fairbench/internal/rng"
+)
+
+// ln is a local alias to keep loss expressions compact.
+func ln(v float64) float64 { return math.Log(v) }
+
+// LinearSVM is a linear support-vector machine trained with the Pegasos
+// primal sub-gradient method on the weighted hinge loss, with a Platt-style
+// sigmoid fitted on the margins so PredictProba returns calibrated
+// probabilities (post-processors need them).
+type LinearSVM struct {
+	// Lambda is the regularization strength (default 1e-3).
+	Lambda float64
+	// Epochs is the number of Pegasos passes (default 40).
+	Epochs int
+	// Seed drives the sampling order.
+	Seed int64
+
+	// W holds weights with intercept last; plattA/B calibrate margins.
+	W              []float64
+	plattA, plattB float64
+}
+
+// NewSVM returns a linear SVM with benchmark defaults.
+func NewSVM() *LinearSVM { return &LinearSVM{Lambda: 1e-3, Epochs: 40, Seed: 7} }
+
+// Fit trains the SVM; w may be nil for uniform weights.
+func (s *LinearSVM) Fit(x [][]float64, y []int, w []float64) error {
+	if err := checkFitInput(x, y, w); err != nil {
+		return err
+	}
+	if s.Lambda == 0 {
+		s.Lambda = 1e-3
+	}
+	if s.Epochs == 0 {
+		s.Epochs = 40
+	}
+	n, d := len(x), len(x[0])
+	g := rng.New(s.Seed)
+	theta := make([]float64, d+1)
+	t := 1
+	for epoch := 0; epoch < s.Epochs; epoch++ {
+		for it := 0; it < n; it++ {
+			i := g.Intn(n)
+			wi := 1.0
+			if w != nil {
+				wi = w[i]
+			}
+			yi := 2*float64(y[i]) - 1 // {-1,+1}
+			eta := 1 / (s.Lambda * float64(t))
+			t++
+			margin := theta[d]
+			for j, v := range x[i] {
+				margin += theta[j] * v
+			}
+			// L2 shrink on non-intercept weights.
+			for j := 0; j < d; j++ {
+				theta[j] *= 1 - eta*s.Lambda
+			}
+			if yi*margin < 1 {
+				for j, v := range x[i] {
+					theta[j] += eta * wi * yi * v
+				}
+				theta[d] += eta * wi * yi
+			}
+		}
+	}
+	s.W = theta
+	s.fitPlatt(x, y)
+	return nil
+}
+
+// fitPlatt fits P(y=1|m) = sigmoid(A*m + B) on the training margins by a
+// short gradient descent; adequate for probability ranking.
+func (s *LinearSVM) fitPlatt(x [][]float64, y []int) {
+	a, b := 1.0, 0.0
+	n := float64(len(x))
+	for iter := 0; iter < 200; iter++ {
+		var ga, gb float64
+		for i, row := range x {
+			m := s.Score(row)
+			p := matrix.Sigmoid(a*m + b)
+			diff := p - float64(y[i])
+			ga += diff * m
+			gb += diff
+		}
+		a -= 0.1 * ga / n
+		b -= 0.1 * gb / n
+	}
+	s.plattA, s.plattB = a, b
+}
+
+// Score returns the signed margin wᵀx + b.
+func (s *LinearSVM) Score(x []float64) float64 {
+	d := len(s.W) - 1
+	z := s.W[d]
+	for j := 0; j < d && j < len(x); j++ {
+		z += s.W[j] * x[j]
+	}
+	return z
+}
+
+// PredictProba returns the Platt-calibrated probability.
+func (s *LinearSVM) PredictProba(x []float64) float64 {
+	return matrix.Sigmoid(s.plattA*s.Score(x) + s.plattB)
+}

@@ -1,0 +1,253 @@
+package classifier
+
+import (
+	"math"
+	"sort"
+
+	"fairbench/internal/rng"
+)
+
+// DecisionTree is a CART-style binary classification tree with weighted
+// Gini impurity splits on numeric thresholds. It is both a standalone
+// classifier and the base learner of RandomForest.
+type DecisionTree struct {
+	// MaxDepth bounds tree depth (default 100, matching the paper's
+	// forest configuration).
+	MaxDepth int
+	// MinLeaf is the minimum weighted count in a leaf (default 2).
+	MinLeaf float64
+	// FeatureSubset, when > 0, restricts each split to a random subset of
+	// that many features (used by the forest).
+	FeatureSubset int
+	// Seed drives feature subsampling.
+	Seed int64
+
+	root *treeNode
+}
+
+type treeNode struct {
+	feature     int
+	threshold   float64
+	left, right *treeNode
+	prob        float64 // P(Y=1) at a leaf
+	leaf        bool
+}
+
+// NewTree returns a decision tree with benchmark defaults.
+func NewTree() *DecisionTree { return &DecisionTree{MaxDepth: 100, MinLeaf: 2} }
+
+// Fit builds the tree.
+func (t *DecisionTree) Fit(x [][]float64, y []int, w []float64) error {
+	if err := checkFitInput(x, y, w); err != nil {
+		return err
+	}
+	if t.MaxDepth == 0 {
+		t.MaxDepth = 100
+	}
+	if t.MinLeaf == 0 {
+		t.MinLeaf = 2
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	g := rng.New(t.Seed)
+	t.root = t.build(x, y, w, idx, 0, g)
+	return nil
+}
+
+func weightOf(w []float64, i int) float64 {
+	if w == nil {
+		return 1
+	}
+	return w[i]
+}
+
+func (t *DecisionTree) build(x [][]float64, y []int, w []float64, idx []int, depth int, g *rng.RNG) *treeNode {
+	var tot, pos float64
+	for _, i := range idx {
+		wi := weightOf(w, i)
+		tot += wi
+		if y[i] == 1 {
+			pos += wi
+		}
+	}
+	node := &treeNode{leaf: true, prob: 0.5}
+	if tot > 0 {
+		node.prob = pos / tot
+	}
+	if depth >= t.MaxDepth || tot < 2*t.MinLeaf || pos == 0 || pos == tot {
+		return node
+	}
+	d := len(x[0])
+	features := make([]int, d)
+	for j := range features {
+		features[j] = j
+	}
+	if t.FeatureSubset > 0 && t.FeatureSubset < d {
+		g.Shuffle(d, func(a, b int) { features[a], features[b] = features[b], features[a] })
+		features = features[:t.FeatureSubset]
+	}
+
+	bestGain := 0.0
+	bestFeat, bestThresh := -1, 0.0
+	parentImp := gini(pos, tot)
+	type fv struct {
+		v   float64
+		y   int
+		wgt float64
+	}
+	for _, f := range features {
+		vals := make([]fv, len(idx))
+		for k, i := range idx {
+			vals[k] = fv{x[i][f], y[i], weightOf(w, i)}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		var lt, lp float64
+		for k := 0; k < len(vals)-1; k++ {
+			lt += vals[k].wgt
+			if vals[k].y == 1 {
+				lp += vals[k].wgt
+			}
+			if vals[k].v == vals[k+1].v {
+				continue
+			}
+			rt, rp := tot-lt, pos-lp
+			if lt < t.MinLeaf || rt < t.MinLeaf {
+				continue
+			}
+			gain := parentImp - (lt/tot)*gini(lp, lt) - (rt/tot)*gini(rp, rt)
+			if gain > bestGain+1e-12 {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (vals[k].v + vals[k+1].v) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return node
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if x[i][bestFeat] <= bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return node
+	}
+	node.leaf = false
+	node.feature = bestFeat
+	node.threshold = bestThresh
+	node.left = t.build(x, y, w, li, depth+1, g)
+	node.right = t.build(x, y, w, ri, depth+1, g)
+	return node
+}
+
+func gini(pos, tot float64) float64 {
+	if tot <= 0 {
+		return 0
+	}
+	p := pos / tot
+	return 2 * p * (1 - p)
+}
+
+// PredictProba walks the tree to a leaf probability.
+func (t *DecisionTree) PredictProba(x []float64) float64 {
+	n := t.root
+	if n == nil {
+		return 0.5
+	}
+	for !n.leaf {
+		if n.feature < len(x) && x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.prob
+}
+
+// Depth returns the depth of the fitted tree (0 for a stump/leaf).
+func (t *DecisionTree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *treeNode) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// RandomForest is a bagging ensemble of decision trees with per-split
+// feature subsampling. The paper's configuration is 40 trees of maximum
+// depth 100 (Appendix F).
+type RandomForest struct {
+	// Trees is the ensemble size (default 40).
+	Trees int
+	// MaxDepth bounds each tree (default 100).
+	MaxDepth int
+	// Seed drives bootstrap sampling.
+	Seed int64
+
+	ensemble []*DecisionTree
+}
+
+// NewForest returns a random forest with the paper's defaults.
+func NewForest() *RandomForest { return &RandomForest{Trees: 40, MaxDepth: 100, Seed: 11} }
+
+// Fit trains the ensemble on bootstrap resamples.
+func (rf *RandomForest) Fit(x [][]float64, y []int, w []float64) error {
+	if err := checkFitInput(x, y, w); err != nil {
+		return err
+	}
+	if rf.Trees == 0 {
+		rf.Trees = 40
+	}
+	if rf.MaxDepth == 0 {
+		rf.MaxDepth = 100
+	}
+	n := len(x)
+	d := len(x[0])
+	sub := int(math.Ceil(math.Sqrt(float64(d))))
+	g := rng.New(rf.Seed)
+	rf.ensemble = make([]*DecisionTree, rf.Trees)
+	for t := 0; t < rf.Trees; t++ {
+		bx := make([][]float64, n)
+		by := make([]int, n)
+		var bw []float64
+		if w != nil {
+			bw = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			j := g.Intn(n)
+			bx[i], by[i] = x[j], y[j]
+			if w != nil {
+				bw[i] = w[j]
+			}
+		}
+		tree := &DecisionTree{MaxDepth: rf.MaxDepth, MinLeaf: 2, FeatureSubset: sub, Seed: g.Int63()}
+		if err := tree.Fit(bx, by, bw); err != nil {
+			return err
+		}
+		rf.ensemble[t] = tree
+	}
+	return nil
+}
+
+// PredictProba averages the trees' leaf probabilities.
+func (rf *RandomForest) PredictProba(x []float64) float64 {
+	if len(rf.ensemble) == 0 {
+		return 0.5
+	}
+	var s float64
+	for _, t := range rf.ensemble {
+		s += t.PredictProba(x)
+	}
+	return s / float64(len(rf.ensemble))
+}

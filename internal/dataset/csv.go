@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes the dataset as CSV with a header row of attribute
+// names followed by the sensitive attribute and label columns. Weights are
+// not serialized (they are a transient training artifact).
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, d.Dim()+2)
+	for _, a := range d.Attrs {
+		header = append(header, a.Name)
+	}
+	header = append(header, d.SName, d.YName)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i, row := range d.X {
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		rec[len(row)] = strconv.Itoa(d.S[i])
+		rec[len(row)+1] = strconv.Itoa(d.Y[i])
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset previously written by WriteCSV. Attribute kinds
+// must be supplied by the caller because CSV does not carry them; attrs may
+// be nil, in which case every column is treated as Numeric.
+func ReadCSV(r io.Reader, name string, attrs []Attr) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	if len(rows) < 1 {
+		return nil, fmt.Errorf("dataset: csv %s has no header", name)
+	}
+	header := rows[0]
+	if len(header) < 3 {
+		return nil, fmt.Errorf("dataset: csv %s needs at least one attribute plus S and Y", name)
+	}
+	dim := len(header) - 2
+	if attrs == nil {
+		attrs = make([]Attr, dim)
+		for j := 0; j < dim; j++ {
+			attrs[j] = Attr{Name: header[j], Kind: Numeric}
+		}
+	}
+	if len(attrs) != dim {
+		return nil, fmt.Errorf("dataset: csv %s has %d attribute columns, caller supplied %d kinds", name, dim, len(attrs))
+	}
+	d := &Dataset{
+		Name:  name,
+		Attrs: attrs,
+		SName: header[dim],
+		YName: header[dim+1],
+	}
+	for li, rec := range rows[1:] {
+		if len(rec) != dim+2 {
+			return nil, fmt.Errorf("dataset: csv %s line %d has %d fields, want %d", name, li+2, len(rec), dim+2)
+		}
+		row := make([]float64, dim)
+		for j := 0; j < dim; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv %s line %d col %d: %w", name, li+2, j, err)
+			}
+			row[j] = v
+		}
+		s, err := strconv.Atoi(rec[dim])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv %s line %d sensitive value: %w", name, li+2, err)
+		}
+		y, err := strconv.Atoi(rec[dim+1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv %s line %d label: %w", name, li+2, err)
+		}
+		d.X = append(d.X, row)
+		d.S = append(d.S, s)
+		d.Y = append(d.Y, y)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,250 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fairbench/internal/rng"
+)
+
+func toy(n int) *Dataset {
+	d := &Dataset{
+		Name: "toy",
+		Attrs: []Attr{
+			{Name: "a", Kind: Numeric},
+			{Name: "b", Kind: Categorical, Card: 3},
+		},
+		SName: "S",
+		YName: "Y",
+	}
+	for i := 0; i < n; i++ {
+		d.X = append(d.X, []float64{float64(i), float64(i % 3)})
+		d.S = append(d.S, i%2)
+		d.Y = append(d.Y, (i/2)%2)
+	}
+	return d
+}
+
+func TestValidate(t *testing.T) {
+	d := toy(10)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := toy(10)
+	bad.S[3] = 2
+	if bad.Validate() == nil {
+		t.Fatal("non-binary S must fail validation")
+	}
+	bad2 := toy(10)
+	bad2.Y = bad2.Y[:5]
+	if bad2.Validate() == nil {
+		t.Fatal("length mismatch must fail validation")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	d := toy(4)
+	c := d.Clone()
+	c.X[0][0] = 99
+	c.Y[1] = 1 - c.Y[1]
+	if d.X[0][0] == 99 || d.Y[1] == c.Y[1] {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestSubsetCopies(t *testing.T) {
+	d := toy(6)
+	s := d.Subset([]int{1, 3})
+	if s.Len() != 2 || s.X[0][0] != 1 || s.X[1][0] != 3 {
+		t.Fatalf("subset contents wrong: %+v", s.X)
+	}
+	s.X[0][0] = 42
+	if d.X[1][0] == 42 {
+		t.Fatal("Subset must copy rows")
+	}
+}
+
+func TestSplitPartition(t *testing.T) {
+	d := toy(100)
+	train, test := d.Split(0.7, rng.New(1))
+	if train.Len()+test.Len() != 100 {
+		t.Fatalf("split loses tuples: %d + %d", train.Len(), test.Len())
+	}
+	if train.Len() != 70 {
+		t.Fatalf("train size: %d", train.Len())
+	}
+}
+
+func TestKFoldPartition(t *testing.T) {
+	d := toy(53)
+	folds := d.KFold(5, rng.New(2))
+	total := 0
+	for _, f := range folds {
+		total += f.Test.Len()
+		if f.Train.Len()+f.Test.Len() != 53 {
+			t.Fatal("fold does not partition")
+		}
+	}
+	if total != 53 {
+		t.Fatalf("test folds cover %d of 53", total)
+	}
+}
+
+func TestBaseRates(t *testing.T) {
+	d := toy(8) // S alternates, Y pattern 0,0,1,1,...
+	u, p := d.BaseRates()
+	if math.Abs(u-0.5) > 1e-12 || math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("base rates: %v %v", u, p)
+	}
+}
+
+func TestWeights(t *testing.T) {
+	d := toy(4)
+	if d.Weight(0) != 1 || d.TotalWeight() != 4 {
+		t.Fatal("unweighted defaults")
+	}
+	d.Weights = []float64{1, 2, 3, 4}
+	if d.Weight(2) != 3 || d.TotalWeight() != 10 {
+		t.Fatal("weighted accessors")
+	}
+}
+
+func TestProjectAttrs(t *testing.T) {
+	d := toy(5)
+	p := d.ProjectAttrs([]int{1})
+	if p.Dim() != 1 || p.Attrs[0].Name != "b" {
+		t.Fatalf("projection: %+v", p.Attrs)
+	}
+	if p.X[4][0] != float64(4%3) {
+		t.Fatalf("projected value: %v", p.X[4][0])
+	}
+}
+
+func TestFeatureMatrix(t *testing.T) {
+	d := toy(3)
+	withS := d.FeatureMatrix(true)
+	if len(withS[0]) != 3 || withS[1][2] != 1 {
+		t.Fatalf("S column missing: %v", withS[1])
+	}
+	noS := d.FeatureMatrix(false)
+	if len(noS[0]) != 2 {
+		t.Fatalf("unexpected width: %v", noS[0])
+	}
+	// FeatureRow mirrors FeatureMatrix layout.
+	f := func(x [3]float64, s bool) bool {
+		si := 0
+		if s {
+			si = 1
+		}
+		r := FeatureRow(x[:], si, true)
+		return len(r) == 4 && r[3] == float64(si)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResampleWeighted(t *testing.T) {
+	d := toy(10)
+	w := make([]float64, 10)
+	w[7] = 1 // all mass on tuple 7
+	r := d.ResampleWeighted(w, 5, rng.New(3))
+	for i := 0; i < r.Len(); i++ {
+		if r.X[i][0] != 7 {
+			t.Fatal("weighted resampling ignored weights")
+		}
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	d := toy(50)
+	std := FitStandardizer(d)
+	c := d.Clone()
+	std.Apply(c)
+	col := c.Column(0)
+	var mean, sq float64
+	for _, v := range col {
+		mean += v
+	}
+	mean /= float64(len(col))
+	for _, v := range col {
+		sq += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(sq / float64(len(col)))
+	if math.Abs(mean) > 1e-9 || math.Abs(sd-1) > 1e-9 {
+		t.Fatalf("standardized column: mean %v std %v", mean, sd)
+	}
+	// Categorical column untouched.
+	if c.X[4][1] != d.X[4][1] {
+		t.Fatal("categorical column must not be standardized")
+	}
+	// ApplyRow matches Apply.
+	row := append([]float64(nil), d.X[7]...)
+	std.ApplyRow(row)
+	if math.Abs(row[0]-c.X[7][0]) > 1e-12 {
+		t.Fatal("ApplyRow disagrees with Apply")
+	}
+}
+
+func TestDiscretizer(t *testing.T) {
+	d := toy(90)
+	disc := FitDiscretizer(d, 3)
+	if disc.Cardinality(1) != 3 {
+		t.Fatalf("categorical cardinality: %d", disc.Cardinality(1))
+	}
+	// Bins must be monotone in the value.
+	prev := -1
+	for v := 0.0; v < 90; v += 10 {
+		b := disc.Bin(0, v)
+		if b < prev {
+			t.Fatalf("bins not monotone at %v", v)
+		}
+		prev = b
+	}
+	if disc.Bin(0, -100) != 0 {
+		t.Fatal("below-range value must land in bin 0")
+	}
+	code, total := disc.Code(d.X[10], []int{0, 1})
+	if code < 0 || code >= total {
+		t.Fatalf("code %d outside [0,%d)", code, total)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := toy(7)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "toy", d.Attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.SName != "S" || back.YName != "Y" {
+		t.Fatalf("roundtrip header: %+v", back)
+	}
+	for i := range d.X {
+		if back.X[i][0] != d.X[i][0] || back.S[i] != d.S[i] || back.Y[i] != d.Y[i] {
+			t.Fatalf("roundtrip row %d", i)
+		}
+	}
+	// Malformed input errors.
+	if _, err := ReadCSV(bytes.NewBufferString("a,S,Y\nx,0,1\n"), "bad", nil); err == nil {
+		t.Fatal("non-numeric attribute must error")
+	}
+}
+
+func TestGroupIndices(t *testing.T) {
+	d := toy(10)
+	u, p := d.GroupIndices()
+	if len(u) != 5 || len(p) != 5 {
+		t.Fatalf("groups: %d/%d", len(u), len(p))
+	}
+	for _, i := range p {
+		if d.S[i] != 1 {
+			t.Fatal("privileged index with S=0")
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+)
+
+// Standardizer rescales numeric attributes to zero mean and unit variance.
+// Categorical attributes are left untouched. The same fitted transform is
+// applied to train and test data so the two stay comparable.
+type Standardizer struct {
+	mean, std []float64
+	kinds     []AttrKind
+}
+
+// FitStandardizer computes per-attribute means and standard deviations.
+func FitStandardizer(d *Dataset) *Standardizer {
+	dim := d.Dim()
+	s := &Standardizer{
+		mean:  make([]float64, dim),
+		std:   make([]float64, dim),
+		kinds: make([]AttrKind, dim),
+	}
+	n := float64(d.Len())
+	for j := 0; j < dim; j++ {
+		s.kinds[j] = d.Attrs[j].Kind
+		var sum float64
+		for _, row := range d.X {
+			sum += row[j]
+		}
+		m := sum / n
+		var ss float64
+		for _, row := range d.X {
+			diff := row[j] - m
+			ss += diff * diff
+		}
+		sd := math.Sqrt(ss / n)
+		if sd < 1e-12 {
+			sd = 1
+		}
+		s.mean[j], s.std[j] = m, sd
+	}
+	return s
+}
+
+// Apply standardizes numeric columns of d in place.
+func (s *Standardizer) Apply(d *Dataset) {
+	for _, row := range d.X {
+		for j := range row {
+			if s.kinds[j] == Numeric {
+				row[j] = (row[j] - s.mean[j]) / s.std[j]
+			}
+		}
+	}
+}
+
+// ApplyRow standardizes a single feature row (without S) in place.
+func (s *Standardizer) ApplyRow(row []float64) {
+	for j := range row {
+		if j < len(s.kinds) && s.kinds[j] == Numeric {
+			row[j] = (row[j] - s.mean[j]) / s.std[j]
+		}
+	}
+}
+
+// Discretizer maps each attribute into a small number of integer bins so
+// that causal stratification and the Calmon optimization can treat the
+// joint distribution as a finite contingency table.
+type Discretizer struct {
+	// edges[j] holds the interior bin edges for numeric attribute j; a
+	// value v falls in bin = #edges below v. Categorical attributes use
+	// their code directly (capped at Bins-1).
+	edges [][]float64
+	kinds []AttrKind
+	cards []int
+	// Bins is the number of bins used for numeric attributes.
+	Bins int
+}
+
+// FitDiscretizer computes equal-frequency bin edges (bins quantiles) for
+// each numeric attribute of d.
+func FitDiscretizer(d *Dataset, bins int) *Discretizer {
+	if bins < 2 {
+		bins = 2
+	}
+	dim := d.Dim()
+	disc := &Discretizer{
+		edges: make([][]float64, dim),
+		kinds: make([]AttrKind, dim),
+		cards: make([]int, dim),
+		Bins:  bins,
+	}
+	for j := 0; j < dim; j++ {
+		disc.kinds[j] = d.Attrs[j].Kind
+		disc.cards[j] = d.Attrs[j].Card
+		if d.Attrs[j].Kind != Numeric {
+			continue
+		}
+		col := d.Column(j)
+		sort.Float64s(col)
+		edges := make([]float64, 0, bins-1)
+		for b := 1; b < bins; b++ {
+			q := float64(b) / float64(bins)
+			pos := int(q * float64(len(col)-1))
+			e := col[pos]
+			if len(edges) == 0 || e > edges[len(edges)-1] {
+				edges = append(edges, e)
+			}
+		}
+		disc.edges[j] = edges
+	}
+	return disc
+}
+
+// Bin maps a raw value of attribute j into its bin index.
+func (disc *Discretizer) Bin(j int, v float64) int {
+	if disc.kinds[j] == Categorical {
+		b := int(v)
+		if b < 0 {
+			b = 0
+		}
+		if disc.cards[j] > 0 && b >= disc.cards[j] {
+			b = disc.cards[j] - 1
+		}
+		return b
+	}
+	edges := disc.edges[j]
+	b := sort.SearchFloat64s(edges, v)
+	// SearchFloat64s returns the insert position; values equal to an edge
+	// belong to the lower bin, matching half-open intervals (lo, hi].
+	for b > 0 && v <= edges[b-1] {
+		b--
+	}
+	return b
+}
+
+// Cardinality returns the number of bins attribute j can take.
+func (disc *Discretizer) Cardinality(j int) int {
+	if disc.kinds[j] == Categorical {
+		if disc.cards[j] > 0 {
+			return disc.cards[j]
+		}
+		return disc.Bins
+	}
+	return len(disc.edges[j]) + 1
+}
+
+// Code maps a full feature row into a single stratum code over the given
+// attribute subset, little-endian in the subset order. The second return
+// value is the total number of strata.
+func (disc *Discretizer) Code(row []float64, attrs []int) (code, total int) {
+	total = 1
+	for _, j := range attrs {
+		card := disc.Cardinality(j)
+		code += disc.Bin(j, row[j]) * total
+		total *= card
+	}
+	return code, total
+}

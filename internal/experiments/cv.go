@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fairbench/internal/registry"
+	"fairbench/internal/rng"
+	"fairbench/internal/stats"
+	"fairbench/internal/synth"
+)
+
+// CrossValidate reproduces the 5-fold cross-validation tables (Figures
+// 16-18): every approach's metrics averaged over k folds.
+func CrossValidate(src *synth.Source, k int, seed int64) ([]Row, error) {
+	folds := src.Data.KFold(k, rng.New(seed))
+	names := append([]string{"LR"}, registry.Names...)
+	acc := make([]Row, len(names))
+	for fi, fold := range folds {
+		var baseline float64
+		for ni, name := range names {
+			a, err := registry.New(name, registry.Config{Graph: src.Graph, Seed: seed + int64(fi)})
+			if err != nil {
+				return nil, err
+			}
+			row, err := Evaluate(a, fold.Train, fold.Test, src.Graph)
+			if err != nil {
+				return nil, err
+			}
+			if name == "LR" {
+				baseline = row.Seconds
+			}
+			row.Overhead = row.Seconds - baseline
+			addRow(&acc[ni], row)
+		}
+	}
+	inv := 1 / float64(k)
+	for i := range acc {
+		scaleRow(&acc[i], inv)
+	}
+	return acc, nil
+}
+
+func addRow(dst *Row, src Row) {
+	if dst.Approach == "" {
+		dst.Approach, dst.Stage, dst.Targets = src.Approach, src.Stage, src.Targets
+	}
+	dst.Correct.Accuracy += src.Correct.Accuracy
+	dst.Correct.Precision += src.Correct.Precision
+	dst.Correct.Recall += src.Correct.Recall
+	dst.Correct.F1 += src.Correct.F1
+	dst.Fair.DIStar += src.Fair.DIStar
+	dst.Fair.TPRB += src.Fair.TPRB
+	dst.Fair.TNRB += src.Fair.TNRB
+	dst.Fair.ID += src.Fair.ID
+	dst.Fair.TE += src.Fair.TE
+	dst.Fair.NDE += src.Fair.NDE
+	dst.Fair.NIE += src.Fair.NIE
+	dst.Seconds += src.Seconds
+	dst.Overhead += src.Overhead
+}
+
+func scaleRow(r *Row, f float64) {
+	r.Correct.Accuracy *= f
+	r.Correct.Precision *= f
+	r.Correct.Recall *= f
+	r.Correct.F1 *= f
+	r.Fair.DIStar *= f
+	r.Fair.TPRB *= f
+	r.Fair.TNRB *= f
+	r.Fair.ID *= f
+	r.Fair.TE *= f
+	r.Fair.NDE *= f
+	r.Fair.NIE *= f
+	r.Seconds *= f
+	r.Overhead *= f
+}
+
+// StabilityRow summarizes an approach's variability over repeated random
+// folds (Figure 22): mean and standard deviation per headline metric.
+type StabilityRow struct {
+	Approach          string
+	Stage             string
+	AccMean, AccStd   float64
+	DIMean, DIStd     float64
+	TPRBMean, TPRBStd float64
+	F1Mean, F1Std     float64
+}
+
+// Stability reproduces Figure 22: runs random 2/3-1/3 folds and reports
+// per-metric variance.
+func Stability(src *synth.Source, runs int, seed int64) ([]StabilityRow, error) {
+	names := append([]string{"LR"}, registry.Names...)
+	samples := map[string]*struct{ acc, di, tprb, f1 []float64 }{}
+	var stages []string
+	for ri := 0; ri < runs; ri++ {
+		train, test := src.Data.Split(2.0/3, rng.New(seed+int64(ri)))
+		for _, name := range names {
+			a, err := registry.New(name, registry.Config{Graph: src.Graph, Seed: seed + int64(ri)})
+			if err != nil {
+				return nil, err
+			}
+			row, err := Evaluate(a, train, test, src.Graph)
+			if err != nil {
+				return nil, err
+			}
+			s := samples[name]
+			if s == nil {
+				s = &struct{ acc, di, tprb, f1 []float64 }{}
+				samples[name] = s
+				stages = append(stages, row.Stage)
+			}
+			s.acc = append(s.acc, row.Correct.Accuracy)
+			s.di = append(s.di, row.Fair.DIStar)
+			s.tprb = append(s.tprb, row.Fair.TPRB)
+			s.f1 = append(s.f1, row.Correct.F1)
+		}
+	}
+	var out []StabilityRow
+	for ni, name := range names {
+		s := samples[name]
+		out = append(out, StabilityRow{
+			Approach: name,
+			Stage:    stages[ni],
+			AccMean:  stats.Mean(s.acc), AccStd: stats.Std(s.acc),
+			DIMean: stats.Mean(s.di), DIStd: stats.Std(s.di),
+			TPRBMean: stats.Mean(s.tprb), TPRBStd: stats.Std(s.tprb),
+			F1Mean: stats.Mean(s.f1), F1Std: stats.Std(s.f1),
+		})
+	}
+	return out, nil
+}
+
+// EfficiencyPoint is one (training size, metrics) measurement.
+type EfficiencyPoint struct {
+	Size int
+	Row  Row
+}
+
+// DataEfficiency reproduces Figure 23: every approach is retrained on
+// growing training samples and evaluated on a fixed held-out test set.
+func DataEfficiency(src *synth.Source, sizes []int, names []string, seed int64) (map[string][]EfficiencyPoint, error) {
+	if names == nil {
+		names = append([]string{"LR"}, registry.Names...)
+	}
+	trainPool, test := src.Data.Split(0.7, rng.New(seed))
+	out := map[string][]EfficiencyPoint{}
+	for _, n := range sizes {
+		train := trainPool.Sample(n, rng.New(seed+int64(n)))
+		for _, name := range names {
+			a, err := registry.New(name, registry.Config{Graph: src.Graph, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			row, err := Evaluate(a, train, test, src.Graph)
+			if err != nil {
+				return nil, err
+			}
+			out[name] = append(out[name], EfficiencyPoint{Size: n, Row: row})
+		}
+	}
+	return out, nil
+}

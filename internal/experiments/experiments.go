@@ -1,0 +1,181 @@
+// Package experiments implements one driver per artifact of the paper's
+// evaluation (Section 4 and the appendix):
+//
+//	Figure 7    — correctness & fairness of all approaches × 3 datasets
+//	Figure 8    — efficiency & scalability vs data size and #attributes
+//	Figure 9    — robustness to the T1/T2/T3 data-error templates
+//	Figure 10   — sensitivity of pre/post approaches to the ML model
+//	Figures 16-18 — 5-fold cross-validation metric tables
+//	Figure 22   — stability over random train/test folds
+//	Figure 23   — data efficiency vs training-set size
+//
+// Every driver is deterministic given its seed and returns structured rows
+// the report package renders.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"fairbench/internal/causal"
+	"fairbench/internal/dataset"
+	"fairbench/internal/fair"
+	"fairbench/internal/metrics"
+	"fairbench/internal/registry"
+	"fairbench/internal/rng"
+	"fairbench/internal/synth"
+)
+
+// Row is the per-approach result of one evaluation run: the four
+// correctness metrics, the normalized fairness metrics, and the runtime
+// overhead over the fairness-unaware baseline (Section 4.3's accounting).
+type Row struct {
+	Approach string
+	Stage    string
+	Targets  []fair.Metric
+	Correct  metrics.Correctness
+	Fair     metrics.Normalized
+	// Seconds is the approach's wall time (fit + predict); Overhead is
+	// Seconds minus the baseline LR's on the same split.
+	Seconds, Overhead float64
+	// NoteNSF flags a Thomas run that fell back after failing its safety
+	// test.
+	NoteNSF bool
+}
+
+// Evaluate fits a on train, predicts test, and computes every metric.
+func Evaluate(a fair.Approach, train, test *dataset.Dataset, g *causal.Graph) (Row, error) {
+	start := time.Now()
+	if err := a.Fit(train); err != nil {
+		return Row{}, fmt.Errorf("%s: %w", a.Name(), err)
+	}
+	yhat, err := a.Predict(test)
+	if err != nil {
+		return Row{}, fmt.Errorf("%s: %w", a.Name(), err)
+	}
+	elapsed := time.Since(start).Seconds()
+	raw := metrics.ComputeFairness(test, yhat, a, g)
+	return Row{
+		Approach: a.Name(),
+		Stage:    a.Stage().String(),
+		Targets:  a.Targets(),
+		Correct:  metrics.ComputeCorrectness(test.Y, yhat),
+		Fair:     metrics.Normalize(raw),
+		Seconds:  elapsed,
+	}, nil
+}
+
+// CorrectnessFairness reproduces Figure 7 for one dataset: the baseline LR
+// followed by all 18 variants on a 70/30 split.
+func CorrectnessFairness(src *synth.Source, seed int64) ([]Row, error) {
+	train, test := src.Data.Split(0.7, rng.New(seed))
+	return evalAll(train, test, src.Graph, seed)
+}
+
+func evalAll(train, test *dataset.Dataset, g *causal.Graph, seed int64) ([]Row, error) {
+	names := append([]string{"LR"}, registry.Names...)
+	rows := make([]Row, 0, len(names))
+	var baseline float64
+	for _, name := range names {
+		a, err := registry.New(name, registry.Config{Graph: g, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		row, err := Evaluate(a, train, test, g)
+		if err != nil {
+			return nil, err
+		}
+		if name == "LR" {
+			baseline = row.Seconds
+		}
+		row.Overhead = row.Seconds - baseline
+		if row.Overhead < 0 {
+			row.Overhead = 0
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ScalabilityPoint is one (size or attribute count, overhead seconds)
+// measurement for one approach.
+type ScalabilityPoint struct {
+	X        int
+	Overhead float64
+}
+
+// ScalabilityRows reproduces Figure 8(a-c): runtime overhead as the number
+// of training points grows, on samples of the given dataset.
+func ScalabilityRows(src *synth.Source, sizes []int, names []string, seed int64) (map[string][]ScalabilityPoint, error) {
+	out := map[string][]ScalabilityPoint{}
+	for _, n := range sizes {
+		sample := src.Data.Sample(n, rng.New(seed+int64(n)))
+		train, test := sample.Split(0.7, rng.New(seed))
+		base, err := timeOne("LR", train, test, src.Graph, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			sec, err := timeOne(name, train, test, src.Graph, seed)
+			if err != nil {
+				return nil, err
+			}
+			ov := sec - base
+			if ov < 0 {
+				ov = 0
+			}
+			out[name] = append(out[name], ScalabilityPoint{X: n, Overhead: ov})
+		}
+	}
+	return out, nil
+}
+
+// ScalabilityAttrs reproduces Figure 8(d-f): runtime overhead as the
+// number of attributes grows, by projecting the dataset onto attribute
+// prefixes.
+func ScalabilityAttrs(src *synth.Source, attrCounts []int, names []string, sampleSize int, seed int64) (map[string][]ScalabilityPoint, error) {
+	out := map[string][]ScalabilityPoint{}
+	sample := src.Data.Sample(sampleSize, rng.New(seed))
+	for _, k := range attrCounts {
+		if k > sample.Dim() {
+			k = sample.Dim()
+		}
+		cols := make([]int, k)
+		for i := range cols {
+			cols[i] = i
+		}
+		proj := sample.ProjectAttrs(cols)
+		train, test := proj.Split(0.7, rng.New(seed))
+		base, err := timeOne("LR", train, test, src.Graph, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			sec, err := timeOne(name, train, test, src.Graph, seed)
+			if err != nil {
+				return nil, err
+			}
+			ov := sec - base
+			if ov < 0 {
+				ov = 0
+			}
+			out[name] = append(out[name], ScalabilityPoint{X: k, Overhead: ov})
+		}
+	}
+	return out, nil
+}
+
+func timeOne(name string, train, test *dataset.Dataset, g *causal.Graph, seed int64) (float64, error) {
+	a, err := registry.New(name, registry.Config{Graph: g, Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if err := a.Fit(train); err != nil {
+		return 0, fmt.Errorf("%s: %w", name, err)
+	}
+	if _, err := a.Predict(test); err != nil {
+		return 0, fmt.Errorf("%s: %w", name, err)
+	}
+	return time.Since(start).Seconds(), nil
+}

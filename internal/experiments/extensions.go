@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"fairbench/internal/registry"
+	"fairbench/internal/rng"
+	"fairbench/internal/synth"
+)
+
+// Extensions reproduces the appendix's Figure 15: the three additional
+// variants (Madras^dp, Agarwal^dp, Agarwal^eo) evaluated on one dataset
+// alongside the baseline, with the same protocol as Figure 7.
+func Extensions(src *synth.Source, seed int64) ([]Row, error) {
+	train, test := src.Data.Split(0.7, rng.New(seed))
+	names := append([]string{"LR"}, registry.ExtendedNames...)
+	rows := make([]Row, 0, len(names))
+	var baseline float64
+	for _, name := range names {
+		a, err := registry.New(name, registry.Config{Graph: src.Graph, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		row, err := Evaluate(a, train, test, src.Graph)
+		if err != nil {
+			return nil, err
+		}
+		if name == "LR" {
+			baseline = row.Seconds
+		}
+		row.Overhead = row.Seconds - baseline
+		if row.Overhead < 0 {
+			row.Overhead = 0
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

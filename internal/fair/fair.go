@@ -1,0 +1,310 @@
+// Package fair defines the paper's central abstraction: a fair
+// classification approach, characterized by the pipeline stage where its
+// fairness-enforcing mechanism applies (pre-, in-, or post-processing,
+// Section 3) and the fairness notion(s) it targets (Figure 5). The package
+// provides the stage wrappers that turn repairers and prediction adjusters
+// into complete approaches, and the fairness-unaware logistic-regression
+// baseline every experiment compares against.
+package fair
+
+import (
+	"fmt"
+
+	"fairbench/internal/classifier"
+	"fairbench/internal/dataset"
+	"fairbench/internal/rng"
+)
+
+// Stage is the pipeline stage where fairness is enforced.
+type Stage int
+
+const (
+	// StagePre repairs the training data before learning.
+	StagePre Stage = iota
+	// StageIn modifies the learning procedure itself.
+	StageIn
+	// StagePost modifies the predictions of a trained classifier.
+	StagePost
+	// StageNone marks the fairness-unaware baseline.
+	StageNone
+)
+
+// String returns the paper's name for the stage.
+func (s Stage) String() string {
+	switch s {
+	case StagePre:
+		return "pre"
+	case StageIn:
+		return "in"
+	case StagePost:
+		return "post"
+	default:
+		return "none"
+	}
+}
+
+// Metric names an evaluation fairness metric an approach optimizes for
+// (the ↑ arrows of Figure 7).
+type Metric string
+
+// The five evaluated fairness metrics (Figure 4).
+const (
+	MetricDI   Metric = "DI*"
+	MetricTPRB Metric = "1-|TPRB|"
+	MetricTNRB Metric = "1-|TNRB|"
+	MetricID   Metric = "1-ID"
+	MetricTE   Metric = "1-|TE|"
+)
+
+// Approach is a complete fair classification pipeline: Fit consumes
+// training data; Predict labels a test set; PredictOne labels a single
+// tuple with an explicit sensitive value (the hook the Individual
+// Discrimination metric uses to flip S).
+type Approach interface {
+	Name() string
+	Stage() Stage
+	// Targets lists the fairness metrics the approach optimizes for.
+	Targets() []Metric
+	Fit(train *dataset.Dataset) error
+	Predict(test *dataset.Dataset) ([]int, error)
+	PredictOne(x []float64, s int) int
+}
+
+// Repairer is a pre-processing mechanism: it repairs the training data so
+// a downstream classifier learns the target fairness notion.
+type Repairer interface {
+	RepairName() string
+	Repair(train *dataset.Dataset) (*dataset.Dataset, error)
+}
+
+// TestTransformer is implemented by repairers that also transform test
+// data (Feld and Calmon in the benchmark).
+type TestTransformer interface {
+	TransformRow(x []float64, s int) []float64
+}
+
+// Baseline is the fairness-unaware logistic regression the paper overlays
+// on every plot. The sensitive attribute is part of the feature vector.
+type Baseline struct {
+	Factory  classifier.Factory
+	IncludeS bool
+
+	clf classifier.Classifier
+	std *dataset.Standardizer
+}
+
+// NewBaseline returns the default LR baseline with S included.
+func NewBaseline() *Baseline {
+	return &Baseline{Factory: func() classifier.Classifier { return classifier.NewLogistic() }, IncludeS: true}
+}
+
+// Name implements Approach.
+func (b *Baseline) Name() string { return "LR" }
+
+// Stage implements Approach.
+func (b *Baseline) Stage() Stage { return StageNone }
+
+// Targets implements Approach: the baseline optimizes no fairness metric.
+func (b *Baseline) Targets() []Metric { return nil }
+
+// Fit trains the underlying classifier on standardized features.
+func (b *Baseline) Fit(train *dataset.Dataset) error {
+	if b.Factory == nil {
+		b.Factory = func() classifier.Classifier { return classifier.NewLogistic() }
+	}
+	work := train.Clone()
+	b.std = dataset.FitStandardizer(work)
+	b.std.Apply(work)
+	b.clf = b.Factory()
+	return b.clf.Fit(work.FeatureMatrix(b.IncludeS), work.Y, work.Weights)
+}
+
+// Predict labels every tuple of test.
+func (b *Baseline) Predict(test *dataset.Dataset) ([]int, error) {
+	if b.clf == nil {
+		return nil, fmt.Errorf("fair: baseline not fitted")
+	}
+	out := make([]int, test.Len())
+	for i := range out {
+		out[i] = b.PredictOne(test.X[i], test.S[i])
+	}
+	return out, nil
+}
+
+// PredictOne labels a single tuple.
+func (b *Baseline) PredictOne(x []float64, s int) int {
+	row := append([]float64(nil), x...)
+	b.std.ApplyRow(row)
+	return classifier.Predict(b.clf, dataset.FeatureRow(row, s, b.IncludeS))
+}
+
+// Proba returns the baseline's positive probability for one tuple.
+func (b *Baseline) Proba(x []float64, s int) float64 {
+	row := append([]float64(nil), x...)
+	b.std.ApplyRow(row)
+	return b.clf.PredictProba(dataset.FeatureRow(row, s, b.IncludeS))
+}
+
+// PreProcessed wraps a Repairer and a downstream classifier into a
+// complete pre-processing approach. Pre-processing is model-agnostic: the
+// Factory may build any classifier (Section 4.5 swaps it).
+type PreProcessed struct {
+	ApproachName string
+	Target       []Metric
+	Mechanism    Repairer
+	Factory      classifier.Factory
+	// IncludeS controls whether the downstream model sees S. Approaches
+	// like Feld drop it (their repair makes X independent of S).
+	IncludeS bool
+
+	clf classifier.Classifier
+	std *dataset.Standardizer
+}
+
+// Name implements Approach.
+func (p *PreProcessed) Name() string { return p.ApproachName }
+
+// Stage implements Approach.
+func (p *PreProcessed) Stage() Stage { return StagePre }
+
+// Targets implements Approach.
+func (p *PreProcessed) Targets() []Metric { return p.Target }
+
+// Fit repairs the training data and trains the downstream classifier.
+func (p *PreProcessed) Fit(train *dataset.Dataset) error {
+	if p.Factory == nil {
+		p.Factory = func() classifier.Classifier { return classifier.NewLogistic() }
+	}
+	repaired, err := p.Mechanism.Repair(train)
+	if err != nil {
+		return fmt.Errorf("%s: repair: %w", p.ApproachName, err)
+	}
+	p.std = dataset.FitStandardizer(repaired)
+	work := repaired.Clone()
+	p.std.Apply(work)
+	p.clf = p.Factory()
+	if err := p.clf.Fit(work.FeatureMatrix(p.IncludeS), work.Y, work.Weights); err != nil {
+		return fmt.Errorf("%s: fit: %w", p.ApproachName, err)
+	}
+	return nil
+}
+
+// Predict labels every tuple of test, applying the mechanism's test
+// transform when it has one.
+func (p *PreProcessed) Predict(test *dataset.Dataset) ([]int, error) {
+	if p.clf == nil {
+		return nil, fmt.Errorf("%s: not fitted", p.ApproachName)
+	}
+	out := make([]int, test.Len())
+	for i := range out {
+		out[i] = p.PredictOne(test.X[i], test.S[i])
+	}
+	return out, nil
+}
+
+// PredictOne labels one tuple.
+func (p *PreProcessed) PredictOne(x []float64, s int) int {
+	return p.PredictIntervened(x, s, s)
+}
+
+// PredictIntervened labels one tuple whose true group is sTrue while the
+// classifier is shown sInput as the sensitive value. Group-dependent test
+// transforms (Feld, Calmon) always use the true group, so approaches that
+// drop S from the features trivially satisfy the ID metric, as the paper
+// observes (Section 4.2).
+func (p *PreProcessed) PredictIntervened(x []float64, sTrue, sInput int) int {
+	row := x
+	if t, ok := p.Mechanism.(TestTransformer); ok {
+		row = t.TransformRow(x, sTrue)
+	}
+	row = append([]float64(nil), row...)
+	p.std.ApplyRow(row)
+	return classifier.Predict(p.clf, dataset.FeatureRow(row, sInput, p.IncludeS))
+}
+
+// Adjuster is a post-processing mechanism: given a trained base model's
+// probabilities on labeled data, it fits a group-dependent adjustment of
+// predictions.
+type Adjuster interface {
+	AdjustName() string
+	// FitAdjust learns the adjustment from training labels, sensitive
+	// values, and base probabilities.
+	FitAdjust(train *dataset.Dataset, proba []float64) error
+	// AdjustedProba maps a base probability to the adjusted probability of
+	// a positive prediction for group s.
+	AdjustedProba(p float64, s int) float64
+}
+
+// PostProcessed wraps a base classifier and an Adjuster into a complete
+// post-processing approach. Randomized adjusters (Hardt, Pleiss) realize
+// their mixing probabilities by seeded sampling in Predict; PredictOne
+// thresholds the adjusted probability, exposing the deterministic
+// group-dependent decision rule to the ID metric.
+type PostProcessed struct {
+	ApproachName string
+	Target       []Metric
+	Mechanism    Adjuster
+	Factory      classifier.Factory
+	IncludeS     bool
+	Seed         int64
+
+	base *Baseline
+}
+
+// Name implements Approach.
+func (p *PostProcessed) Name() string { return p.ApproachName }
+
+// Stage implements Approach.
+func (p *PostProcessed) Stage() Stage { return StagePost }
+
+// Targets implements Approach.
+func (p *PostProcessed) Targets() []Metric { return p.Target }
+
+// Fit trains the base model on 70% of the training data and fits the
+// adjuster on the remaining held-out 30%. Fitting the adjustment on data
+// the base model has not memorized keeps the derived rates calibrated for
+// deployment — with overfitting-prone bases (deep random forests) the
+// training-set confusion matrix is near-perfect and would mislead the
+// adjuster, which is exactly why post-processing methods fit on holdouts.
+func (p *PostProcessed) Fit(train *dataset.Dataset) error {
+	p.base = &Baseline{Factory: p.Factory, IncludeS: p.IncludeS}
+	if p.base.Factory == nil {
+		p.base.Factory = func() classifier.Classifier { return classifier.NewLogistic() }
+	}
+	fitPart, valPart := train.Split(0.7, rng.New(p.Seed+977))
+	if err := p.base.Fit(fitPart); err != nil {
+		return fmt.Errorf("%s: base fit: %w", p.ApproachName, err)
+	}
+	proba := make([]float64, valPart.Len())
+	for i := range proba {
+		proba[i] = p.base.Proba(valPart.X[i], valPart.S[i])
+	}
+	if err := p.Mechanism.FitAdjust(valPart, proba); err != nil {
+		return fmt.Errorf("%s: adjust fit: %w", p.ApproachName, err)
+	}
+	return nil
+}
+
+// Predict labels the test set, sampling randomized adjustments with a
+// seeded generator so runs are reproducible.
+func (p *PostProcessed) Predict(test *dataset.Dataset) ([]int, error) {
+	if p.base == nil {
+		return nil, fmt.Errorf("%s: not fitted", p.ApproachName)
+	}
+	g := rng.New(p.Seed + 1)
+	out := make([]int, test.Len())
+	for i := range out {
+		ap := p.Mechanism.AdjustedProba(p.base.Proba(test.X[i], test.S[i]), test.S[i])
+		out[i] = g.Bernoulli(ap)
+	}
+	return out, nil
+}
+
+// PredictOne thresholds the adjusted probability at 0.5.
+func (p *PostProcessed) PredictOne(x []float64, s int) int {
+	ap := p.Mechanism.AdjustedProba(p.base.Proba(x, s), s)
+	if ap >= 0.5 {
+		return 1
+	}
+	return 0
+}

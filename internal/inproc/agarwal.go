@@ -1,0 +1,266 @@
+package inproc
+
+import (
+	"fmt"
+	"math"
+
+	"fairbench/internal/dataset"
+	"fairbench/internal/fair"
+	"fairbench/internal/optimize"
+)
+
+// AgarwalNotion selects the constraint an Agarwal instance enforces.
+type AgarwalNotion int
+
+const (
+	// AgarwalDP enforces demographic parity.
+	AgarwalDP AgarwalNotion = iota
+	// AgarwalEO enforces equalized odds.
+	AgarwalEO
+)
+
+// Agarwal implements Agarwal et al.'s reductions approach — the additional
+// in-processing method of the paper's appendix (Figure 15, Agarwal^dp and
+// Agarwal^eo): fair classification reduces to a sequence of cost-sensitive
+// problems via exponentiated-gradient updates on the Lagrange multipliers
+// of the group-rate constraints. Each inner step trains a weighted
+// logistic learner whose per-tuple costs embed the current multipliers;
+// the final classifier is the average of the iterates (a randomized
+// classifier in the original; thresholded mean probability here).
+type Agarwal struct {
+	Notion AgarwalNotion
+	// Eps is the allowed constraint violation (default 0.02).
+	Eps float64
+	// Rounds of exponentiated gradient (default 8).
+	Rounds int
+	// EtaEG is the multiplier learning rate (default 2.0).
+	EtaEG float64
+
+	base   linearBase
+	models [][]float64
+}
+
+// Name implements fair.Approach.
+func (a *Agarwal) Name() string {
+	if a.Notion == AgarwalEO {
+		return "Agarwal-EO"
+	}
+	return "Agarwal-DP"
+}
+
+// Stage implements fair.Approach.
+func (a *Agarwal) Stage() fair.Stage { return fair.StageIn }
+
+// Targets implements fair.Approach.
+func (a *Agarwal) Targets() []fair.Metric {
+	if a.Notion == AgarwalEO {
+		return []fair.Metric{fair.MetricTPRB, fair.MetricTNRB}
+	}
+	return []fair.Metric{fair.MetricDI}
+}
+
+// constraintViolations measures the signed group-rate gaps of predictions:
+// one gap for DP, two (TPR, TNR) for EO.
+func (a *Agarwal) constraintViolations(preds []int, y, s []int) []float64 {
+	var pos, tot [2]float64
+	var tp, pn, tn, nn [2]float64
+	for i, p := range preds {
+		g := s[i]
+		tot[g]++
+		if p == 1 {
+			pos[g]++
+		}
+		if y[i] == 1 {
+			pn[g]++
+			if p == 1 {
+				tp[g]++
+			}
+		} else {
+			nn[g]++
+			if p == 0 {
+				tn[g]++
+			}
+		}
+	}
+	rate := func(num, den [2]float64) float64 {
+		r0, r1 := 0.0, 0.0
+		if den[0] > 0 {
+			r0 = num[0] / den[0]
+		}
+		if den[1] > 0 {
+			r1 = num[1] / den[1]
+		}
+		return r1 - r0
+	}
+	if a.Notion == AgarwalDP {
+		return []float64{rate(pos, tot)}
+	}
+	return []float64{rate(tp, pn), rate(tn, nn)}
+}
+
+// Fit implements fair.Approach.
+func (a *Agarwal) Fit(train *dataset.Dataset) error {
+	if a.Eps == 0 {
+		a.Eps = 0.02
+	}
+	if a.Rounds == 0 {
+		a.Rounds = 8
+	}
+	if a.EtaEG == 0 {
+		a.EtaEG = 2.0
+	}
+	a.base.includeS = false
+	x := a.base.designMatrix(train)
+	y, s := train.Y, train.S
+	n := len(x)
+	dim := len(x[0])
+
+	nCons := 1
+	if a.Notion == AgarwalEO {
+		nCons = 2
+	}
+	// Signed multipliers, one per constraint (positive pushes group-1
+	// rates down, negative pushes them up).
+	lambda := make([]float64, nCons)
+	weights := make([]float64, n)
+	w := make([]float64, dim+1)
+	a.models = nil
+
+	for round := 0; round < a.Rounds; round++ {
+		// Cost-sensitive weights from the current multipliers: tuples in
+		// group 1 (resp. 0) have the cost of a positive prediction
+		// shifted by +lambda (resp. -lambda), realized here as label-
+		// conditional instance reweighting.
+		for i := range weights {
+			weights[i] = 1
+			sign := 1.0
+			if s[i] == 0 {
+				sign = -1
+			}
+			var shift float64
+			if a.Notion == AgarwalDP {
+				shift = sign * lambda[0]
+			} else {
+				if y[i] == 1 {
+					shift = sign * lambda[0]
+				} else {
+					shift = -sign * lambda[1]
+				}
+			}
+			// A positive shift penalizes positive predictions: emphasize
+			// the negative label direction by weighting.
+			if y[i] == 1 {
+				weights[i] = math.Exp(-shift)
+			} else {
+				weights[i] = math.Exp(shift)
+			}
+			weights[i] = math.Min(8, math.Max(1.0/8, weights[i]))
+		}
+		obj := func(wv, grad []float64) float64 {
+			for j := range grad {
+				grad[j] = 0
+			}
+			var loss, tw float64
+			d := len(wv) - 1
+			for i, row := range x {
+				z := wv[d]
+				for j, v := range row {
+					z += wv[j] * v
+				}
+				p := sigmoid(z)
+				yi := float64(y[i])
+				loss += weights[i] * logLoss(p, yi)
+				gval := weights[i] * (p - yi)
+				for j, v := range row {
+					grad[j] += gval * v
+				}
+				grad[d] += gval
+				tw += weights[i]
+			}
+			if tw > 0 {
+				loss /= tw
+				for j := range grad {
+					grad[j] /= tw
+				}
+			}
+			return loss
+		}
+		w, _ = optimize.Adam(obj, w, optimize.AdamConfig{MaxIter: 250})
+		a.models = append(a.models, append([]float64(nil), w...))
+
+		// Exponentiated-gradient step on the averaged classifier's
+		// violations.
+		preds := a.averagePreds(x)
+		viols := a.constraintViolations(preds, y, s)
+		converged := true
+		for c, v := range viols {
+			if math.Abs(v) > a.Eps {
+				converged = false
+			}
+			lambda[c] += a.EtaEG * v
+			lambda[c] = math.Min(10, math.Max(-10, lambda[c]))
+		}
+		if converged {
+			break
+		}
+	}
+	return nil
+}
+
+func (a *Agarwal) averagePreds(x [][]float64) []int {
+	out := make([]int, len(x))
+	for i, row := range x {
+		var sum float64
+		for _, w := range a.models {
+			d := len(w) - 1
+			z := w[d]
+			for j, v := range row {
+				z += w[j] * v
+			}
+			sum += sigmoid(z)
+		}
+		if sum/float64(len(a.models)) >= 0.5 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Predict implements fair.Approach.
+func (a *Agarwal) Predict(test *dataset.Dataset) ([]int, error) {
+	if len(a.models) == 0 {
+		return nil, fmt.Errorf("%s: not fitted", a.Name())
+	}
+	out := make([]int, test.Len())
+	for i := range out {
+		out[i] = a.PredictOne(test.X[i], test.S[i])
+	}
+	return out, nil
+}
+
+// PredictOne implements fair.Approach; S is not a feature, so Agarwal
+// trivially satisfies the ID metric.
+func (a *Agarwal) PredictOne(x []float64, s int) int {
+	row := a.base.row(x, s)
+	var sum float64
+	for _, w := range a.models {
+		d := len(w) - 1
+		z := w[d]
+		for j, v := range row {
+			if j < d {
+				z += w[j] * v
+			}
+		}
+		sum += sigmoid(z)
+	}
+	if sum/float64(len(a.models)) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// NewAgarwalDP returns the appendix's Agarwal^dp approach.
+func NewAgarwalDP() fair.Approach { return &Agarwal{Notion: AgarwalDP} }
+
+// NewAgarwalEO returns the appendix's Agarwal^eo approach.
+func NewAgarwalEO() fair.Approach { return &Agarwal{Notion: AgarwalEO} }

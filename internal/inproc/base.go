@@ -1,0 +1,102 @@
+// Package inproc implements the five in-processing approaches of the
+// benchmark (Figure 5, "in" rows): the Zafar decision-boundary-covariance
+// family, Zha-Le adversarial learning, Kearns subgroup-fairness auditing,
+// the Celis meta-algorithm, and the Thomas Seldonian framework. Each
+// approach embeds fairness into the training procedure itself and
+// implements fair.Approach directly.
+package inproc
+
+import (
+	"fairbench/internal/dataset"
+	"fairbench/internal/matrix"
+)
+
+// linearBase holds the shared state of the linear in-processing models:
+// a fitted standardizer and a weight vector over the (standardized)
+// features with the intercept last. Whether S is part of the features is a
+// per-approach decision; Zafar's family excludes it (S appears only in the
+// fairness constraint), matching the original formulation.
+type linearBase struct {
+	std      *dataset.Standardizer
+	w        []float64
+	includeS bool
+}
+
+// designMatrix standardizes train in place of a clone and returns the
+// feature rows used for optimization.
+func (b *linearBase) designMatrix(train *dataset.Dataset) [][]float64 {
+	work := train.Clone()
+	b.std = dataset.FitStandardizer(work)
+	b.std.Apply(work)
+	return work.FeatureMatrix(b.includeS)
+}
+
+// row builds a standardized prediction row for raw features x and
+// sensitive value s.
+func (b *linearBase) row(x []float64, s int) []float64 {
+	r := append([]float64(nil), x...)
+	b.std.ApplyRow(r)
+	return dataset.FeatureRow(r, s, b.includeS)
+}
+
+// score returns the signed distance proxy wᵀx + intercept.
+func (b *linearBase) score(row []float64) float64 {
+	d := len(b.w) - 1
+	z := b.w[d]
+	for j := 0; j < d && j < len(row); j++ {
+		z += b.w[j] * row[j]
+	}
+	return z
+}
+
+// predictOne thresholds the linear score at zero.
+func (b *linearBase) predictOne(x []float64, s int) int {
+	if b.w == nil {
+		return 0
+	}
+	if b.score(b.row(x, s)) >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// predictAll labels a full dataset.
+func (b *linearBase) predictAll(d *dataset.Dataset) []int {
+	out := make([]int, d.Len())
+	for i := range out {
+		out[i] = b.predictOne(d.X[i], d.S[i])
+	}
+	return out
+}
+
+// logLossAndGrad accumulates the weighted logistic loss and its gradient
+// over rows x with labels y; grad must be pre-zeroed and sized len(w).
+func logLossAndGrad(w []float64, x [][]float64, y []int, grad []float64) float64 {
+	d := len(w) - 1
+	var loss float64
+	n := float64(len(x))
+	for i, row := range x {
+		z := w[d]
+		for j, v := range row {
+			z += w[j] * v
+		}
+		p := matrix.Sigmoid(z)
+		yi := float64(y[i])
+		loss += logLoss(p, yi)
+		g := (p - yi) / n
+		for j, v := range row {
+			grad[j] += g * v
+		}
+		grad[d] += g
+	}
+	return loss / n
+}
+
+func logLoss(p, y float64) float64 {
+	const eps = 1e-12
+	p = matrix.Clamp(p, eps, 1-eps)
+	if y >= 0.5 {
+		return -ln(p)
+	}
+	return -ln(1 - p)
+}

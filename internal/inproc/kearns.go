@@ -1,0 +1,306 @@
+package inproc
+
+import (
+	"fmt"
+	"math"
+
+	"fairbench/internal/dataset"
+	"fairbench/internal/fair"
+	"fairbench/internal/optimize"
+)
+
+// Kearns implements Kearns et al.'s subgroup-fairness learner for
+// predictive equality (the evaluated Kearns^pe variant): the false
+// positive rate of every subgroup in a rich class G must approximately
+// match the population FPR. Training is the fictitious-play dynamic of the
+// original: a learner best-responds with a cost-sensitive classifier while
+// an auditor finds the currently worst-violating subgroup and reweights
+// it; the final model averages the learner's iterates.
+//
+// The subgroup class G contains conjunctions of up to two conditions over
+// the sensitive attribute and the (binarized) dataset attributes.
+type Kearns struct {
+	// Gamma is the violation tolerance (source-code default 0.005).
+	Gamma float64
+	// Rounds is the number of fictitious-play iterations (default 8).
+	Rounds int
+	// Eta scales the auditor's reweighting (default 2.0).
+	Eta float64
+
+	base    linearBase
+	models  [][]float64 // learner iterates (weights incl. intercept)
+	subDefs []subgroup
+}
+
+type subgroup struct {
+	desc  string
+	match func(x []float64, s int) bool
+}
+
+// Name implements fair.Approach.
+func (k *Kearns) Name() string { return "Kearns-PE" }
+
+// Stage implements fair.Approach.
+func (k *Kearns) Stage() fair.Stage { return fair.StageIn }
+
+// Targets implements fair.Approach: predictive equality equalizes FPR,
+// i.e. the TNR balance.
+func (k *Kearns) Targets() []fair.Metric { return []fair.Metric{fair.MetricTNRB} }
+
+// buildSubgroups enumerates the audit class over the training data:
+// {S=0, S=1} × {attr above/below median, each categorical value}, plus the
+// single-condition groups.
+func (k *Kearns) buildSubgroups(train *dataset.Dataset) []subgroup {
+	var conds []subgroup
+	for si := 0; si < 2; si++ {
+		s := si
+		conds = append(conds, subgroup{
+			desc:  fmt.Sprintf("S=%d", s),
+			match: func(_ []float64, sv int) bool { return sv == s },
+		})
+	}
+	for j, a := range train.Attrs {
+		j := j
+		if a.Kind == dataset.Numeric {
+			col := train.Column(j)
+			var sum float64
+			for _, v := range col {
+				sum += v
+			}
+			med := sum / float64(len(col))
+			conds = append(conds, subgroup{
+				desc:  fmt.Sprintf("%s<=%.3g", a.Name, med),
+				match: func(x []float64, _ int) bool { return x[j] <= med },
+			})
+		} else {
+			for v := 0; v < a.Card && v < 4; v++ {
+				v := float64(v)
+				conds = append(conds, subgroup{
+					desc:  fmt.Sprintf("%s=%v", a.Name, v),
+					match: func(x []float64, _ int) bool { return x[j] == v },
+				})
+			}
+		}
+	}
+	// Pairwise conjunctions of a sensitive condition with an attribute
+	// condition (the "gerrymandered" subgroups of the paper's title).
+	out := append([]subgroup(nil), conds...)
+	for si := 0; si < 2; si++ {
+		s := si
+		for _, c := range conds[2:] {
+			c := c
+			out = append(out, subgroup{
+				desc: fmt.Sprintf("S=%d & %s", s, c.desc),
+				match: func(x []float64, sv int) bool {
+					return sv == s && c.match(x, sv)
+				},
+			})
+		}
+	}
+	return out
+}
+
+// Fit implements fair.Approach.
+func (k *Kearns) Fit(train *dataset.Dataset) error {
+	if k.Gamma == 0 {
+		k.Gamma = 0.005
+	}
+	if k.Rounds == 0 {
+		k.Rounds = 8
+	}
+	if k.Eta == 0 {
+		k.Eta = 2.0
+	}
+	k.base.includeS = true
+	x := k.base.designMatrix(train)
+	y := train.Y
+	n := len(x)
+	dim := len(x[0])
+	k.subDefs = k.buildSubgroups(train)
+
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	k.models = nil
+	w := make([]float64, dim+1)
+	for round := 0; round < k.Rounds; round++ {
+		// Learner best response: weighted logistic regression.
+		obj := func(wv, grad []float64) float64 {
+			for j := range grad {
+				grad[j] = 0
+			}
+			var loss float64
+			var tw float64
+			d := len(wv) - 1
+			for i, row := range x {
+				z := wv[d]
+				for j, v := range row {
+					z += wv[j] * v
+				}
+				p := sigmoid(z)
+				yi := float64(y[i])
+				loss += weights[i] * logLoss(p, yi)
+				g := weights[i] * (p - yi)
+				for j, v := range row {
+					grad[j] += g * v
+				}
+				grad[d] += g
+				tw += weights[i]
+			}
+			if tw > 0 {
+				loss /= tw
+				for j := range grad {
+					grad[j] /= tw
+				}
+			}
+			return loss
+		}
+		w, _ = optimize.Adam(obj, w, optimize.AdamConfig{MaxIter: 250})
+		k.models = append(k.models, append([]float64(nil), w...))
+
+		// Auditor: find the subgroup with the largest alpha-weighted FPR
+		// violation under the averaged model so far.
+		preds := k.averagePreds(x, train.S)
+		popFP, popN := 0.0, 0.0
+		for i := range x {
+			if y[i] == 0 {
+				popN++
+				if preds[i] == 1 {
+					popFP++
+				}
+			}
+		}
+		popFPR := 0.0
+		if popN > 0 {
+			popFPR = popFP / popN
+		}
+		worst := -1
+		worstViol := k.Gamma
+		var worstDir float64
+		for gi, sg := range k.subDefs {
+			var fp, neg, size float64
+			for i := range x {
+				if !sg.match(train.X[i], train.S[i]) {
+					continue
+				}
+				size++
+				if y[i] == 0 {
+					neg++
+					if preds[i] == 1 {
+						fp++
+					}
+				}
+			}
+			if neg < 10 {
+				continue
+			}
+			alpha := size / float64(n)
+			fpr := fp / neg
+			viol := alpha * math.Abs(fpr-popFPR)
+			if viol > worstViol {
+				worstViol = viol
+				worst = gi
+				worstDir = fpr - popFPR
+			}
+		}
+		if worst < 0 {
+			break // within tolerance everywhere
+		}
+		// Reweight: raise the cost of negatives in the violating subgroup
+		// (to push its FPR down) or lower it (to let it rise).
+		sg := k.subDefs[worst]
+		for i := range x {
+			if y[i] == 0 && sg.match(train.X[i], train.S[i]) {
+				if worstDir > 0 {
+					weights[i] *= k.Eta
+				} else {
+					weights[i] /= k.Eta
+				}
+			}
+		}
+		// Renormalize the negatives' total weight back to the negative
+		// count so the fictitious play only shifts FPR pressure between
+		// subgroups without shifting the global class prior (unchecked
+		// prior drift collapses the learner to a constant classifier).
+		var negSum, negN float64
+		for i := range x {
+			if y[i] == 0 {
+				negSum += weights[i]
+				negN++
+			}
+		}
+		if negSum > 0 {
+			scale := negN / negSum
+			for i := range x {
+				if y[i] == 0 {
+					weights[i] = math.Min(8, math.Max(1.0/8, weights[i]*scale))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// averagePreds thresholds the mean score across learner iterates.
+func (k *Kearns) averagePreds(x [][]float64, s []int) []int {
+	out := make([]int, len(x))
+	for i, row := range x {
+		var sum float64
+		for _, w := range k.models {
+			d := len(w) - 1
+			z := w[d]
+			for j, v := range row {
+				z += w[j] * v
+			}
+			sum += sigmoid(z)
+		}
+		if sum/float64(len(k.models)) >= 0.5 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Predict implements fair.Approach.
+func (k *Kearns) Predict(test *dataset.Dataset) ([]int, error) {
+	if len(k.models) == 0 {
+		return nil, fmt.Errorf("%s: not fitted", k.Name())
+	}
+	out := make([]int, test.Len())
+	for i := range out {
+		out[i] = k.PredictOne(test.X[i], test.S[i])
+	}
+	return out, nil
+}
+
+// PredictOne implements fair.Approach.
+func (k *Kearns) PredictOne(x []float64, s int) int {
+	row := k.base.row(x, s)
+	var sum float64
+	for _, w := range k.models {
+		d := len(w) - 1
+		z := w[d]
+		for j, v := range row {
+			if j < d {
+				z += w[j] * v
+			}
+		}
+		sum += sigmoid(z)
+	}
+	if sum/float64(len(k.models)) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// NewKearns returns the evaluated Kearns^pe approach.
+func NewKearns() fair.Approach { return &Kearns{} }

@@ -1,0 +1,286 @@
+package inproc
+
+import (
+	"fmt"
+	"math"
+
+	"fairbench/internal/dataset"
+	"fairbench/internal/fair"
+	"fairbench/internal/optimize"
+	"fairbench/internal/rng"
+	"fairbench/internal/stats"
+)
+
+// ThomasNotion selects the fairness notion a Thomas instance enforces.
+type ThomasNotion int
+
+const (
+	// ThomasDP enforces demographic parity.
+	ThomasDP ThomasNotion = iota
+	// ThomasEO enforces equalized odds (both TPR and TNR balance).
+	ThomasEO
+)
+
+// Thomas implements Thomas et al.'s Seldonian framework: the training data
+// is split into a candidate-selection set and a safety set. Candidate
+// selection minimizes the prediction loss plus a barrier on the predicted
+// upper bound of the fairness violation; the safety test then certifies —
+// via a Hoeffding (1-delta)-confidence upper bound computed on held-out
+// data — that the worst-case violation stays below the threshold. If the
+// test fails, the candidate is rejected and the search resumes with a
+// stronger barrier; if no candidate ever passes, the fairest rejected
+// candidate is returned (flagged by NoSolutionFound).
+type Thomas struct {
+	Notion ThomasNotion
+	// Delta is the confidence parameter (paper: 0.05).
+	Delta float64
+	// Threshold is the allowed violation (default 0.05).
+	Threshold float64
+	// MaxAttempts bounds the candidate search (default 5).
+	MaxAttempts int
+	// Seed drives the candidate/safety split.
+	Seed int64
+
+	base linearBase
+	// NoSolutionFound records that every candidate failed the safety test
+	// and the returned model is the best-effort fallback.
+	NoSolutionFound bool
+}
+
+// Name implements fair.Approach.
+func (t *Thomas) Name() string {
+	if t.Notion == ThomasEO {
+		return "Thomas-EO"
+	}
+	return "Thomas-DP"
+}
+
+// Stage implements fair.Approach.
+func (t *Thomas) Stage() fair.Stage { return fair.StageIn }
+
+// Targets implements fair.Approach.
+func (t *Thomas) Targets() []fair.Metric {
+	if t.Notion == ThomasEO {
+		return []fair.Metric{fair.MetricTPRB, fair.MetricTNRB}
+	}
+	return []fair.Metric{fair.MetricDI}
+}
+
+// violations returns the smooth per-notion violation terms of weights w on
+// rows x: probability-scale group gaps whose absolute values the barrier
+// penalizes and the safety test bounds.
+func (t *Thomas) violations(w []float64, x [][]float64, y, s []int) []float64 {
+	d := len(w) - 1
+	var pos, tot [2]float64
+	var tpSum, tpN, tnSum, tnN [2]float64
+	for i, row := range x {
+		z := w[d]
+		for j, v := range row {
+			z += w[j] * v
+		}
+		p := sigmoid(z)
+		g := s[i]
+		pos[g] += p
+		tot[g]++
+		if y[i] == 1 {
+			tpSum[g] += p
+			tpN[g]++
+		} else {
+			tnSum[g] += 1 - p
+			tnN[g]++
+		}
+	}
+	rate := func(sum, n [2]float64) float64 {
+		a, b := 0.0, 0.0
+		if n[0] > 0 {
+			a = sum[0] / n[0]
+		}
+		if n[1] > 0 {
+			b = sum[1] / n[1]
+		}
+		return b - a
+	}
+	if t.Notion == ThomasDP {
+		return []float64{rate(pos, tot)}
+	}
+	return []float64{rate(tpSum, tpN), rate(tnSum, tnN)}
+}
+
+// safetyTest computes Hoeffding (1-delta) upper bounds on each violation's
+// absolute value over the safety set and reports whether all stay below
+// the threshold.
+func (t *Thomas) safetyTest(w []float64, x [][]float64, y, s []int) bool {
+	viols := t.violations(w, x, y, s)
+	// Conservative per-group counts for the bound width.
+	n0, n1 := 0, 0
+	for _, si := range s {
+		if si == 1 {
+			n1++
+		} else {
+			n0++
+		}
+	}
+	nMin := n0
+	if n1 < nMin {
+		nMin = n1
+	}
+	if nMin == 0 {
+		return false
+	}
+	// The Hoeffding width is the bound's irreducible resolution: on small
+	// safety sets (German) no candidate could ever certify a threshold
+	// below it, so the acceptable level is the threshold or the resolution,
+	// whichever is larger.
+	width := math.Sqrt(math.Log(1/t.Delta) / (2 * float64(nMin)))
+	accept := math.Max(t.Threshold, 1.5*width)
+	for _, v := range viols {
+		if stats.HoeffdingUpper(math.Abs(v), nMin, 0, 1, t.Delta)-width > accept {
+			return false
+		}
+	}
+	return true
+}
+
+// Fit implements fair.Approach.
+func (t *Thomas) Fit(train *dataset.Dataset) error {
+	if t.Delta == 0 {
+		t.Delta = 0.05
+	}
+	if t.Threshold == 0 {
+		t.Threshold = 0.05
+	}
+	if t.MaxAttempts == 0 {
+		t.MaxAttempts = 5
+	}
+	t.base.includeS = false
+	x := t.base.designMatrix(train)
+	y, s := train.Y, train.S
+	n := len(x)
+	dim := len(x[0])
+
+	// Candidate/safety split (60/40).
+	g := rng.New(t.Seed)
+	perm := g.Perm(n)
+	cut := n * 3 / 5
+	candIdx, safeIdx := perm[:cut], perm[cut:]
+	sel := func(idx []int) ([][]float64, []int, []int) {
+		xs := make([][]float64, len(idx))
+		ys := make([]int, len(idx))
+		ss := make([]int, len(idx))
+		for k, i := range idx {
+			xs[k], ys[k], ss[k] = x[i], y[i], s[i]
+		}
+		return xs, ys, ss
+	}
+	cx, cy, cs := sel(candIdx)
+	sx, sy, ssv := sel(safeIdx)
+
+	barrier := 5.0
+	var wBest []float64
+	bestViol := math.Inf(1)
+	t.NoSolutionFound = true
+	w := make([]float64, dim+1)
+	for attempt := 0; attempt < t.MaxAttempts; attempt++ {
+		obj := func(wv, grad []float64) float64 {
+			for j := range grad {
+				grad[j] = 0
+			}
+			loss := logLossAndGrad(wv, cx, cy, grad)
+			// Barrier on the squared smooth violations, with the analytic
+			// chain-rule gradient through the per-sample sigmoids.
+			viols := t.violations(wv, cx, cy, cs)
+			var pen float64
+			for _, v := range viols {
+				pen += v * v
+			}
+			t.addViolationGrad(wv, cx, cy, cs, viols, barrier, grad)
+			return loss + barrier*pen
+		}
+		w, _ = optimize.Adam(obj, w, optimize.AdamConfig{MaxIter: 400})
+
+		if t.safetyTest(w, sx, sy, ssv) {
+			t.base.w = w
+			t.NoSolutionFound = false
+			return nil
+		}
+		// Track the fairest rejected candidate as fallback.
+		viols := t.violations(w, sx, sy, ssv)
+		var worst float64
+		for _, v := range viols {
+			worst = math.Max(worst, math.Abs(v))
+		}
+		if worst < bestViol {
+			bestViol = worst
+			wBest = append([]float64(nil), w...)
+		}
+		barrier *= 4
+	}
+	t.base.w = wBest
+	return nil
+}
+
+// addViolationGrad adds the analytic gradient of barrier * sum(v^2) where
+// each v is a difference of group-mean sigmoid terms.
+func (t *Thomas) addViolationGrad(w []float64, x [][]float64, y, s []int, viols []float64, barrier float64, grad []float64) {
+	d := len(w) - 1
+	var tot [2]float64
+	var tpN, tnN [2]float64
+	for i := range x {
+		tot[s[i]]++
+		if y[i] == 1 {
+			tpN[s[i]]++
+		} else {
+			tnN[s[i]]++
+		}
+	}
+	for i, row := range x {
+		z := w[d]
+		for j, v := range row {
+			z += w[j] * v
+		}
+		p := sigmoid(z)
+		dp := p * (1 - p)
+		g := s[i]
+		sign := 1.0
+		if g == 0 {
+			sign = -1
+		}
+		var coef float64
+		if t.Notion == ThomasDP {
+			if tot[g] > 0 {
+				coef = 2 * barrier * viols[0] * sign * dp / tot[g]
+			}
+		} else {
+			if y[i] == 1 && tpN[g] > 0 {
+				coef = 2 * barrier * viols[0] * sign * dp / tpN[g]
+			} else if y[i] == 0 && tnN[g] > 0 {
+				// TNR term uses 1-p, flipping the derivative sign.
+				coef = -2 * barrier * viols[1] * sign * dp / tnN[g]
+			}
+		}
+		if coef == 0 {
+			continue
+		}
+		for j, v := range row {
+			grad[j] += coef * v
+		}
+		grad[d] += coef
+	}
+}
+
+// Predict implements fair.Approach.
+func (t *Thomas) Predict(test *dataset.Dataset) ([]int, error) {
+	if t.base.w == nil {
+		return nil, fmt.Errorf("%s: not fitted", t.Name())
+	}
+	return t.base.predictAll(test), nil
+}
+
+// PredictOne implements fair.Approach.
+func (t *Thomas) PredictOne(x []float64, s int) int { return t.base.predictOne(x, s) }
+
+// NewThomasDP returns the evaluated Thomas^dp approach.
+func NewThomasDP(seed int64) fair.Approach { return &Thomas{Notion: ThomasDP, Seed: seed} }
+
+// NewThomasEO returns the evaluated Thomas^eo approach.
+func NewThomasEO(seed int64) fair.Approach { return &Thomas{Notion: ThomasEO, Seed: seed} }

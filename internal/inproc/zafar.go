@@ -1,0 +1,236 @@
+package inproc
+
+import (
+	"fmt"
+	"math"
+
+	"fairbench/internal/dataset"
+	"fairbench/internal/fair"
+	"fairbench/internal/matrix"
+	"fairbench/internal/optimize"
+)
+
+// ln aliases math.Log for compact loss expressions.
+func ln(v float64) float64 { return math.Log(v) }
+
+// ZafarMode selects among the three evaluated Zafar variants.
+type ZafarMode int
+
+const (
+	// ZafarDPFair maximizes accuracy under a demographic-parity proxy
+	// constraint (Zafar^dp_Fair).
+	ZafarDPFair ZafarMode = iota
+	// ZafarDPAcc maximizes fairness under an accuracy constraint
+	// (Zafar^dp_Acc).
+	ZafarDPAcc
+	// ZafarEOFair maximizes accuracy under an equalized-odds proxy
+	// constraint computed over misclassified tuples (Zafar^eo_Fair).
+	ZafarEOFair
+)
+
+// Zafar implements Zafar et al.'s fairness-constrained logistic
+// classifiers. The fairness proxy is the empirical covariance between the
+// sensitive attribute and the tuple's signed distance to the decision
+// boundary:
+//
+//	cov = (1/|D|) Σ_t (S_t - S̄) d_θ(X_t)
+//
+// (for the eo variant, the distance term is -d_θ(X_t) on misclassified
+// tuples and 0 otherwise, re-fixed over a few DCCP-style outer rounds).
+// Constrained problems are solved with the penalty method; the sensitive
+// attribute never enters the feature vector.
+type Zafar struct {
+	Mode ZafarMode
+	// CovBound is the allowed |cov| (default 1e-3).
+	CovBound float64
+	// Gamma is the allowed relative loss increase for the Acc variant
+	// (default 0.10).
+	Gamma float64
+
+	base linearBase
+}
+
+// SetCovBound overrides the covariance tolerance; the ablation benches use
+// it to trace the fairness/accuracy trade-off curve.
+func (z *Zafar) SetCovBound(b float64) { z.CovBound = b }
+
+// Name implements fair.Approach.
+func (z *Zafar) Name() string {
+	switch z.Mode {
+	case ZafarDPAcc:
+		return "Zafar-DP-Acc"
+	case ZafarEOFair:
+		return "Zafar-EO-Fair"
+	default:
+		return "Zafar-DP-Fair"
+	}
+}
+
+// Stage implements fair.Approach.
+func (z *Zafar) Stage() fair.Stage { return fair.StageIn }
+
+// Targets implements fair.Approach.
+func (z *Zafar) Targets() []fair.Metric {
+	if z.Mode == ZafarEOFair {
+		return []fair.Metric{fair.MetricTPRB, fair.MetricTNRB}
+	}
+	return []fair.Metric{fair.MetricDI}
+}
+
+// Fit implements fair.Approach.
+func (z *Zafar) Fit(train *dataset.Dataset) error {
+	if z.CovBound == 0 {
+		z.CovBound = 1e-3
+	}
+	if z.Gamma == 0 {
+		z.Gamma = 0.10
+	}
+	z.base.includeS = false
+	x := z.base.designMatrix(train)
+	y := train.Y
+	n := float64(len(x))
+	dim := len(x[0])
+
+	sBar := 0.0
+	for _, s := range train.S {
+		sBar += float64(s)
+	}
+	sBar /= n
+	sCent := make([]float64, len(x))
+	for i, s := range train.S {
+		sCent[i] = float64(s) - sBar
+	}
+
+	// cov(w) and its gradient for a 0/1 mask of contributing tuples
+	// (all tuples for dp; misclassified only for eo).
+	cov := func(w []float64, mask []bool, grad []float64) float64 {
+		d := len(w) - 1
+		var c float64
+		for j := range grad {
+			grad[j] = 0
+		}
+		for i, row := range x {
+			if mask != nil && !mask[i] {
+				continue
+			}
+			z := w[d]
+			for j, v := range row {
+				z += w[j] * v
+			}
+			c += sCent[i] * z
+			for j, v := range row {
+				grad[j] += sCent[i] * v / n
+			}
+			grad[d] += sCent[i] / n
+		}
+		return c / n
+	}
+
+	w0 := make([]float64, dim+1)
+	switch z.Mode {
+	case ZafarDPFair:
+		loss := func(w, grad []float64) float64 {
+			for j := range grad {
+				grad[j] = 0
+			}
+			return logLossAndGrad(w, x, y, grad)
+		}
+		cpos := func(w, grad []float64) float64 { return cov(w, nil, grad) - z.CovBound }
+		cneg := func(w, grad []float64) float64 {
+			v := cov(w, nil, grad)
+			matrix.Scale(-1, grad)
+			return -v - z.CovBound
+		}
+		z.base.w = optimize.MinimizePenalty(loss, []optimize.Constraint{cpos, cneg}, w0,
+			optimize.PenaltyConfig{Rho0: 10, Inner: optimize.AdamConfig{MaxIter: 400}})
+
+	case ZafarDPAcc:
+		// Phase 1: unconstrained optimum fixes the loss budget.
+		uncon := func(w, grad []float64) float64 {
+			for j := range grad {
+				grad[j] = 0
+			}
+			return logLossAndGrad(w, x, y, grad)
+		}
+		wStar, lStar := optimize.Adam(uncon, w0, optimize.AdamConfig{MaxIter: 400})
+		budget := (1 + z.Gamma) * lStar
+		// Phase 2: minimize cov^2 subject to loss <= budget.
+		covGrad := make([]float64, dim+1)
+		obj := func(w, grad []float64) float64 {
+			c := cov(w, nil, covGrad)
+			for j := range grad {
+				grad[j] = 2 * c * covGrad[j]
+			}
+			return c * c
+		}
+		lossCon := func(w, grad []float64) float64 {
+			for j := range grad {
+				grad[j] = 0
+			}
+			return logLossAndGrad(w, x, y, grad) - budget
+		}
+		z.base.w = optimize.MinimizePenalty(obj, []optimize.Constraint{lossCon}, wStar,
+			optimize.PenaltyConfig{Rho0: 10, Inner: optimize.AdamConfig{MaxIter: 400}})
+
+	case ZafarEOFair:
+		// DCCP-style outer loop: fix the misclassified set under the
+		// current weights, solve the resulting penalized convex
+		// subproblem, repeat.
+		w := w0
+		uncon := func(wv, grad []float64) float64 {
+			for j := range grad {
+				grad[j] = 0
+			}
+			return logLossAndGrad(wv, x, y, grad)
+		}
+		w, _ = optimize.Adam(uncon, w, optimize.AdamConfig{MaxIter: 300})
+		for round := 0; round < 4; round++ {
+			mask := make([]bool, len(x))
+			d := len(w) - 1
+			for i, row := range x {
+				zv := w[d]
+				for j, v := range row {
+					zv += w[j] * v
+				}
+				pred := 0
+				if zv >= 0 {
+					pred = 1
+				}
+				mask[i] = pred != y[i]
+			}
+			cpos := func(wv, grad []float64) float64 { return cov(wv, mask, grad) - z.CovBound }
+			cneg := func(wv, grad []float64) float64 {
+				v := cov(wv, mask, grad)
+				matrix.Scale(-1, grad)
+				return -v - z.CovBound
+			}
+			w = optimize.MinimizePenalty(uncon, []optimize.Constraint{cpos, cneg}, w,
+				optimize.PenaltyConfig{Rho0: 10, Outer: 4, Inner: optimize.AdamConfig{MaxIter: 250}})
+		}
+		z.base.w = w
+	default:
+		return fmt.Errorf("zafar: unknown mode %d", z.Mode)
+	}
+	return nil
+}
+
+// Predict implements fair.Approach.
+func (z *Zafar) Predict(test *dataset.Dataset) ([]int, error) {
+	if z.base.w == nil {
+		return nil, fmt.Errorf("%s: not fitted", z.Name())
+	}
+	return z.base.predictAll(test), nil
+}
+
+// PredictOne implements fair.Approach. Zafar never uses S at prediction
+// time, so it trivially satisfies the ID metric (Section 4.2).
+func (z *Zafar) PredictOne(x []float64, s int) int { return z.base.predictOne(x, s) }
+
+// NewZafarDPFair returns the evaluated Zafar^dp_Fair variant.
+func NewZafarDPFair() fair.Approach { return &Zafar{Mode: ZafarDPFair} }
+
+// NewZafarDPAcc returns the evaluated Zafar^dp_Acc variant.
+func NewZafarDPAcc() fair.Approach { return &Zafar{Mode: ZafarDPAcc} }
+
+// NewZafarEOFair returns the evaluated Zafar^eo_Fair variant.
+func NewZafarEOFair() fair.Approach { return &Zafar{Mode: ZafarEOFair} }

@@ -1,0 +1,214 @@
+// Package lp implements a dense primal simplex solver for small linear
+// programs in standard computational form. Its only production consumer is
+// the Hardt post-processor, whose equalized-odds program has four decision
+// variables, but the solver is general enough for any small LP.
+//
+// Problems are stated as:
+//
+//	minimize    cᵀx
+//	subject to  A x (<=|=|>=) b,  x >= 0
+//
+// and solved with the Big-M method over a standard tableau.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation is the sense of one linear constraint.
+type Relation int
+
+const (
+	// LE is a "<=" constraint.
+	LE Relation = iota
+	// EQ is an "=" constraint.
+	EQ
+	// GE is a ">=" constraint.
+	GE
+)
+
+// Constraint is one row aᵀx (rel) b.
+type Constraint struct {
+	A   []float64
+	Rel Relation
+	B   float64
+}
+
+// Problem is a minimization LP over non-negative variables.
+type Problem struct {
+	C    []float64 // objective coefficients
+	Rows []Constraint
+}
+
+// ErrUnbounded reports an unbounded objective.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+// ErrInfeasible reports an empty feasible region.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+const bigM = 1e7
+
+// Solve runs the Big-M simplex method and returns the optimal x and
+// objective value. It assumes right-hand sides may be negative (rows are
+// normalized internally).
+func Solve(p Problem) (x []float64, obj float64, err error) {
+	n := len(p.C)
+	if n == 0 {
+		return nil, 0, errors.New("lp: empty problem")
+	}
+	for _, r := range p.Rows {
+		if len(r.A) != n {
+			return nil, 0, fmt.Errorf("lp: row has %d coefficients, want %d", len(r.A), n)
+		}
+	}
+	// Normalize rows so b >= 0.
+	rows := make([]Constraint, len(p.Rows))
+	for i, r := range p.Rows {
+		a := append([]float64(nil), r.A...)
+		b := r.B
+		rel := r.Rel
+		if b < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			b = -b
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = Constraint{A: a, Rel: rel, B: b}
+	}
+
+	m := len(rows)
+	// Column layout: [original n | slack/surplus | artificial].
+	nSlack, nArt := 0, 0
+	for _, r := range rows {
+		switch r.Rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	tab := make([][]float64, m+1)
+	for i := range tab {
+		tab[i] = make([]float64, total+1)
+	}
+	basis := make([]int, m)
+
+	si, ai := n, n+nSlack
+	for i, r := range rows {
+		copy(tab[i], r.A)
+		tab[i][total] = r.B
+		switch r.Rel {
+		case LE:
+			tab[i][si] = 1
+			basis[i] = si
+			si++
+		case GE:
+			tab[i][si] = -1
+			si++
+			tab[i][ai] = 1
+			basis[i] = ai
+			ai++
+		case EQ:
+			tab[i][ai] = 1
+			basis[i] = ai
+			ai++
+		}
+	}
+	// Objective row: c for original vars, bigM for artificials.
+	z := tab[m]
+	copy(z, p.C)
+	for j := n + nSlack; j < total; j++ {
+		z[j] = bigM
+	}
+	// Price out basic artificial variables.
+	for i, b := range basis {
+		if z[b] != 0 {
+			coef := z[b]
+			for j := 0; j <= total; j++ {
+				z[j] -= coef * tab[i][j]
+			}
+		}
+	}
+
+	const eps = 1e-9
+	for iter := 0; iter < 10000; iter++ {
+		// Entering column: most negative reduced cost (Dantzig rule).
+		col := -1
+		best := -eps
+		for j := 0; j < total; j++ {
+			if z[j] < best {
+				best = z[j]
+				col = j
+			}
+		}
+		if col < 0 {
+			break // optimal
+		}
+		// Leaving row: minimum ratio test.
+		row := -1
+		minRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][col] > eps {
+				r := tab[i][total] / tab[i][col]
+				if r < minRatio-eps || (math.Abs(r-minRatio) <= eps && row >= 0 && basis[i] < basis[row]) {
+					minRatio = r
+					row = i
+				}
+			}
+		}
+		if row < 0 {
+			return nil, 0, ErrUnbounded
+		}
+		pivot(tab, row, col, total)
+		basis[row] = col
+	}
+
+	// An artificial variable at a positive level means infeasibility.
+	for i, b := range basis {
+		if b >= n+nSlack && tab[i][total] > 1e-6 {
+			return nil, 0, ErrInfeasible
+		}
+	}
+	x = make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][total]
+		}
+	}
+	for j := 0; j < n; j++ {
+		obj += p.C[j] * x[j]
+	}
+	return x, obj, nil
+}
+
+func pivot(tab [][]float64, row, col, total int) {
+	pr := tab[row]
+	pv := pr[col]
+	for j := 0; j <= total; j++ {
+		pr[j] /= pv
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			tab[i][j] -= f * pr[j]
+		}
+	}
+}

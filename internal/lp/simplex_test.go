@@ -1,0 +1,132 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestBasicLE(t *testing.T) {
+	// max x+y s.t. x+2y<=4, 3x+y<=6  ->  min -(x+y); optimum (1.6, 1.2).
+	x, obj, err := Solve(Problem{
+		C: []float64{-1, -1},
+		Rows: []Constraint{
+			{A: []float64{1, 2}, Rel: LE, B: 4},
+			{A: []float64{3, 1}, Rel: LE, B: 6},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1.6) > 1e-6 || math.Abs(x[1]-1.2) > 1e-6 {
+		t.Fatalf("solution: %v", x)
+	}
+	if math.Abs(obj+2.8) > 1e-6 {
+		t.Fatalf("objective: %v", obj)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min x+y s.t. x+y=2, x<=1.5 -> obj 2.
+	x, obj, err := Solve(Problem{
+		C: []float64{1, 1},
+		Rows: []Constraint{
+			{A: []float64{1, 1}, Rel: EQ, B: 2},
+			{A: []float64{1, 0}, Rel: LE, B: 1.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-2) > 1e-6 {
+		t.Fatalf("objective: %v (x=%v)", obj, x)
+	}
+}
+
+func TestGE(t *testing.T) {
+	// min 2x+3y s.t. x+y>=4, x>=1 -> x=4,y=0, obj 8.
+	x, obj, err := Solve(Problem{
+		C: []float64{2, 3},
+		Rows: []Constraint{
+			{A: []float64{1, 1}, Rel: GE, B: 4},
+			{A: []float64{1, 0}, Rel: GE, B: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-8) > 1e-5 {
+		t.Fatalf("objective: %v (x=%v)", obj, x)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	_, _, err := Solve(Problem{
+		C: []float64{1},
+		Rows: []Constraint{
+			{A: []float64{1}, Rel: LE, B: 1},
+			{A: []float64{1}, Rel: GE, B: 2},
+		},
+	})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want infeasible, got %v", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	_, _, err := Solve(Problem{
+		C:    []float64{-1},
+		Rows: []Constraint{{A: []float64{-1}, Rel: LE, B: 0}},
+	})
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("want unbounded, got %v", err)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -2  (i.e. x >= 2).
+	x, _, err := Solve(Problem{
+		C:    []float64{1},
+		Rows: []Constraint{{A: []float64{-1}, Rel: LE, B: -2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-6 {
+		t.Fatalf("x: %v", x)
+	}
+}
+
+func TestDimensionMismatch(t *testing.T) {
+	_, _, err := Solve(Problem{
+		C:    []float64{1, 2},
+		Rows: []Constraint{{A: []float64{1}, Rel: LE, B: 1}},
+	})
+	if err == nil {
+		t.Fatal("mismatched row width must error")
+	}
+}
+
+func TestHardtShapedLP(t *testing.T) {
+	// The Hardt post-processor's LP shape: 4 bounded vars with two
+	// equality rows; verify feasibility and bounds.
+	x, _, err := Solve(Problem{
+		C: []float64{-0.3, -0.4, 0.1, 0.2},
+		Rows: []Constraint{
+			{A: []float64{0.8, -0.6, 0.2, -0.4}, Rel: EQ, B: 0},
+			{A: []float64{0.3, -0.2, 0.7, -0.8}, Rel: EQ, B: 0},
+			{A: []float64{1, 0, 0, 0}, Rel: LE, B: 1},
+			{A: []float64{0, 1, 0, 0}, Rel: LE, B: 1},
+			{A: []float64{0, 0, 1, 0}, Rel: LE, B: 1},
+			{A: []float64{0, 0, 0, 1}, Rel: LE, B: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if v < -1e-9 || v > 1+1e-9 {
+			t.Fatalf("var %d out of [0,1]: %v", i, v)
+		}
+	}
+}

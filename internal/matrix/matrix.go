@@ -1,0 +1,177 @@
+// Package matrix provides small dense linear-algebra primitives used by the
+// classifiers and optimizers. It is deliberately minimal: fair-classification
+// workloads in this repository only need vector arithmetic, matrix-vector
+// products, and a handful of norms, all on row-major [][]float64 data.
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. It panics if lengths differ,
+// because a length mismatch is always a programming error in this codebase.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("matrix: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("matrix: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// AddTo computes dst[i] += src[i] in place.
+func AddTo(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("matrix: AddTo length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// Sub returns a new vector a-b.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("matrix: Sub length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Clone returns a deep copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// CloneRows returns a deep copy of a row-major matrix.
+func CloneRows(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i, row := range m {
+		out[i] = Clone(row)
+	}
+	return out
+}
+
+// Zeros returns a zero vector of length n.
+func Zeros(n int) []float64 { return make([]float64, n) }
+
+// MatVec computes m·x for a row-major matrix m.
+func MatVec(m [][]float64, x []float64) []float64 {
+	out := make([]float64, len(m))
+	for i, row := range m {
+		out[i] = Dot(row, x)
+	}
+	return out
+}
+
+// TransposeMatVec computes mᵀ·x, i.e. the vector whose j-th entry is
+// Σ_i m[i][j]·x[i]. Used for gradient accumulation.
+func TransposeMatVec(m [][]float64, x []float64) []float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	if len(m) != len(x) {
+		panic(fmt.Sprintf("matrix: TransposeMatVec length mismatch %d vs %d", len(m), len(x)))
+	}
+	out := make([]float64, len(m[0]))
+	for i, row := range m {
+		Axpy(x[i], row, out)
+	}
+	return out
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the maximum absolute entry of x.
+func NormInf(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of the entries of x.
+func Sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Sigmoid returns 1/(1+exp(-z)) computed in a numerically stable way.
+func Sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Clamp restricts v to the interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ArgMax returns the index of the largest entry of x (-1 for empty input).
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Mean returns the arithmetic mean of x (0 for empty input).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Sum(x) / float64(len(x))
+}

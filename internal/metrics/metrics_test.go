@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fairbench/internal/dataset"
+)
+
+// example2 builds the paper's 100-applicant admission table (Figure 11):
+// males: TP=14, FP=6, TN=38, FN=2; females: TP=7, FP=2, TN=28, FN=3.
+func example2() (*dataset.Dataset, []int) {
+	d := &dataset.Dataset{
+		Name:  "admissions",
+		Attrs: []dataset.Attr{{Name: "dummy", Kind: dataset.Numeric}},
+		SName: "gender",
+		YName: "qualified",
+	}
+	var yhat []int
+	add := func(s, y, pred, count int) {
+		for i := 0; i < count; i++ {
+			d.X = append(d.X, []float64{0})
+			d.S = append(d.S, s)
+			d.Y = append(d.Y, y)
+			yhat = append(yhat, pred)
+		}
+	}
+	// Males (privileged).
+	add(1, 1, 1, 14) // TP
+	add(1, 0, 1, 6)  // FP
+	add(1, 0, 0, 38) // TN
+	add(1, 1, 0, 2)  // FN
+	// Females (unprivileged).
+	add(0, 1, 1, 7)  // TP
+	add(0, 0, 1, 2)  // FP
+	add(0, 0, 0, 28) // TN
+	add(0, 1, 0, 3)  // FN
+	return d, yhat
+}
+
+func TestExample2DI(t *testing.T) {
+	d, yhat := example2()
+	di := DisparateImpact(d, yhat)
+	// DI = (9/40)/(20/60) = 0.675 (the paper rounds to 0.67).
+	if math.Abs(di-0.675) > 1e-9 {
+		t.Fatalf("DI: got %v want 0.675", di)
+	}
+}
+
+func TestExample2TPRB(t *testing.T) {
+	d, yhat := example2()
+	// TPRB = 14/16 - 7/10 = 0.175 (the paper rounds to 0.18).
+	if got := TPRBalance(d, yhat); math.Abs(got-0.175) > 1e-9 {
+		t.Fatalf("TPRB: got %v want 0.175", got)
+	}
+}
+
+func TestExample2TNRB(t *testing.T) {
+	d, yhat := example2()
+	// TNRB = 38/44 - 28/30 = -0.0697 (the paper rounds to -0.07).
+	if got := TNRBalance(d, yhat); math.Abs(got-(38.0/44-28.0/30)) > 1e-9 {
+		t.Fatalf("TNRB: got %v", got)
+	}
+}
+
+func TestExample2Correctness(t *testing.T) {
+	d, yhat := example2()
+	c := ComputeCorrectness(d.Y, yhat)
+	// Accuracy = (21+66)/100 = 0.87; the paper reports 87%.
+	if math.Abs(c.Accuracy-0.87) > 1e-9 {
+		t.Fatalf("accuracy: %v", c.Accuracy)
+	}
+	// Precision = 21/29, recall = 21/26.
+	if math.Abs(c.Precision-21.0/29) > 1e-9 || math.Abs(c.Recall-21.0/26) > 1e-9 {
+		t.Fatalf("precision/recall: %v %v", c.Precision, c.Recall)
+	}
+	if c.F1 <= 0.75 || c.F1 >= 0.79 {
+		t.Fatalf("F1 out of expected band (paper: 78%%): %v", c.F1)
+	}
+}
+
+func TestCorrectnessEdgeCases(t *testing.T) {
+	c := ComputeCorrectness([]int{0, 0}, []int{0, 0})
+	if c.Accuracy != 1 || c.Precision != 0 || c.Recall != 0 || c.F1 != 0 {
+		t.Fatalf("all-negative case: %+v", c)
+	}
+}
+
+// flipPredictor predicts the sensitive value itself: maximal individual
+// discrimination.
+type flipPredictor struct{}
+
+func (flipPredictor) PredictOne(_ []float64, s int) int { return s }
+
+// blindPredictor ignores S entirely.
+type blindPredictor struct{}
+
+func (blindPredictor) PredictOne(x []float64, _ int) int {
+	if x[0] > 0 {
+		return 1
+	}
+	return 0
+}
+
+func TestIndividualDiscrimination(t *testing.T) {
+	d, _ := example2()
+	if got := IndividualDiscrimination(d, flipPredictor{}); got != 1 {
+		t.Fatalf("S-echo predictor must have ID=1, got %v", got)
+	}
+	if got := IndividualDiscrimination(d, blindPredictor{}); got != 0 {
+		t.Fatalf("S-blind predictor must have ID=0, got %v", got)
+	}
+}
+
+// intervenedPredictor distinguishes the transform role (sTrue) from the
+// classifier input role (sInput): only sInput affects the output.
+type intervenedPredictor struct{ usedTrue *bool }
+
+func (p intervenedPredictor) PredictOne(x []float64, s int) int { return s }
+func (p intervenedPredictor) PredictIntervened(_ []float64, sTrue, sInput int) int {
+	if sTrue != sInput {
+		*p.usedTrue = true
+	}
+	return 0 // constant in sInput: no individual discrimination
+}
+
+func TestIDUsesInterventionPredictor(t *testing.T) {
+	d, _ := example2()
+	used := false
+	got := IndividualDiscrimination(d, intervenedPredictor{usedTrue: &used})
+	if got != 0 {
+		t.Fatalf("intervened predictor is constant, ID must be 0: %v", got)
+	}
+	if !used {
+		t.Fatal("ID must call PredictIntervened with flipped sInput")
+	}
+}
+
+func TestDIStar(t *testing.T) {
+	cases := []struct{ di, want float64 }{
+		{1, 1}, {0.5, 0.5}, {2, 0.5}, {0, 0}, {math.Inf(1), 0},
+	}
+	for _, c := range cases {
+		if got := DIStar(c.di); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("DIStar(%v): got %v want %v", c.di, got, c.want)
+		}
+	}
+	// Property: DIStar is always in [0,1] and symmetric under inversion.
+	f := func(raw float64) bool {
+		di := math.Abs(math.Mod(raw, 100))
+		if math.IsNaN(di) || di == 0 {
+			return true
+		}
+		a, b := DIStar(di), DIStar(1/di)
+		return a >= 0 && a <= 1 && math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	n := Normalize(Fairness{DI: 0.5, TPRB: -0.3, TNRB: 0.2, ID: 0.1, TE: -0.4})
+	if n.DIStar != 0.5 || n.TPRB != 0.7 || n.TNRB != 0.8 || n.ID != 0.9 || math.Abs(n.TE-0.6) > 1e-12 {
+		t.Fatalf("normalized: %+v", n)
+	}
+	if !n.Reverse.TPRB || n.Reverse.TNRB || !n.Reverse.TE || !n.Reverse.DI == false {
+		t.Fatalf("reverse flags: %+v", n.Reverse)
+	}
+}
+
+func TestDisparateImpactDegenerate(t *testing.T) {
+	d, _ := example2()
+	allNeg := make([]int, d.Len())
+	if di := DisparateImpact(d, allNeg); di != 1 {
+		t.Fatalf("no positives anywhere must be DI=1, got %v", di)
+	}
+	// Positives only for the unprivileged group: DI = +Inf.
+	posUnpriv := make([]int, d.Len())
+	for i := range posUnpriv {
+		if d.S[i] == 0 {
+			posUnpriv[i] = 1
+		}
+	}
+	if di := DisparateImpact(d, posUnpriv); !math.IsInf(di, 1) {
+		t.Fatalf("want +Inf, got %v", di)
+	}
+}
+
+func TestGroupRates(t *testing.T) {
+	d, yhat := example2()
+	gr := ComputeGroupRates(d, yhat)
+	if math.Abs(gr.PosRate[1]-20.0/60) > 1e-12 || math.Abs(gr.PosRate[0]-9.0/40) > 1e-12 {
+		t.Fatalf("positive rates: %+v", gr.PosRate)
+	}
+	if gr.Confusion[1].TP != 14 || gr.Confusion[0].FN != 3 {
+		t.Fatalf("confusions: %+v", gr.Confusion)
+	}
+}

@@ -1,0 +1,158 @@
+// Package nmf implements non-negative matrix factorization by
+// multiplicative updates (Lee & Seung), the substrate behind the
+// Salimi^jf_MatFac pre-processor: conditional independence Y ⊥ I | A holds
+// exactly when each admissible stratum's I×Y contingency table has rank 1,
+// so the minimal MatFac repair replaces each table with its best rank-1
+// non-negative approximation.
+package nmf
+
+import (
+	"math"
+
+	"fairbench/internal/rng"
+)
+
+// Factorize computes W (r×k) and H (k×c) minimizing ||M - W·H||_F with
+// non-negativity, using multiplicative updates from a random positive
+// initialization. M is row-major r×c with non-negative entries.
+func Factorize(m [][]float64, k, iters int, seed int64) (w, h [][]float64) {
+	r := len(m)
+	if r == 0 {
+		return nil, nil
+	}
+	c := len(m[0])
+	g := rng.New(seed)
+	w = randMat(r, k, g)
+	h = randMat(k, c, g)
+	const eps = 1e-12
+	for it := 0; it < iters; it++ {
+		// H <- H .* (WᵀM) ./ (WᵀWH)
+		wtm := mulT(w, m)          // k×c
+		wtwh := mul(mulT(w, w), h) // k×c
+		for i := 0; i < k; i++ {
+			for j := 0; j < c; j++ {
+				h[i][j] *= wtm[i][j] / (wtwh[i][j] + eps)
+			}
+		}
+		// W <- W .* (MHᵀ) ./ (WHHᵀ)
+		mht := mulBT(m, h)          // r×k
+		whht := mulBT(mul(w, h), h) // r×k
+		for i := 0; i < r; i++ {
+			for j := 0; j < k; j++ {
+				w[i][j] *= mht[i][j] / (whht[i][j] + eps)
+			}
+		}
+	}
+	return w, h
+}
+
+// Rank1 returns the best rank-1 non-negative approximation u·vᵀ of m.
+func Rank1(m [][]float64, iters int, seed int64) [][]float64 {
+	w, h := Factorize(m, 1, iters, seed)
+	r := len(m)
+	if r == 0 {
+		return nil
+	}
+	c := len(m[0])
+	out := make([][]float64, r)
+	for i := 0; i < r; i++ {
+		out[i] = make([]float64, c)
+		for j := 0; j < c; j++ {
+			out[i][j] = w[i][0] * h[0][j]
+		}
+	}
+	return out
+}
+
+// Residual returns ||M - W·H||_F.
+func Residual(m, w, h [][]float64) float64 {
+	wh := mul(w, h)
+	var s float64
+	for i := range m {
+		for j := range m[i] {
+			d := m[i][j] - wh[i][j]
+			s += d * d
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func randMat(r, c int, g *rng.RNG) [][]float64 {
+	m := make([][]float64, r)
+	for i := range m {
+		m[i] = make([]float64, c)
+		for j := range m[i] {
+			m[i][j] = 0.5 + g.Float64()
+		}
+	}
+	return m
+}
+
+// mul returns A·B.
+func mul(a, b [][]float64) [][]float64 {
+	r, k := len(a), len(b)
+	if r == 0 || k == 0 {
+		return nil
+	}
+	c := len(b[0])
+	out := make([][]float64, r)
+	for i := 0; i < r; i++ {
+		out[i] = make([]float64, c)
+		for t := 0; t < k; t++ {
+			av := a[i][t]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < c; j++ {
+				out[i][j] += av * b[t][j]
+			}
+		}
+	}
+	return out
+}
+
+// mulT returns Aᵀ·B for A (n×k), B (n×c) -> k×c.
+func mulT(a, b [][]float64) [][]float64 {
+	n := len(a)
+	if n == 0 {
+		return nil
+	}
+	k, c := len(a[0]), len(b[0])
+	out := make([][]float64, k)
+	for i := range out {
+		out[i] = make([]float64, c)
+	}
+	for t := 0; t < n; t++ {
+		for i := 0; i < k; i++ {
+			av := a[t][i]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < c; j++ {
+				out[i][j] += av * b[t][j]
+			}
+		}
+	}
+	return out
+}
+
+// mulBT returns A·Bᵀ for A (r×c), B (k×c) -> r×k.
+func mulBT(a, b [][]float64) [][]float64 {
+	r := len(a)
+	if r == 0 {
+		return nil
+	}
+	k := len(b)
+	out := make([][]float64, r)
+	for i := 0; i < r; i++ {
+		out[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			var s float64
+			for t := range a[i] {
+				s += a[i][t] * b[j][t]
+			}
+			out[i][j] = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package nmf
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRank1Recovery(t *testing.T) {
+	// An exactly rank-1 matrix must be recovered almost perfectly.
+	u := []float64{1, 2, 3}
+	v := []float64{4, 5}
+	m := make([][]float64, 3)
+	for i := range m {
+		m[i] = []float64{u[i] * v[0], u[i] * v[1]}
+	}
+	approx := Rank1(m, 500, 1)
+	for i := range m {
+		for j := range m[i] {
+			if math.Abs(approx[i][j]-m[i][j]) > 0.05*m[i][j] {
+				t.Fatalf("cell (%d,%d): got %v want %v", i, j, approx[i][j], m[i][j])
+			}
+		}
+	}
+}
+
+func TestRank1Nonnegative(t *testing.T) {
+	m := [][]float64{{5, 1}, {2, 8}, {0, 3}}
+	approx := Rank1(m, 300, 2)
+	for i := range approx {
+		for j := range approx[i] {
+			if approx[i][j] < 0 {
+				t.Fatalf("negative entry at (%d,%d): %v", i, j, approx[i][j])
+			}
+		}
+	}
+}
+
+func TestFactorizeResidualDecreases(t *testing.T) {
+	m := [][]float64{{5, 1, 0}, {2, 8, 1}, {0, 3, 7}, {4, 4, 4}}
+	w1, h1 := Factorize(m, 2, 10, 3)
+	w2, h2 := Factorize(m, 2, 400, 3)
+	if Residual(m, w2, h2) > Residual(m, w1, h1)+1e-9 {
+		t.Fatalf("residual must not increase with iterations: %v -> %v",
+			Residual(m, w1, h1), Residual(m, w2, h2))
+	}
+}
+
+func TestRankKBeatsRank1(t *testing.T) {
+	// A clearly rank-2 matrix is approximated better with k=2.
+	m := [][]float64{{10, 0}, {0, 10}, {10, 0}, {0, 10}}
+	w1, h1 := Factorize(m, 1, 300, 4)
+	w2, h2 := Factorize(m, 2, 300, 4)
+	if Residual(m, w2, h2) >= Residual(m, w1, h1) {
+		t.Fatalf("rank-2 should fit rank-2 data better: r1=%v r2=%v",
+			Residual(m, w1, h1), Residual(m, w2, h2))
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	if out := Rank1(nil, 10, 5); out != nil {
+		t.Fatal("empty input must return nil")
+	}
+}
+
+func TestIndependenceSemantics(t *testing.T) {
+	// The Salimi^jf use-case: an (I × Y) contingency table is independent
+	// iff rank-1. The rank-1 approximation of a dependent table must have
+	// equal conditional label rates across rows.
+	m := [][]float64{{30, 10}, {10, 30}} // strongly dependent
+	approx := Rank1(m, 500, 6)
+	r0 := approx[0][1] / (approx[0][0] + approx[0][1])
+	r1 := approx[1][1] / (approx[1][0] + approx[1][1])
+	if math.Abs(r0-r1) > 0.02 {
+		t.Fatalf("rank-1 rows must share the label rate: %v vs %v", r0, r1)
+	}
+}

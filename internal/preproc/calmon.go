@@ -1,0 +1,394 @@
+package preproc
+
+import (
+	"math"
+	"sort"
+
+	"fairbench/internal/classifier"
+	"fairbench/internal/dataset"
+	"fairbench/internal/fair"
+	"fairbench/internal/optimize"
+	"fairbench/internal/rng"
+)
+
+// Calmon implements Calmon et al.'s optimized pre-processing: a randomized
+// mapping of (X, Y) onto (X', Y') that (1) brings the label distribution of
+// the two sensitive groups within a demographic-parity tolerance, (2) keeps
+// the mapped joint distribution close to the original, and (3) bounds
+// per-tuple distortion by only moving attribute values to adjacent
+// discretization bins and penalizing label flips.
+//
+// The original uses a convex program over the full discretized joint; this
+// implementation optimizes the same objective with projected gradient
+// descent over per-group transition matrices whose rows live on the
+// probability simplex — and inherits the original's cost profile: the
+// number of cells (and hence runtime) grows exponentially with the number
+// of attributes included (Section 4.3's scalability finding).
+type Calmon struct {
+	// Bins is the per-attribute discretization granularity (default 3).
+	Bins int
+	// MaxAttrs caps how many attributes enter the joint distribution
+	// (default 6); the most label-correlated attributes are chosen.
+	MaxAttrs int
+	// Epsilon is the demographic-parity tolerance on the mapped labels
+	// (default 0.02).
+	Epsilon float64
+	// Iters bounds the projected-gradient optimization (default 150).
+	Iters int
+	// Seed drives the randomized application of the mapping.
+	Seed int64
+
+	disc     *dataset.Discretizer
+	attrs    []int       // chosen attribute columns
+	cards    []int       // per chosen attribute bin counts
+	nCells   int         // product of cards
+	binMid   [][]float64 // representative value per (chosen attr, bin)
+	trans    [2][][]float64
+	targets  [][]target
+	fitted   bool
+	origMean [2]float64
+}
+
+type target struct {
+	cell, y int
+	dist    float64 // distortion cost of moving to this target
+}
+
+// RepairName implements fair.Repairer.
+func (c *Calmon) RepairName() string { return "Calmon" }
+
+func (c *Calmon) defaults() {
+	if c.Bins == 0 {
+		c.Bins = 3
+	}
+	if c.MaxAttrs == 0 {
+		c.MaxAttrs = 6
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.02
+	}
+	if c.Iters == 0 {
+		c.Iters = 150
+	}
+}
+
+// chooseAttrs picks the attributes most correlated with the label.
+func (c *Calmon) chooseAttrs(d *dataset.Dataset) []int {
+	type scored struct {
+		j int
+		r float64
+	}
+	var sc []scored
+	my := 0.0
+	for _, y := range d.Y {
+		my += float64(y)
+	}
+	my /= float64(d.Len())
+	for j := 0; j < d.Dim(); j++ {
+		col := d.Column(j)
+		var mx float64
+		for _, v := range col {
+			mx += v
+		}
+		mx /= float64(len(col))
+		var cov, vx, vy float64
+		for i, v := range col {
+			dx := v - mx
+			dy := float64(d.Y[i]) - my
+			cov += dx * dy
+			vx += dx * dx
+			vy += dy * dy
+		}
+		r := 0.0
+		if vx > 0 && vy > 0 {
+			r = math.Abs(cov / math.Sqrt(vx*vy))
+		}
+		sc = append(sc, scored{j, r})
+	}
+	sort.Slice(sc, func(a, b int) bool { return sc[a].r > sc[b].r })
+	k := c.MaxAttrs
+	if k > len(sc) {
+		k = len(sc)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = sc[i].j
+	}
+	sort.Ints(out)
+	return out
+}
+
+// cellOf computes the joint bin code of a row over the chosen attributes.
+func (c *Calmon) cellOf(row []float64) int {
+	code, mult := 0, 1
+	for k, j := range c.attrs {
+		code += c.disc.Bin(j, row[j]) * mult
+		mult *= c.cards[k]
+	}
+	return code
+}
+
+// binsOf decodes a cell code into per-chosen-attribute bin indices.
+func (c *Calmon) binsOf(cell int) []int {
+	out := make([]int, len(c.attrs))
+	for k := range c.attrs {
+		out[k] = cell % c.cards[k]
+		cell /= c.cards[k]
+	}
+	return out
+}
+
+// neighbors returns the reachable (cell', y') targets of state (cell, y):
+// the cell itself and every cell differing by ±1 bin in one attribute,
+// crossed with both labels, with distortion = bin moves + 2·label flips.
+func (c *Calmon) neighbors(cell, y int) []target {
+	bins := c.binsOf(cell)
+	cells := []int{cell}
+	mult := 1
+	for k := range c.attrs {
+		if bins[k] > 0 {
+			cells = append(cells, cell-mult)
+		}
+		if bins[k] < c.cards[k]-1 {
+			cells = append(cells, cell+mult)
+		}
+		mult *= c.cards[k]
+	}
+	var out []target
+	for _, cc := range cells {
+		for yy := 0; yy < 2; yy++ {
+			d := 0.0
+			if cc != cell {
+				d += 1
+			}
+			if yy != y {
+				d += 2
+			}
+			out = append(out, target{cell: cc, y: yy, dist: d})
+		}
+	}
+	return out
+}
+
+// Repair implements fair.Repairer.
+func (c *Calmon) Repair(train *dataset.Dataset) (*dataset.Dataset, error) {
+	c.defaults()
+	c.disc = dataset.FitDiscretizer(train, c.Bins)
+	c.attrs = c.chooseAttrs(train)
+	c.cards = make([]int, len(c.attrs))
+	c.nCells = 1
+	for k, j := range c.attrs {
+		c.cards[k] = c.disc.Cardinality(j)
+		c.nCells *= c.cards[k]
+	}
+
+	// Representative value per (chosen attribute, bin): the mean of the
+	// training values falling in the bin.
+	c.binMid = make([][]float64, len(c.attrs))
+	for k, j := range c.attrs {
+		sums := make([]float64, c.cards[k])
+		cnts := make([]float64, c.cards[k])
+		for _, row := range train.X {
+			b := c.disc.Bin(j, row[j])
+			sums[b] += row[j]
+			cnts[b]++
+		}
+		mids := make([]float64, c.cards[k])
+		for b := range mids {
+			if cnts[b] > 0 {
+				mids[b] = sums[b] / cnts[b]
+			}
+		}
+		c.binMid[k] = mids
+	}
+
+	// Empirical joint p_s(cell, y).
+	nState := c.nCells * 2
+	var p [2][]float64
+	p[0] = make([]float64, nState)
+	p[1] = make([]float64, nState)
+	var gn [2]float64
+	for i, row := range train.X {
+		s := train.S[i]
+		p[s][c.cellOf(row)*2+train.Y[i]]++
+		gn[s]++
+	}
+	for s := 0; s < 2; s++ {
+		for k := range p[s] {
+			p[s][k] /= math.Max(gn[s], 1)
+		}
+		var pos float64
+		for cell := 0; cell < c.nCells; cell++ {
+			pos += p[s][cell*2+1]
+		}
+		c.origMean[s] = pos
+	}
+
+	// Precompute targets per state; the transition parameter vector packs
+	// the per-state simplex rows back to back.
+	c.targets = make([][]target, nState)
+	offsets := make([]int, nState+1)
+	for st := 0; st < nState; st++ {
+		c.targets[st] = c.neighbors(st/2, st%2)
+		offsets[st+1] = offsets[st] + len(c.targets[st])
+	}
+	total := offsets[nState]
+
+	for s := 0; s < 2; s++ {
+		ps := p[s]
+		theta := make([]float64, total)
+		// Initialize as identity-ish: all mass on the self target.
+		for st := 0; st < nState; st++ {
+			for ti, t := range c.targets[st] {
+				if t.cell == st/2 && t.y == st%2 {
+					theta[offsets[st]+ti] = 1
+				}
+			}
+		}
+		sOther := 1 - s
+		obj := func(w []float64, grad []float64) float64 {
+			for i := range grad {
+				grad[i] = 0
+			}
+			// Mapped distribution q and its positive-label mass.
+			q := make([]float64, nState)
+			var distortion float64
+			for st := 0; st < nState; st++ {
+				mass := ps[st]
+				if mass == 0 {
+					continue
+				}
+				for ti, t := range c.targets[st] {
+					w0 := w[offsets[st]+ti]
+					q[t.cell*2+t.y] += mass * w0
+					distortion += mass * w0 * t.dist
+				}
+			}
+			var qPos float64
+			for cell := 0; cell < c.nCells; cell++ {
+				qPos += q[cell*2+1]
+			}
+			// Demographic-parity gap against the other group's (original)
+			// positive rate; both groups move toward the overall rate.
+			overall := (c.origMean[0]*gn[0] + c.origMean[1]*gn[1]) / (gn[0] + gn[1])
+			_ = sOther
+			gap := qPos - overall
+			viol := math.Max(0, math.Abs(gap)-c.Epsilon)
+			// Closeness of mapped to original distribution.
+			var close float64
+			for k := range q {
+				dq := q[k] - ps[k]
+				close += dq * dq
+			}
+			const lamDP, lamClose, lamDist = 600.0, 5.0, 1.0
+			val := lamDist*distortion + lamDP*viol*viol + lamClose*close
+			// Gradient.
+			sign := 1.0
+			if gap < 0 {
+				sign = -1
+			}
+			for st := 0; st < nState; st++ {
+				mass := ps[st]
+				if mass == 0 {
+					continue
+				}
+				for ti, t := range c.targets[st] {
+					gi := offsets[st] + ti
+					grad[gi] += lamDist * mass * t.dist
+					dq := q[t.cell*2+t.y] - ps[t.cell*2+t.y]
+					grad[gi] += lamClose * 2 * dq * mass
+					if viol > 0 && t.y == 1 {
+						grad[gi] += lamDP * 2 * viol * sign * mass
+					}
+				}
+			}
+			return val
+		}
+		project := func(w []float64) {
+			for st := 0; st < nState; st++ {
+				optimize.ProjectSimplex(w[offsets[st]:offsets[st+1]])
+			}
+		}
+		theta, _ = optimize.GradientDescent(obj, theta, optimize.GDConfig{
+			Step: 0.5, MaxIter: c.Iters, Project: project,
+		})
+		// Store the learned per-state rows.
+		rows := make([][]float64, nState)
+		for st := 0; st < nState; st++ {
+			rows[st] = append([]float64(nil), theta[offsets[st]:offsets[st+1]]...)
+		}
+		c.trans[s] = rows
+	}
+	c.fitted = true
+
+	// Apply the randomized mapping to the training data.
+	g := rng.New(c.Seed)
+	out := train.Clone()
+	for i, row := range out.X {
+		s := train.S[i]
+		st := c.cellOf(train.X[i])*2 + train.Y[i]
+		tgt := c.targets[st]
+		ti := g.Categorical(c.trans[s][st])
+		c.applyCell(row, tgt[ti].cell)
+		out.Y[i] = tgt[ti].y
+	}
+	return out, nil
+}
+
+// applyCell rewrites the chosen attributes of row to the representative
+// values of the target cell.
+func (c *Calmon) applyCell(row []float64, cell int) {
+	bins := c.binsOf(cell)
+	for k, j := range c.attrs {
+		row[j] = c.binMid[k][bins[k]]
+	}
+}
+
+// TransformRow implements fair.TestTransformer: test features move to the
+// expected target cell representative (deterministic; labels are unknown
+// at test time so the two label rows are averaged by the group's label
+// rate).
+func (c *Calmon) TransformRow(x []float64, s int) []float64 {
+	if !c.fitted {
+		return x
+	}
+	out := append([]float64(nil), x...)
+	cell := c.cellOf(x)
+	// Average the expected representative value over the two label rows
+	// weighted by the group's original label distribution.
+	wy1 := c.origMean[s]
+	exp := make([]float64, len(c.attrs))
+	var norm float64
+	for y := 0; y < 2; y++ {
+		wy := wy1
+		if y == 0 {
+			wy = 1 - wy1
+		}
+		st := cell*2 + y
+		for ti, t := range c.targets[st] {
+			w := wy * c.trans[s][st][ti]
+			bins := c.binsOf(t.cell)
+			for k := range c.attrs {
+				exp[k] += w * c.binMid[k][bins[k]]
+			}
+			norm += w
+		}
+	}
+	if norm > 0 {
+		for k, j := range c.attrs {
+			out[j] = exp[k] / norm
+		}
+	}
+	return out
+}
+
+// NewCalmon returns the evaluated Calmon^dp approach.
+func NewCalmon(factory classifier.Factory, seed int64) fair.Approach {
+	return &fair.PreProcessed{
+		ApproachName: "Calmon-DP",
+		Target:       []fair.Metric{fair.MetricDI},
+		Mechanism:    &Calmon{Seed: seed},
+		Factory:      factory,
+		IncludeS:     true,
+	}
+}

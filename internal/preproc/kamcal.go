@@ -1,0 +1,94 @@
+// Package preproc implements the five pre-processing approaches of the
+// benchmark (Figure 5, "pre" rows): Kam-Cal reweighted resampling, the
+// Feld disparate-impact remover, Calmon optimized pre-processing, the two
+// Zha-Wu causal label repairs, and the two Salimi justifiable-fairness
+// database repairs. Each mechanism implements fair.Repairer and is exposed
+// as a complete fair.Approach through fair.PreProcessed.
+package preproc
+
+import (
+	"fairbench/internal/classifier"
+	"fairbench/internal/dataset"
+	"fairbench/internal/fair"
+	"fairbench/internal/rng"
+)
+
+// KamCal implements Kamiran & Calders' reweighing pre-processor targeting
+// demographic parity: each tuple receives weight
+//
+//	w(t) = P_exp(S=S_t ∧ Y=Y_t) / P_obs(S=S_t ∧ Y=Y_t)
+//
+// and the training set is rebuilt by weighted resampling, making S and Y
+// statistically independent in the repaired data.
+type KamCal struct {
+	// Resample selects between the paper's weighted-resampling variant
+	// (true, the evaluated Kam-Cal^dp) and pure instance weighting (false,
+	// used by the ablation bench).
+	Resample bool
+	// Seed drives the resampling.
+	Seed int64
+}
+
+// RepairName implements fair.Repairer.
+func (k *KamCal) RepairName() string { return "KamCal" }
+
+// Weights returns the reweighing weight for every tuple of d.
+func (k *KamCal) Weights(d *dataset.Dataset) []float64 {
+	n := float64(d.Len())
+	var cnt [2][2]float64 // [s][y]
+	var sTot, yTot [2]float64
+	for i := range d.Y {
+		cnt[d.S[i]][d.Y[i]]++
+		sTot[d.S[i]]++
+		yTot[d.Y[i]]++
+	}
+	w := make([]float64, d.Len())
+	for i := range w {
+		s, y := d.S[i], d.Y[i]
+		obs := cnt[s][y] / n
+		exp := (sTot[s] / n) * (yTot[y] / n)
+		if obs <= 0 {
+			w[i] = 1
+			continue
+		}
+		w[i] = exp / obs
+	}
+	return w
+}
+
+// Repair implements fair.Repairer.
+func (k *KamCal) Repair(train *dataset.Dataset) (*dataset.Dataset, error) {
+	w := k.Weights(train)
+	if !k.Resample {
+		out := train.Clone()
+		out.Weights = w
+		return out, nil
+	}
+	g := rng.New(k.Seed)
+	out := train.ResampleWeighted(w, train.Len(), g)
+	out.Weights = nil
+	return out, nil
+}
+
+// NewKamCal returns the evaluated Kam-Cal^dp approach with the given
+// downstream classifier factory (nil = logistic regression).
+func NewKamCal(factory classifier.Factory, seed int64) fair.Approach {
+	return &fair.PreProcessed{
+		ApproachName: "KamCal-DP",
+		Target:       []fair.Metric{fair.MetricDI},
+		Mechanism:    &KamCal{Resample: true, Seed: seed},
+		Factory:      factory,
+		IncludeS:     true,
+	}
+}
+
+// NewKamCalWeighted returns the instance-weighting ablation variant.
+func NewKamCalWeighted(factory classifier.Factory) fair.Approach {
+	return &fair.PreProcessed{
+		ApproachName: "KamCal-DP-Weighted",
+		Target:       []fair.Metric{fair.MetricDI},
+		Mechanism:    &KamCal{Resample: false},
+		Factory:      factory,
+		IncludeS:     true,
+	}
+}

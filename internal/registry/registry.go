@@ -1,0 +1,142 @@
+// Package registry enumerates the 18 evaluated fair-classification
+// variants of the paper (Figure 5, rightmost column) and constructs them
+// with their paper hyper-parameters. Causal approaches receive the
+// dataset's causal graph; pre- and post-processing approaches receive a
+// downstream classifier factory (logistic regression unless the
+// model-sensitivity experiment swaps it).
+package registry
+
+import (
+	"fmt"
+	"sort"
+
+	"fairbench/internal/causal"
+	"fairbench/internal/classifier"
+	"fairbench/internal/fair"
+	"fairbench/internal/inproc"
+	"fairbench/internal/postproc"
+	"fairbench/internal/preproc"
+)
+
+// Config carries the per-run construction context.
+type Config struct {
+	// Graph is the dataset's causal model (required by the Zha-Wu
+	// variants; nil disables them).
+	Graph *causal.Graph
+	// Factory builds downstream classifiers for pre- and post-processing
+	// (nil = logistic regression).
+	Factory classifier.Factory
+	// Seed drives every stochastic component.
+	Seed int64
+}
+
+// Names lists the evaluated variants in the paper's presentation order
+// (pre, then in, then post).
+var Names = []string{
+	"KamCal-DP", "Feld-DP", "Calmon-DP", "ZhaWu-PSF", "ZhaWu-DCE",
+	"Salimi-JF-MaxSAT", "Salimi-JF-MatFac",
+	"Zafar-DP-Fair", "Zafar-DP-Acc", "Zafar-EO-Fair", "ZhaLe-EO",
+	"Kearns-PE", "Celis-PP", "Thomas-DP", "Thomas-EO",
+	"KamKar-DP", "Hardt-EO", "Pleiss-EOP",
+}
+
+// ExtendedNames lists the three additional appendix variants (Figure 15):
+// Madras^dp fair representations and the Agarwal^dp/eo reductions.
+var ExtendedNames = []string{"Madras-DP", "Agarwal-DP", "Agarwal-EO"}
+
+// New constructs one variant by its registry name.
+func New(name string, cfg Config) (fair.Approach, error) {
+	switch name {
+	case "Madras-DP":
+		return preproc.NewMadras(cfg.Factory, cfg.Seed), nil
+	case "Agarwal-DP":
+		return inproc.NewAgarwalDP(), nil
+	case "Agarwal-EO":
+		return inproc.NewAgarwalEO(), nil
+	case "LR":
+		b := fair.NewBaseline()
+		if cfg.Factory != nil {
+			b.Factory = cfg.Factory
+		}
+		return b, nil
+	case "KamCal-DP":
+		return preproc.NewKamCal(cfg.Factory, cfg.Seed), nil
+	case "Feld-DP":
+		return preproc.NewFeld(cfg.Factory), nil
+	case "Calmon-DP":
+		return preproc.NewCalmon(cfg.Factory, cfg.Seed), nil
+	case "ZhaWu-PSF":
+		return preproc.NewZhaWuPSF(cfg.Graph, cfg.Factory), nil
+	case "ZhaWu-DCE":
+		return preproc.NewZhaWuDCE(cfg.Graph, cfg.Factory), nil
+	case "Salimi-JF-MaxSAT":
+		return preproc.NewSalimiMaxSAT(cfg.Factory, cfg.Seed), nil
+	case "Salimi-JF-MatFac":
+		return preproc.NewSalimiMatFac(cfg.Factory, cfg.Seed), nil
+	case "Zafar-DP-Fair":
+		return inproc.NewZafarDPFair(), nil
+	case "Zafar-DP-Acc":
+		return inproc.NewZafarDPAcc(), nil
+	case "Zafar-EO-Fair":
+		return inproc.NewZafarEOFair(), nil
+	case "ZhaLe-EO":
+		return inproc.NewZhaLe(cfg.Seed), nil
+	case "Kearns-PE":
+		return inproc.NewKearns(), nil
+	case "Celis-PP":
+		return inproc.NewCelis(), nil
+	case "Thomas-DP":
+		return inproc.NewThomasDP(cfg.Seed), nil
+	case "Thomas-EO":
+		return inproc.NewThomasEO(cfg.Seed), nil
+	case "KamKar-DP":
+		return postproc.NewKamKar(cfg.Factory, cfg.Seed), nil
+	case "Hardt-EO":
+		return postproc.NewHardt(cfg.Factory, cfg.Seed), nil
+	case "Pleiss-EOP":
+		return postproc.NewPleiss(cfg.Factory, cfg.Seed), nil
+	default:
+		return nil, fmt.Errorf("registry: unknown approach %q", name)
+	}
+}
+
+// All constructs every evaluated variant.
+func All(cfg Config) ([]fair.Approach, error) {
+	out := make([]fair.Approach, 0, len(Names))
+	for _, n := range Names {
+		a, err := New(n, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ByStage returns the evaluated variant names grouped by stage, each group
+// in presentation order.
+func ByStage() map[fair.Stage][]string {
+	out := map[fair.Stage][]string{}
+	for _, n := range Names {
+		a, err := New(n, Config{})
+		if err != nil {
+			continue
+		}
+		out[a.Stage()] = append(out[a.Stage()], n)
+	}
+	for _, names := range out {
+		sort.SliceStable(names, func(i, j int) bool {
+			return indexOf(names[i]) < indexOf(names[j])
+		})
+	}
+	return out
+}
+
+func indexOf(name string) int {
+	for i, n := range Names {
+		if n == name {
+			return i
+		}
+	}
+	return len(Names)
+}

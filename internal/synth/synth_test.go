@@ -1,0 +1,152 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdultCalibration(t *testing.T) {
+	src := Adult(0, 1)
+	d := src.Data
+	if d.Len() != 45222 {
+		t.Fatalf("Adult default size: %d", d.Len())
+	}
+	if d.Dim() != 9 {
+		t.Fatalf("Adult attribute count: %d", d.Dim())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	u, p := d.BaseRates()
+	if math.Abs(u-0.11) > 0.02 {
+		t.Fatalf("P(Y=1|female) = %v, want ~0.11", u)
+	}
+	if math.Abs(p-0.32) > 0.02 {
+		t.Fatalf("P(Y=1|male) = %v, want ~0.32", p)
+	}
+	var male float64
+	for _, s := range d.S {
+		male += float64(s)
+	}
+	if frac := male / float64(d.Len()); math.Abs(frac-0.67) > 0.02 {
+		t.Fatalf("male fraction %v, want ~0.67", frac)
+	}
+	if d.SName != "Sex" || d.YName != "Income" {
+		t.Fatalf("schema labels: %s %s", d.SName, d.YName)
+	}
+}
+
+func TestCOMPASCalibration(t *testing.T) {
+	src := COMPAS(0, 2)
+	d := src.Data
+	if d.Len() != 7214 || d.Dim() != 3 {
+		t.Fatalf("COMPAS shape: %d x %d", d.Len(), d.Dim())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	u, p := d.BaseRates()
+	if math.Abs(u-0.49) > 0.03 {
+		t.Fatalf("P(no-recid|AA) = %v, want ~0.49", u)
+	}
+	if math.Abs(p-0.61) > 0.03 {
+		t.Fatalf("P(no-recid|other) = %v, want ~0.61", p)
+	}
+}
+
+func TestGermanCalibration(t *testing.T) {
+	src := German(0, 3)
+	d := src.Data
+	if d.Len() != 1000 || d.Dim() != 9 {
+		t.Fatalf("German shape: %d x %d", d.Len(), d.Dim())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	u, p := d.BaseRates()
+	// n=1000 gives wider sampling noise.
+	if math.Abs(u-0.65) > 0.06 {
+		t.Fatalf("P(low-risk|female) = %v, want ~0.65", u)
+	}
+	if math.Abs(p-0.71) > 0.05 {
+		t.Fatalf("P(low-risk|male) = %v, want ~0.71", p)
+	}
+}
+
+func TestGraphsMatchSchemas(t *testing.T) {
+	for _, src := range []*Source{Adult(500, 4), COMPAS(500, 4), German(500, 4)} {
+		d, g := src.Data, src.Graph
+		if !g.Has(d.SName) || !g.Has(d.YName) {
+			t.Fatalf("%s: graph missing S or Y node", d.Name)
+		}
+		for _, a := range d.Attrs {
+			if !g.Has(a.Name) {
+				t.Fatalf("%s: graph missing attribute node %q", d.Name, a.Name)
+			}
+		}
+		// The sensitive attribute is a root (Appendix C) — that is what
+		// identifies TE observationally.
+		if len(g.Parents(d.SName)) != 0 {
+			t.Fatalf("%s: sensitive attribute has parents %v", d.Name, g.Parents(d.SName))
+		}
+		// Y is a sink.
+		if len(g.Children(d.YName)) != 0 {
+			t.Fatalf("%s: label has children", d.Name)
+		}
+		// S causally reaches Y (the datasets embed real bias).
+		if !g.HasDirectedPath(d.SName, d.YName) {
+			t.Fatalf("%s: no causal path from S to Y", d.Name)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := COMPAS(300, 9)
+	b := COMPAS(300, 9)
+	for i := range a.Data.X {
+		if a.Data.Y[i] != b.Data.Y[i] || a.Data.S[i] != b.Data.S[i] {
+			t.Fatal("same seed must generate identical data")
+		}
+		for j := range a.Data.X[i] {
+			if a.Data.X[i][j] != b.Data.X[i][j] {
+				t.Fatal("same seed must generate identical features")
+			}
+		}
+	}
+	c := COMPAS(300, 10)
+	same := 0
+	for i := range a.Data.Y {
+		if a.Data.Y[i] == c.Data.Y[i] {
+			same++
+		}
+	}
+	if same == 300 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestCustomSize(t *testing.T) {
+	if got := Adult(123, 1).Data.Len(); got != 123 {
+		t.Fatalf("custom size: %d", got)
+	}
+}
+
+func TestMediatedBias(t *testing.T) {
+	// The SCMs must route part of the group gap through mediators: the
+	// mediator set of each graph is non-empty and mediator distributions
+	// differ by group (COMPAS: priors).
+	src := COMPAS(5000, 7)
+	med := src.Graph.Mediators(src.Data.SName, src.Data.YName)
+	if len(med) == 0 {
+		t.Fatal("COMPAS graph must have mediators")
+	}
+	// Average priors differ by race.
+	var sum, n [2]float64
+	for i, row := range src.Data.X {
+		sum[src.Data.S[i]] += row[2]
+		n[src.Data.S[i]]++
+	}
+	if sum[0]/n[0] <= sum[1]/n[1] {
+		t.Fatal("unprivileged group must have more recorded priors (over-policing)")
+	}
+}
