@@ -10,6 +10,7 @@ import (
 	"fairbench/internal/preproc"
 	"fairbench/internal/registry"
 	"fairbench/internal/rng"
+	"fairbench/internal/runner"
 	"fairbench/internal/synth"
 )
 
@@ -35,6 +36,28 @@ func benchFig7(b *testing.B, src *synth.Source) {
 func BenchmarkFig7_Adult(b *testing.B)  { benchFig7(b, synth.Adult(benchAdultN, 1)) }
 func BenchmarkFig7_COMPAS(b *testing.B) { benchFig7(b, synth.COMPAS(benchCompasN, 1)) }
 func BenchmarkFig7_German(b *testing.B) { benchFig7(b, synth.German(benchGermanN, 1)) }
+
+// ---- Runner: serial vs parallel evalAll (the perf-trajectory pair) ----
+//
+// The same 19-approach Figure 7 grid, forced serial vs on the default
+// worker pool. scripts/bench.sh records both ns/op (and their ratio) to
+// BENCH_parallel.json.
+
+func benchEvalAllWorkers(b *testing.B, workers int) {
+	src := synth.COMPAS(benchCompasN, 1)
+	runner.SetParallelism(workers)
+	defer runner.SetParallelism(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CorrectnessFairness(src, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalAllSerial(b *testing.B)   { benchEvalAllWorkers(b, 1) }
+func BenchmarkEvalAllParallel(b *testing.B) { benchEvalAllWorkers(b, 0) }
 
 // ---- Figure 8: efficiency & scalability sweeps ----
 

@@ -12,7 +12,12 @@
 //	fairbench fig23  [-n N]               data efficiency
 //
 // -n caps the generated dataset size (0 = the paper's full size); smaller
-// values keep exploratory runs fast.
+// values keep exploratory runs fast. -parallel N sets the experiment
+// worker-pool size (0 = GOMAXPROCS, 1 = serial): metric columns are
+// identical at any setting for a fixed seed, while the incidental
+// overhead column of the metric experiments reflects the selected
+// concurrency. The pure timing experiment (fig8) always measures with
+// one worker so its overhead curves stay contention-free.
 package main
 
 import (
@@ -42,7 +47,9 @@ func main() {
 	kFlag := fs.Int("k", 5, "cross-validation folds")
 	runsFlag := fs.Int("runs", 10, "stability runs")
 	seedFlag := fs.Int64("seed", 1, "global seed")
+	parallelFlag := fs.Int("parallel", 0, "experiment worker goroutines (0 = GOMAXPROCS; 1 = serial, for contention-free timing)")
 	fs.Parse(os.Args[2:])
+	fairbench.SetParallelism(*parallelFlag)
 
 	var err error
 	switch cmd {

@@ -21,6 +21,27 @@
 //	src := fairbench.COMPAS(0, 1)
 //	rows, err := fairbench.RunCorrectnessFairness(src, 42)
 //
+// # Parallel execution
+//
+// Every experiment driver fans its (approach × dataset-slice) grid across
+// a worker pool sized to GOMAXPROCS by default. Results are deterministic:
+// for a fixed seed, a parallel run returns exactly the rows a serial run
+// would, because each grid cell constructs its own approach and random
+// stream from explicit seeds and cells share no mutable state. Only the
+// timing fields (Seconds, Overhead) vary — under a parallel pool they
+// are measured with the other cells competing for cores. The pure timing
+// experiment (RunScalabilityRows/RunScalabilityAttrs, Figure 8) therefore
+// always measures with one worker. Tune or disable the pool with:
+//
+//	fairbench.SetParallelism(1)  // serial execution
+//	fairbench.SetParallelism(8)  // exactly 8 workers
+//	fairbench.SetParallelism(0)  // restore the GOMAXPROCS default
+//
+// The fairbench CLI exposes the same knob as -parallel N, and the
+// benchmark suite tracks the speedup (BenchmarkEvalAllSerial vs
+// BenchmarkEvalAllParallel; see scripts/bench.sh, which records both to
+// BENCH_parallel.json).
+//
 // See the examples/ directory for runnable programs.
 package fairbench
 
@@ -34,6 +55,7 @@ import (
 	"fairbench/internal/metrics"
 	"fairbench/internal/registry"
 	"fairbench/internal/rng"
+	"fairbench/internal/runner"
 	"fairbench/internal/synth"
 )
 
@@ -118,6 +140,18 @@ func NewApproachWithModel(name, model string, g *Graph, seed int64) (Approach, e
 
 // Baseline returns the fairness-unaware logistic-regression classifier.
 func Baseline() Approach { return fair.NewBaseline() }
+
+// SetParallelism sets the number of worker goroutines every experiment
+// driver uses for its job grid. n <= 0 restores the default, GOMAXPROCS;
+// 1 forces serial execution. Metric results are identical at any setting
+// for a fixed seed; the timing fields (Seconds, Overhead) reflect the
+// selected concurrency, so use 1 for contention-free runtime studies.
+// Safe to call concurrently with running experiments (in-flight runs
+// keep their pool).
+func SetParallelism(n int) { runner.SetParallelism(n) }
+
+// Parallelism reports the worker count experiment drivers currently use.
+func Parallelism() int { return runner.Parallelism() }
 
 // Split partitions a dataset with the paper's random hold-out protocol.
 func Split(d *Dataset, trainFrac float64, seed int64) (train, test *Dataset) {

@@ -24,6 +24,38 @@ func TestFacadeQuickPath(t *testing.T) {
 	}
 }
 
+func TestFacadeParallelism(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(2)
+	if Parallelism() != 2 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(2)", Parallelism())
+	}
+	src := German(200, 1)
+	parallel, err := RunCorrectnessFairness(src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetParallelism(1)
+	serial, err := RunCorrectnessFairness(src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("row counts: %d vs %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		if serial[i].Approach != parallel[i].Approach ||
+			serial[i].Correct != parallel[i].Correct ||
+			serial[i].Fair != parallel[i].Fair {
+			t.Fatalf("%s: parallel facade run diverges from serial", serial[i].Approach)
+		}
+	}
+	SetParallelism(0)
+	if Parallelism() < 1 {
+		t.Fatalf("default Parallelism() = %d", Parallelism())
+	}
+}
+
 func TestFacadeDatasets(t *testing.T) {
 	for _, src := range Sources(1) {
 		if err := src.Data.Validate(); err != nil {

@@ -1,0 +1,3 @@
+module fairbench
+
+go 1.24

@@ -1,6 +1,8 @@
 package causal
 
 import (
+	"sort"
+
 	"fairbench/internal/dataset"
 )
 
@@ -113,7 +115,6 @@ func (e *Estimator) Estimate(d *dataset.Dataset, yhat []int) Effects {
 		}
 		c2.pos += float64(yhat[i])
 		c2.tot++
-		zGivenS[[2]int{s, z}] += 0 // ensure key exists alongside count below
 		zGivenS[[2]int{s, z}]++
 		zCountS[s]++
 		wMarg[w]++
@@ -161,9 +162,26 @@ func (e *Estimator) Estimate(d *dataset.Dataset, yhat []int) Effects {
 		}
 	}
 
+	// Sum in sorted stratum order: map iteration order is randomized, and
+	// float addition is not associative, so an unordered sum perturbs the
+	// last bits of NDE/NIE from run to run — breaking the benchmark's
+	// bit-reproducibility contract (and the serial↔parallel equivalence
+	// the runner package tests assert).
+	zs := make([]int, 0, len(zset))
+	for z := range zset {
+		zs = append(zs, z)
+	}
+	sort.Ints(zs)
+	ws := make([]int, 0, len(wMarg))
+	for w := range wMarg {
+		ws = append(ws, w)
+	}
+	sort.Ints(ws)
 	var nde, nie float64
-	for _, ze := range zset {
-		for w, pw := range wMarg {
+	for _, z := range zs {
+		ze := zset[z]
+		for _, w := range ws {
+			pw := wMarg[w]
 			nde += expY(1, ze.z, w) * ze.p0z * pw
 			nie += expY(0, ze.z, w) * ze.p1z * pw
 		}

@@ -8,27 +8,30 @@ import (
 )
 
 // CrossValidate reproduces the 5-fold cross-validation tables (Figures
-// 16-18): every approach's metrics averaged over k folds.
+// 16-18): every approach's metrics averaged over k folds. The (fold ×
+// approach) grid runs as one flat job list; per-fold baseline subtraction
+// and the fold average are post-passes in the serial loop's order, so the
+// aggregate floats match a serial run bit for bit.
 func CrossValidate(src *synth.Source, k int, seed int64) ([]Row, error) {
 	folds := src.Data.KFold(k, rng.New(seed))
 	names := append([]string{"LR"}, registry.Names...)
-	acc := make([]Row, len(names))
+	slices := make([]splitPair, len(folds))
 	for fi, fold := range folds {
-		var baseline float64
-		for ni, name := range names {
-			a, err := registry.New(name, registry.Config{Graph: src.Graph, Seed: seed + int64(fi)})
-			if err != nil {
-				return nil, err
-			}
-			row, err := Evaluate(a, fold.Train, fold.Test, src.Graph)
-			if err != nil {
-				return nil, err
-			}
-			if name == "LR" {
-				baseline = row.Seconds
-			}
-			row.Overhead = row.Seconds - baseline
-			addRow(&acc[ni], row)
+		slices[fi] = splitPair{train: fold.Train, test: fold.Test}
+	}
+	rows, err := gridEval(slices, names, src.Graph, func(fi int) int64 { return seed + int64(fi) })
+	if err != nil {
+		return nil, err
+	}
+	acc := make([]Row, len(names))
+	for fi := range folds {
+		fold := rows[fi*len(names) : (fi+1)*len(names)]
+		baseline := fold[0].Seconds
+		for ni := range fold {
+			// The CV tables keep the raw (possibly negative) difference:
+			// they report fold averages, not the clamped Figure 7 column.
+			fold[ni].Overhead = fold[ni].Seconds - baseline
+			addRow(&acc[ni], fold[ni])
 		}
 	}
 	inv := 1 / float64(k)
@@ -85,45 +88,40 @@ type StabilityRow struct {
 }
 
 // Stability reproduces Figure 22: runs random 2/3-1/3 folds and reports
-// per-metric variance.
+// per-metric variance. Folds are drawn up front (each from its own
+// rng.New(seed+run), exactly as the serial protocol), then the (run ×
+// approach) grid fans out across the pool.
 func Stability(src *synth.Source, runs int, seed int64) ([]StabilityRow, error) {
 	names := append([]string{"LR"}, registry.Names...)
-	samples := map[string]*struct{ acc, di, tprb, f1 []float64 }{}
-	var stages []string
-	for ri := 0; ri < runs; ri++ {
-		train, test := src.Data.Split(2.0/3, rng.New(seed+int64(ri)))
-		for _, name := range names {
-			a, err := registry.New(name, registry.Config{Graph: src.Graph, Seed: seed + int64(ri)})
-			if err != nil {
-				return nil, err
-			}
-			row, err := Evaluate(a, train, test, src.Graph)
-			if err != nil {
-				return nil, err
-			}
-			s := samples[name]
-			if s == nil {
-				s = &struct{ acc, di, tprb, f1 []float64 }{}
-				samples[name] = s
-				stages = append(stages, row.Stage)
-			}
-			s.acc = append(s.acc, row.Correct.Accuracy)
-			s.di = append(s.di, row.Fair.DIStar)
-			s.tprb = append(s.tprb, row.Fair.TPRB)
-			s.f1 = append(s.f1, row.Correct.F1)
-		}
+	slices := make([]splitPair, runs)
+	for ri := range slices {
+		slices[ri].train, slices[ri].test = src.Data.Split(2.0/3, rng.New(seed+int64(ri)))
 	}
-	var out []StabilityRow
+	rows, err := gridEval(slices, names, src.Graph, func(ri int) int64 { return seed + int64(ri) })
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StabilityRow, len(names))
 	for ni, name := range names {
-		s := samples[name]
-		out = append(out, StabilityRow{
+		acc := make([]float64, 0, runs)
+		di := make([]float64, 0, runs)
+		tprb := make([]float64, 0, runs)
+		f1 := make([]float64, 0, runs)
+		for ri := 0; ri < runs; ri++ {
+			r := rows[ri*len(names)+ni]
+			acc = append(acc, r.Correct.Accuracy)
+			di = append(di, r.Fair.DIStar)
+			tprb = append(tprb, r.Fair.TPRB)
+			f1 = append(f1, r.Correct.F1)
+		}
+		out[ni] = StabilityRow{
 			Approach: name,
-			Stage:    stages[ni],
-			AccMean:  stats.Mean(s.acc), AccStd: stats.Std(s.acc),
-			DIMean: stats.Mean(s.di), DIStd: stats.Std(s.di),
-			TPRBMean: stats.Mean(s.tprb), TPRBStd: stats.Std(s.tprb),
-			F1Mean: stats.Mean(s.f1), F1Std: stats.Std(s.f1),
-		})
+			Stage:    rows[ni].Stage,
+			AccMean:  stats.Mean(acc), AccStd: stats.Std(acc),
+			DIMean: stats.Mean(di), DIStd: stats.Std(di),
+			TPRBMean: stats.Mean(tprb), TPRBStd: stats.Std(tprb),
+			F1Mean: stats.Mean(f1), F1Std: stats.Std(f1),
+		}
 	}
 	return out, nil
 }
@@ -136,24 +134,25 @@ type EfficiencyPoint struct {
 
 // DataEfficiency reproduces Figure 23: every approach is retrained on
 // growing training samples and evaluated on a fixed held-out test set.
+// Samples are drawn up front (rng.New(seed+size), as in the serial
+// protocol); the (size × approach) grid fans out across the pool.
 func DataEfficiency(src *synth.Source, sizes []int, names []string, seed int64) (map[string][]EfficiencyPoint, error) {
 	if names == nil {
 		names = append([]string{"LR"}, registry.Names...)
 	}
 	trainPool, test := src.Data.Split(0.7, rng.New(seed))
+	slices := make([]splitPair, len(sizes))
+	for si, n := range sizes {
+		slices[si] = splitPair{train: trainPool.Sample(n, rng.New(seed+int64(n))), test: test}
+	}
+	rows, err := gridEval(slices, names, src.Graph, func(int) int64 { return seed })
+	if err != nil {
+		return nil, err
+	}
 	out := map[string][]EfficiencyPoint{}
-	for _, n := range sizes {
-		train := trainPool.Sample(n, rng.New(seed+int64(n)))
-		for _, name := range names {
-			a, err := registry.New(name, registry.Config{Graph: src.Graph, Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			row, err := Evaluate(a, train, test, src.Graph)
-			if err != nil {
-				return nil, err
-			}
-			out[name] = append(out[name], EfficiencyPoint{Size: n, Row: row})
+	for si, n := range sizes {
+		for ni, name := range names {
+			out[name] = append(out[name], EfficiencyPoint{Size: n, Row: rows[si*len(names)+ni]})
 		}
 	}
 	return out, nil

@@ -10,7 +10,13 @@
 //	Figure 23   — data efficiency vs training-set size
 //
 // Every driver is deterministic given its seed and returns structured rows
-// the report package renders.
+// the report package renders. All drivers fan their (approach ×
+// dataset-slice) grid cells across a runner worker pool — each cell
+// constructs its own approach and RNG from explicit seeds, so the rows are
+// identical to a serial run for a fixed seed; only wall time changes with
+// runner.SetParallelism. Baseline-overhead accounting (Section 4.3) is a
+// post-pass over the collected rows, keeping the timing subtraction
+// well-defined regardless of completion order.
 package experiments
 
 import (
@@ -23,6 +29,7 @@ import (
 	"fairbench/internal/metrics"
 	"fairbench/internal/registry"
 	"fairbench/internal/rng"
+	"fairbench/internal/runner"
 	"fairbench/internal/synth"
 )
 
@@ -73,28 +80,57 @@ func CorrectnessFairness(src *synth.Source, seed int64) ([]Row, error) {
 }
 
 func evalAll(train, test *dataset.Dataset, g *causal.Graph, seed int64) ([]Row, error) {
-	names := append([]string{"LR"}, registry.Names...)
-	rows := make([]Row, 0, len(names))
-	var baseline float64
-	for _, name := range names {
-		a, err := registry.New(name, registry.Config{Graph: g, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		row, err := Evaluate(a, train, test, g)
-		if err != nil {
-			return nil, err
-		}
-		if name == "LR" {
-			baseline = row.Seconds
-		}
-		row.Overhead = row.Seconds - baseline
-		if row.Overhead < 0 {
-			row.Overhead = 0
-		}
-		rows = append(rows, row)
+	return evalNamed(append([]string{"LR"}, registry.Names...), train, test, g, seed)
+}
+
+// splitPair is one dataset slice of an experiment grid: the train/test
+// pair every approach of that slice is evaluated on.
+type splitPair struct {
+	train, test *dataset.Dataset
+}
+
+// gridEval evaluates every (slice × approach) cell of an experiment grid
+// as one flat runner job list, returning rows in slice-major order
+// (rows[si*len(names)+ni] is approach ni on slice si). Each cell
+// constructs its own approach from sliceSeed(si), so results are
+// independent of scheduling. This is the shared engine behind Figure 7,
+// the robustness templates, the CV folds, the stability runs, and the
+// data-efficiency sizes.
+func gridEval(slices []splitPair, names []string, g *causal.Graph, sliceSeed func(si int) int64) ([]Row, error) {
+	return runner.Run(len(slices)*len(names), runner.Options{FailFast: true},
+		func(i int) (Row, error) {
+			si, ni := i/len(names), i%len(names)
+			a, err := registry.New(names[ni], registry.Config{Graph: g, Seed: sliceSeed(si)})
+			if err != nil {
+				return Row{}, err
+			}
+			return Evaluate(a, slices[si].train, slices[si].test, g)
+		})
+}
+
+// evalNamed evaluates the named approaches on one split. names[0] must be
+// the fairness-unaware baseline: its Seconds anchor the Overhead
+// post-pass.
+func evalNamed(names []string, train, test *dataset.Dataset, g *causal.Graph, seed int64) ([]Row, error) {
+	rows, err := gridEval([]splitPair{{train, test}}, names, g, func(int) int64 { return seed })
+	if err != nil {
+		return nil, err
 	}
+	applyOverhead(rows, rows[0].Seconds)
 	return rows, nil
+}
+
+// applyOverhead fills each row's Overhead as its Seconds over the baseline,
+// clamped at zero (a fairness approach cannot be cheaper than no approach;
+// negatives are timing noise).
+func applyOverhead(rows []Row, baseline float64) {
+	for i := range rows {
+		ov := rows[i].Seconds - baseline
+		if ov < 0 {
+			ov = 0
+		}
+		rows[i].Overhead = ov
+	}
 }
 
 // ScalabilityPoint is one (size or attribute count, overhead seconds)
@@ -104,62 +140,76 @@ type ScalabilityPoint struct {
 	Overhead float64
 }
 
+// scaleSlice is one column of the Figure 8 grids: a prepared train/test
+// pair at one x value (#points or #attributes).
+type scaleSlice struct {
+	x           int
+	train, test *dataset.Dataset
+}
+
 // ScalabilityRows reproduces Figure 8(a-c): runtime overhead as the number
 // of training points grows, on samples of the given dataset.
 func ScalabilityRows(src *synth.Source, sizes []int, names []string, seed int64) (map[string][]ScalabilityPoint, error) {
-	out := map[string][]ScalabilityPoint{}
-	for _, n := range sizes {
+	slices := make([]scaleSlice, len(sizes))
+	for i, n := range sizes {
 		sample := src.Data.Sample(n, rng.New(seed+int64(n)))
 		train, test := sample.Split(0.7, rng.New(seed))
-		base, err := timeOne("LR", train, test, src.Graph, seed)
-		if err != nil {
-			return nil, err
-		}
-		for _, name := range names {
-			sec, err := timeOne(name, train, test, src.Graph, seed)
-			if err != nil {
-				return nil, err
-			}
-			ov := sec - base
-			if ov < 0 {
-				ov = 0
-			}
-			out[name] = append(out[name], ScalabilityPoint{X: n, Overhead: ov})
-		}
+		slices[i] = scaleSlice{x: n, train: train, test: test}
 	}
-	return out, nil
+	return scalabilityGrid(slices, names, src.Graph, seed)
 }
 
 // ScalabilityAttrs reproduces Figure 8(d-f): runtime overhead as the
 // number of attributes grows, by projecting the dataset onto attribute
 // prefixes.
 func ScalabilityAttrs(src *synth.Source, attrCounts []int, names []string, sampleSize int, seed int64) (map[string][]ScalabilityPoint, error) {
-	out := map[string][]ScalabilityPoint{}
 	sample := src.Data.Sample(sampleSize, rng.New(seed))
-	for _, k := range attrCounts {
+	slices := make([]scaleSlice, len(attrCounts))
+	for i, k := range attrCounts {
 		if k > sample.Dim() {
 			k = sample.Dim()
 		}
 		cols := make([]int, k)
-		for i := range cols {
-			cols[i] = i
+		for c := range cols {
+			cols[c] = c
 		}
 		proj := sample.ProjectAttrs(cols)
 		train, test := proj.Split(0.7, rng.New(seed))
-		base, err := timeOne("LR", train, test, src.Graph, seed)
-		if err != nil {
-			return nil, err
-		}
-		for _, name := range names {
-			sec, err := timeOne(name, train, test, src.Graph, seed)
-			if err != nil {
-				return nil, err
+		slices[i] = scaleSlice{x: k, train: train, test: test}
+	}
+	return scalabilityGrid(slices, names, src.Graph, seed)
+}
+
+// scalabilityGrid times every (slice × approach) cell, with the baseline
+// LR as an extra column per slice, then subtracts the baseline in a
+// post-pass. Unlike the metric grids, this grid's entire output is wall
+// time, so it always runs with one worker: co-scheduled cells would
+// contend for cores and corrupt the very quantity being measured
+// (Figure 8's overhead curves). It still goes through runner.Run for the
+// uniform error protocol and the future option of distributing slices
+// across isolated machines.
+func scalabilityGrid(slices []scaleSlice, names []string, g *causal.Graph, seed int64) (map[string][]ScalabilityPoint, error) {
+	cols := len(names) + 1 // column 0 is the baseline LR
+	secs, err := runner.Run(len(slices)*cols, runner.Options{Workers: 1, FailFast: true},
+		func(i int) (float64, error) {
+			sl, name := slices[i/cols], "LR"
+			if ni := i % cols; ni > 0 {
+				name = names[ni-1]
 			}
-			ov := sec - base
+			return timeOne(name, sl.train, sl.test, g, seed)
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]ScalabilityPoint{}
+	for si, sl := range slices {
+		base := secs[si*cols]
+		for ni, name := range names {
+			ov := secs[si*cols+ni+1] - base
 			if ov < 0 {
 				ov = 0
 			}
-			out[name] = append(out[name], ScalabilityPoint{X: k, Overhead: ov})
+			out[name] = append(out[name], ScalabilityPoint{X: sl.x, Overhead: ov})
 		}
 	}
 	return out, nil

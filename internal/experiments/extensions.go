@@ -12,25 +12,5 @@ import (
 func Extensions(src *synth.Source, seed int64) ([]Row, error) {
 	train, test := src.Data.Split(0.7, rng.New(seed))
 	names := append([]string{"LR"}, registry.ExtendedNames...)
-	rows := make([]Row, 0, len(names))
-	var baseline float64
-	for _, name := range names {
-		a, err := registry.New(name, registry.Config{Graph: src.Graph, Seed: seed})
-		if err != nil {
-			return nil, err
-		}
-		row, err := Evaluate(a, train, test, src.Graph)
-		if err != nil {
-			return nil, err
-		}
-		if name == "LR" {
-			baseline = row.Seconds
-		}
-		row.Overhead = row.Seconds - baseline
-		if row.Overhead < 0 {
-			row.Overhead = 0
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return evalNamed(names, train, test, src.Graph, seed)
 }

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"fairbench/internal/runner"
+	"fairbench/internal/synth"
+)
+
+// stripTiming zeroes the wall-clock fields so row comparisons only see
+// metrics — the quantities the runner's determinism contract covers.
+func stripTiming(rows []Row) []Row {
+	out := append([]Row(nil), rows...)
+	for i := range out {
+		out[i].Seconds, out[i].Overhead = 0, 0
+	}
+	return out
+}
+
+// TestSerialParallelIdenticalRows is the tentpole's acceptance gate:
+// parallel execution must reproduce the serial rows exactly (modulo
+// timing) for a fixed seed, across seeds and worker counts.
+func TestSerialParallelIdenticalRows(t *testing.T) {
+	defer runner.SetParallelism(0)
+	for _, seed := range []int64{1, 2, 7} {
+		src := synth.German(200, seed)
+		runner.SetParallelism(1)
+		serial, err := CorrectnessFairness(src, seed)
+		if err != nil {
+			t.Fatalf("seed %d serial: %v", seed, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			runner.SetParallelism(workers)
+			parallel, err := CorrectnessFairness(src, seed)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if !reflect.DeepEqual(stripTiming(serial), stripTiming(parallel)) {
+				t.Fatalf("seed %d: parallel rows (workers=%d) diverge from serial", seed, workers)
+			}
+		}
+	}
+}
+
+// TestSerialParallelIdenticalCV covers the aggregating driver, whose fold
+// averages must also be bit-identical (summation order is fixed by the
+// post-pass, not by job completion order).
+func TestSerialParallelIdenticalCV(t *testing.T) {
+	defer runner.SetParallelism(0)
+	src := synth.German(300, 1)
+	runner.SetParallelism(1)
+	serial, err := CrossValidate(src, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.SetParallelism(4)
+	parallel, err := CrossValidate(src, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripTiming(serial), stripTiming(parallel)) {
+		t.Fatal("parallel CV rows diverge from serial")
+	}
+}
+
+// TestSerialParallelIdenticalSensitivity covers a grid driver with a
+// non-default classifier factory per cell.
+func TestSerialParallelIdenticalSensitivity(t *testing.T) {
+	defer runner.SetParallelism(0)
+	src := synth.COMPAS(600, 1)
+	approaches := []string{"Feld-DP", "KamKar-DP"}
+	runner.SetParallelism(1)
+	serial, err := ModelSensitivity(src, approaches, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.SetParallelism(4)
+	parallel, err := ModelSensitivity(src, approaches, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("row counts: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Approach != p.Approach || s.Model != p.Model ||
+			s.Row.Correct != p.Row.Correct || s.Row.Fair != p.Row.Fair {
+			t.Fatalf("cell %d (%s × %s) diverges between serial and parallel", i, s.Approach, s.Model)
+		}
+	}
+}

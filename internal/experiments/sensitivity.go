@@ -4,6 +4,7 @@ import (
 	"fairbench/internal/classifier"
 	"fairbench/internal/registry"
 	"fairbench/internal/rng"
+	"fairbench/internal/runner"
 	"fairbench/internal/synth"
 )
 
@@ -46,24 +47,24 @@ func ModelSensitivity(src *synth.Source, approaches []string, seed int64) ([]Sen
 		}
 	}
 	train, test := src.Data.Split(0.7, rng.New(seed))
-	var out []SensitivityRow
-	for _, model := range ModelNames {
-		factory := ModelFactory(model)
-		for _, name := range approaches {
+	// One job per (model family × approach) cell; each cell builds its own
+	// factory so no classifier state crosses goroutines.
+	return runner.Run(len(ModelNames)*len(approaches), runner.Options{FailFast: true},
+		func(i int) (SensitivityRow, error) {
+			model := ModelNames[i/len(approaches)]
+			name := approaches[i%len(approaches)]
 			a, err := registry.New(name, registry.Config{
-				Graph: src.Graph, Factory: factory, Seed: seed,
+				Graph: src.Graph, Factory: ModelFactory(model), Seed: seed,
 			})
 			if err != nil {
-				return nil, err
+				return SensitivityRow{}, err
 			}
 			row, err := Evaluate(a, train, test, src.Graph)
 			if err != nil {
-				return nil, err
+				return SensitivityRow{}, err
 			}
-			out = append(out, SensitivityRow{Approach: name, Model: model, Row: row})
-		}
-	}
-	return out, nil
+			return SensitivityRow{Approach: name, Model: model, Row: row}, nil
+		})
 }
 
 // SensitivitySpread summarizes, per approach, the spread (max - min) of

@@ -11,8 +11,10 @@ import (
 )
 
 // RNG wraps math/rand.Rand with the distribution helpers the benchmark
-// needs. It is not safe for concurrent use; split per-goroutine instances
-// with Split.
+// needs. It is NOT safe for concurrent use: concurrent jobs must never
+// share an instance. A runner job that needs a generator derives its own
+// private one from its job index with Derive; sequential call trees can
+// split per-callee instances with Split.
 type RNG struct {
 	r *rand.Rand
 }
@@ -20,6 +22,23 @@ type RNG struct {
 // New returns a deterministic RNG seeded with seed.
 func New(seed int64) *RNG {
 	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Derive returns an RNG whose stream is a pure function of (seed, id) and
+// statistically independent across ids: the pair is mixed through a
+// splitmix64 finalizer before seeding, so adjacent ids (the common case —
+// job indices 0..n-1 of one runner.Run call) do not yield correlated
+// streams the way New(seed+id) would. It is the utility for per-job
+// randomness under parallel execution: one Derive call per job index,
+// never a shared instance across goroutines. (The current experiment
+// drivers seed approaches through registry.Config instead and need no
+// job-local generator.)
+func Derive(seed, id int64) *RNG {
+	z := uint64(seed) + (uint64(id)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return New(int64(z >> 1))
 }
 
 // Split derives an independent child RNG from this one. The child's stream

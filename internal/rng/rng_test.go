@@ -29,6 +29,54 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestDeriveDeterminism(t *testing.T) {
+	a, b := Derive(42, 7), Derive(42, 7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same (seed, id) produced different streams")
+		}
+	}
+}
+
+func TestDeriveStreamIndependence(t *testing.T) {
+	// Adjacent job ids — the layout every runner.Run call produces — must
+	// yield uncorrelated streams, unlike naive New(seed+id) seeding.
+	const draws = 200
+	streams := make([][]float64, 8)
+	for id := range streams {
+		g := Derive(1, int64(id))
+		for i := 0; i < draws; i++ {
+			streams[id] = append(streams[id], g.Float64())
+		}
+	}
+	for i := range streams {
+		for j := i + 1; j < len(streams); j++ {
+			same := 0
+			for k := 0; k < draws; k++ {
+				if streams[i][k] == streams[j][k] {
+					same++
+				}
+			}
+			if same > 5 {
+				t.Fatalf("Derive(1,%d) and Derive(1,%d) look correlated: %d identical draws", i, j, same)
+			}
+		}
+	}
+}
+
+func TestDeriveDiffersFromBaseSeed(t *testing.T) {
+	base, derived := New(5), Derive(5, 0)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if base.Float64() == derived.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("Derive(seed, 0) replays New(seed): %d identical draws", same)
+	}
+}
+
 func TestBernoulli(t *testing.T) {
 	g := New(7)
 	n := 20000

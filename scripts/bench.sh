@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suite once and record the serial-vs-parallel
+# evalAll pair to BENCH_parallel.json so the perf trajectory populates.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCHTIME   go test -benchtime value (default 1x: one iteration per
+#               benchmark — a smoke run; use e.g. 3x or 2s for stabler
+#               numbers)
+#   BENCH_PAT   benchmark regexp (default '.': the full suite)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_parallel.json}"
+benchtime="${BENCHTIME:-1x}"
+pattern="${BENCH_PAT:-.}"
+
+if ! raw="$(go test -bench "$pattern" -benchtime "$benchtime" -run '^$' . 2>&1)"; then
+    echo "$raw"
+    echo "bench.sh: go test -bench failed" >&2
+    exit 1
+fi
+echo "$raw"
+
+serial="$(echo "$raw" | awk '$1 ~ /^BenchmarkEvalAllSerial(-[0-9]+)?$/ {print $3}')"
+parallel="$(echo "$raw" | awk '$1 ~ /^BenchmarkEvalAllParallel(-[0-9]+)?$/ {print $3}')"
+
+if [[ -z "$serial" || -z "$parallel" ]]; then
+    echo "bench.sh: BenchmarkEvalAllSerial/Parallel not found in output" >&2
+    echo "bench.sh: pass BENCH_PAT covering 'BenchmarkEvalAll(Serial|Parallel)'" >&2
+    exit 1
+fi
+
+speedup="$(awk -v s="$serial" -v p="$parallel" 'BEGIN { if (p > 0) printf "%.3f", s / p; else printf "0" }')"
+
+cat > "$out" <<EOF
+{
+  "benchmark": "evalAll (Figure 7 grid, COMPAS n=1500)",
+  "go": "$(go env GOVERSION)",
+  "cpus": $(nproc),
+  "benchtime": "$benchtime",
+  "serial_ns_per_op": $serial,
+  "parallel_ns_per_op": $parallel,
+  "speedup": $speedup
+}
+EOF
+echo "bench.sh: wrote $out (speedup ${speedup}x over serial)"
