@@ -167,6 +167,44 @@ func BenchmarkFig23_DataEfficiency(b *testing.B) {
 	}
 }
 
+// ---- Sharding: plan + merge overhead (the BENCH_shard.json pair) ----
+//
+// BenchmarkShardPlan is the fixed cost every shard-running process pays
+// before its first cell: materializing the grid from the spec (dataset
+// synthesis + splits) and computing the shard plan. BenchmarkShardMerge
+// is the coordinator's cost to validate, decode, and reassemble a
+// complete 3-shard set into driver-native rows. Together they bound the
+// overhead of going distributed; scripts/bench.sh records both.
+
+func BenchmarkShardPlan(b *testing.B) {
+	spec := GridSpec{Experiment: "fig7", Dataset: "compas", N: benchCompasN, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := PlanShards(spec, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardMerge(b *testing.B) {
+	spec := GridSpec{Experiment: "fig7", Dataset: "german", N: 300, Seed: 1}
+	envs := make([]*ShardEnvelope, 3)
+	for i := range envs {
+		env, err := RunShard(spec, i, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		envs[i] = env
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MergeShards(envs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---- Ablation benches (design choices DESIGN.md calls out) ----
 
 // Kam-Cal's two faces: weighted resampling (evaluated variant) vs pure

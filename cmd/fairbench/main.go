@@ -10,6 +10,7 @@
 //	fairbench cv     [-dataset ...] [-k 5]  cross-validation tables
 //	fairbench fig22  [-runs 10] [-n N]    stability
 //	fairbench fig23  [-n N]               data efficiency
+//	fairbench merge  part0.json part1.json ...   combine shard envelopes
 //
 // -n caps the generated dataset size (0 = the paper's full size); smaller
 // values keep exploratory runs fast. -parallel N sets the experiment
@@ -18,13 +19,33 @@
 // overhead column of the metric experiments reflects the selected
 // concurrency. The pure timing experiment (fig8) always measures with
 // one worker so its overhead curves stay contention-free.
+//
+// # Sharded execution
+//
+// Any figure command can run as one shard of its job grid and emit a
+// JSON partial-result envelope instead of tables:
+//
+//	fairbench fig7 -dataset compas -shard 0/3 -out part0.json
+//	fairbench fig7 -dataset compas -shard 1/3 -out part1.json   # any host
+//	fairbench fig7 -dataset compas -shard 2/3 -out part2.json   # any host
+//	fairbench merge part0.json part1.json part2.json
+//
+// The merged tables are bit-identical (timing columns aside) to the
+// single-process run with the same flags, because the datasets are
+// synthesized from the seed: the (experiment, dataset, n, seed, …) spec
+// embedded in each envelope fully determines every grid cell. merge
+// rejects envelopes whose grid fingerprints disagree. Commands that span
+// several datasets (-dataset all) or grids shard one grid at a time:
+// pick a single dataset, and for fig8 pick -grid rows or -grid attrs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"fairbench"
@@ -33,6 +54,13 @@ import (
 	"fairbench/internal/registry"
 	"fairbench/internal/report"
 )
+
+// shardableCommands maps figure commands to their grid experiment names
+// (fig8 resolves through -grid since it spans two grids).
+var shardableCommands = map[string]string{
+	"fig7": "fig7", "fig9": "fig9", "fig10": "fig10", "fig15": "fig15",
+	"cv": "cv", "fig22": "fig22", "fig23": "fig23",
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -48,8 +76,19 @@ func main() {
 	runsFlag := fs.Int("runs", 10, "stability runs")
 	seedFlag := fs.Int64("seed", 1, "global seed")
 	parallelFlag := fs.Int("parallel", 0, "experiment worker goroutines (0 = GOMAXPROCS; 1 = serial, for contention-free timing)")
+	shardFlag := fs.String("shard", "", "run one shard i/K (0-based) of the command's job grid and emit a JSON envelope instead of tables")
+	outFlag := fs.String("out", "", "file for the -shard envelope or the merged-output JSON (default: envelope to stdout; merge prints tables only)")
+	gridFlag := fs.String("grid", "rows", "which fig8 grid to shard: rows|attrs")
 	fs.Parse(os.Args[2:])
 	fairbench.SetParallelism(*parallelFlag)
+
+	if *shardFlag != "" {
+		spec, err := specFor(cmd, *datasetFlag, *nFlag, *kFlag, *runsFlag, *gridFlag, *seedFlag)
+		if err == nil {
+			err = cmdShard(spec, *shardFlag, *outFlag)
+		}
+		exit(err)
+	}
 
 	var err error
 	switch cmd {
@@ -73,6 +112,8 @@ func main() {
 		err = cmdFig22(*nFlag, *runsFlag, *seedFlag)
 	case "fig23":
 		err = cmdFig23(*nFlag, *seedFlag)
+	case "merge":
+		err = cmdMerge(fs.Args(), *outFlag)
 	case "all":
 		for _, c := range []func() error{
 			func() error { return cmdFig7("all", *nFlag, *seedFlag) },
@@ -91,14 +132,165 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	exit(err)
+}
+
+func exit(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fairbench:", err)
 		os.Exit(1)
 	}
+	os.Exit(0)
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: fairbench <list|eval|fig7|fig8|fig9|fig10|fig15|cv|fig22|fig23|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: fairbench <list|eval|fig7|fig8|fig9|fig10|fig15|cv|fig22|fig23|merge|all> [flags]
+       fairbench <figN|cv> ... -shard i/K [-out part.json]   run one grid shard
+       fairbench merge part0.json part1.json ...             combine shards`)
+}
+
+// specFor builds the grid spec a sharded run of cmd describes, resolving
+// the same defaults the serial command would use so a sharded run and a
+// serial run with identical flags materialize identical grids.
+func specFor(cmd, ds string, n, k, runs int, grid string, seed int64) (fairbench.GridSpec, error) {
+	experiment, ok := shardableCommands[cmd]
+	if cmd == "fig8" {
+		switch grid {
+		case "rows", "attrs":
+			experiment, ok = "fig8"+grid, true
+		default:
+			return fairbench.GridSpec{}, fmt.Errorf("fig8 -shard needs -grid rows or -grid attrs, got %q", grid)
+		}
+	}
+	if !ok {
+		return fairbench.GridSpec{}, fmt.Errorf("command %q has no shardable job grid", cmd)
+	}
+	spec := fairbench.GridSpec{Experiment: experiment, N: n, Seed: seed}
+	switch cmd {
+	case "fig7", "fig15", "cv":
+		if strings.ToLower(ds) == "all" || ds == "" {
+			return fairbench.GridSpec{}, fmt.Errorf("%s -shard spans one grid: pick -dataset adult|compas|german", cmd)
+		}
+		spec.Dataset = ds
+	}
+	switch cmd {
+	case "cv":
+		spec.K = k
+	case "fig22":
+		spec.Runs = runs
+	}
+	return spec, nil
+}
+
+// parseShard parses "i/K", rejecting any trailing input (Sscanf would
+// quietly accept "0/3x" or "1/3/9" and run the wrong shard).
+func parseShard(s string) (i, k int, err error) {
+	is, ks, found := strings.Cut(s, "/")
+	if !found {
+		return 0, 0, fmt.Errorf("bad -shard %q, want i/K (e.g. 0/3)", s)
+	}
+	if i, err = strconv.Atoi(is); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q: %w", s, err)
+	}
+	if k, err = strconv.Atoi(ks); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q: %w", s, err)
+	}
+	if k < 1 || i < 0 || i >= k {
+		return 0, 0, fmt.Errorf("bad -shard %q: need 0 <= i < K", s)
+	}
+	return i, k, nil
+}
+
+func cmdShard(spec fairbench.GridSpec, shardArg, out string) error {
+	i, k, err := parseShard(shardArg)
+	if err != nil {
+		return err
+	}
+	env, err := fairbench.RunShard(spec, i, k)
+	if err != nil {
+		return err
+	}
+	data, err := env.Encode()
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		_, err = fmt.Println(string(data))
+		return err
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fairbench: wrote shard %d/%d (%d of %d jobs) to %s\n",
+		i, k, len(env.Indices), env.Total, out)
+	return nil
+}
+
+func cmdMerge(files []string, out string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("merge needs at least one envelope file")
+	}
+	envs := make([]*fairbench.ShardEnvelope, len(files))
+	for i, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		if envs[i], err = fairbench.DecodeShardEnvelope(data); err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+	}
+	merged, err := fairbench.MergeShards(envs)
+	if err != nil {
+		return err
+	}
+	if err := renderOutput(merged); err != nil {
+		return err
+	}
+	if out != "" {
+		data, err := jsonIndent(merged)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fairbench: wrote merged output to %s\n", out)
+	}
+	return nil
+}
+
+// renderOutput prints a merged grid result with the same tables the
+// serial command would print (minus the serial-only extras, like fig9's
+// clean-training deltas, which need a second grid).
+func renderOutput(out *fairbench.GridOutput) error {
+	spec := out.Spec
+	switch out.Experiment {
+	case "fig7", "fig15", "cv":
+		title := fmt.Sprintf("%s — merged shards (%s, seed %d)", out.Experiment, spec.Dataset, spec.Seed)
+		return rowsTable(title, out.Rows).Render(os.Stdout)
+	case "fig9":
+		for _, res := range out.Robustness {
+			title := fmt.Sprintf("Figure 9 — robustness on %s + %s (merged shards)", spec.Dataset, res.Template)
+			if err := rowsTable(title, res.Rows).Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	case "fig10":
+		return renderSensitivity(out.Sensitivity, spec.Dataset)
+	case "fig22":
+		return renderStability(out.Stability, spec.Runs, spec.Dataset)
+	case "fig23":
+		return renderEfficiency(out.Efficiency, spec.Sizes, spec.Dataset)
+	case "fig8rows":
+		return scalabilityTable(fmt.Sprintf("Figure 8(a-c) — overhead vs #data points (%s, merged shards)", spec.Dataset), "points", out.Scalability).Render(os.Stdout)
+	case "fig8attrs":
+		return scalabilityTable(fmt.Sprintf("Figure 8(d-f) — overhead vs #attributes (%s, merged shards)", spec.Dataset), "attrs", out.Scalability).Render(os.Stdout)
+	default:
+		return fmt.Errorf("merge: unknown experiment %q", out.Experiment)
+	}
 }
 
 func sources(name string, n int, seed int64) ([]*fairbench.Source, error) {
@@ -224,16 +416,9 @@ func cmdFig15(ds string, n int, seed int64) error {
 
 func cmdFig8(n int, seed int64) error {
 	src := fairbench.Adult(n, seed)
-	sizes := []int{1000, 5000, 10000, 20000, 30000}
-	if n > 0 {
-		sizes = nil
-		for _, s := range []int{500, 1000, 2000, 4000} {
-			if s <= n {
-				sizes = append(sizes, s)
-			}
-		}
-	}
-	rowsBySize, err := fairbench.RunScalabilityRows(src, sizes, seed)
+	// The same defaults Spec normalization applies, so a sharded fig8 run
+	// materializes exactly this grid.
+	rowsBySize, err := fairbench.RunScalabilityRows(src, experiments.DefaultFig8Sizes(n), seed)
 	if err != nil {
 		return err
 	}
@@ -241,12 +426,7 @@ func cmdFig8(n int, seed int64) error {
 		return err
 	}
 	fmt.Println()
-	attrCounts := []int{2, 4, 6, 8, 9}
-	sample := 8000
-	if n > 0 && n < sample {
-		sample = n
-	}
-	rowsByAttr, err := fairbench.RunScalabilityAttrs(src, attrCounts, sample, seed)
+	rowsByAttr, err := fairbench.RunScalabilityAttrs(src, experiments.DefaultFig8AttrCounts(), experiments.DefaultFig8Sample(n), seed)
 	if err != nil {
 		return err
 	}
@@ -320,8 +500,12 @@ func cmdFig10(n int, seed int64) error {
 	if err != nil {
 		return err
 	}
+	return renderSensitivity(rows, "Adult")
+}
+
+func renderSensitivity(rows []experiments.SensitivityRow, dataset string) error {
 	t := &report.Table{
-		Title:   "Figure 10/21 — model sensitivity on Adult",
+		Title:   fmt.Sprintf("Figure 10/21 — model sensitivity on %s", dataset),
 		Headers: []string{"approach", "model", "acc", "DI*", "1-|TE|"},
 	}
 	for _, r := range rows {
@@ -367,8 +551,12 @@ func cmdFig22(n, runs int, seed int64) error {
 	if err != nil {
 		return err
 	}
+	return renderStability(rows, runs, "Adult")
+}
+
+func renderStability(rows []experiments.StabilityRow, runs int, dataset string) error {
 	t := &report.Table{
-		Title:   fmt.Sprintf("Figure 22 — stability over %d random folds (Adult)", runs),
+		Title:   fmt.Sprintf("Figure 22 — stability over %d random folds (%s)", runs, dataset),
 		Headers: []string{"approach", "stage", "acc mean±std", "DI* mean±std", "1-|TPRB| mean±std", "f1 mean±std"},
 	}
 	for _, r := range rows {
@@ -383,19 +571,15 @@ func cmdFig22(n, runs int, seed int64) error {
 
 func cmdFig23(n int, seed int64) error {
 	src := fairbench.Adult(n, seed)
-	sizes := []int{100, 500, 1000, 5000, 10000, 20000}
-	if n > 0 {
-		sizes = nil
-		for _, s := range []int{100, 500, 1000, 2000} {
-			if s <= n {
-				sizes = append(sizes, s)
-			}
-		}
-	}
+	sizes := experiments.DefaultFig23Sizes(n)
 	series, err := fairbench.RunDataEfficiency(src, sizes, seed)
 	if err != nil {
 		return err
 	}
+	return renderEfficiency(series, sizes, "Adult")
+}
+
+func renderEfficiency(series map[string][]experiments.EfficiencyPoint, sizes []int, dataset string) error {
 	names := make([]string, 0, len(series))
 	for name := range series {
 		names = append(names, name)
@@ -405,7 +589,7 @@ func cmdFig23(n int, seed int64) error {
 	for _, s := range sizes {
 		headers = append(headers, fmt.Sprintf("acc@%d", s))
 	}
-	t := &report.Table{Title: "Figure 23 — data efficiency on Adult (accuracy by training size)", Headers: headers}
+	t := &report.Table{Title: fmt.Sprintf("Figure 23 — data efficiency on %s (accuracy by training size)", dataset), Headers: headers}
 	for _, name := range names {
 		cells := []string{name}
 		for _, p := range series[name] {
@@ -426,4 +610,9 @@ func cmdFig23(n int, seed int64) error {
 	}
 	fmt.Println()
 	return t2.Render(os.Stdout)
+}
+
+// jsonIndent renders the merged output for -out.
+func jsonIndent(v any) ([]byte, error) {
+	return json.MarshalIndent(v, "", "  ")
 }

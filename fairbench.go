@@ -42,6 +42,27 @@
 // BenchmarkEvalAllParallel; see scripts/bench.sh, which records both to
 // BENCH_parallel.json).
 //
+// # Sharded execution
+//
+// Beyond the in-process pool, any experiment grid can fan across
+// processes or hosts. A GridSpec names the experiment, dataset, size cap,
+// and seed; because the benchmark datasets are synthesized from seeds,
+// the spec fully determines every grid cell, so independent processes can
+// each run one contiguous shard and the merged result is bit-identical
+// (timing fields aside) to a single-process run:
+//
+//	spec := fairbench.GridSpec{Experiment: "fig7", Dataset: "compas", Seed: 42}
+//	e0, _ := fairbench.RunShard(spec, 0, 3)   // any process / host
+//	e1, _ := fairbench.RunShard(spec, 1, 3)
+//	e2, _ := fairbench.RunShard(spec, 2, 3)
+//	out, _ := fairbench.MergeShards([]*fairbench.ShardEnvelope{e0, e1, e2})
+//
+// Envelopes are plain JSON (rows + job indices + seed + a grid
+// fingerprint); MergeShards rejects envelopes whose fingerprints
+// disagree. The CLI exposes the same flow as
+// `fairbench fig7 -dataset compas -shard 0/3 -out part0.json` followed by
+// `fairbench merge part0.json part1.json part2.json`.
+//
 // See the examples/ directory for runnable programs.
 package fairbench
 
@@ -56,6 +77,7 @@ import (
 	"fairbench/internal/registry"
 	"fairbench/internal/rng"
 	"fairbench/internal/runner"
+	"fairbench/internal/shard"
 	"fairbench/internal/synth"
 )
 
@@ -86,6 +108,16 @@ type (
 	Row = experiments.Row
 	// ErrorTemplate selects a Section 4.4 corruption template.
 	ErrorTemplate = corrupt.Template
+	// GridSpec is the serializable identity of one experiment job grid —
+	// the unit of sharded execution.
+	GridSpec = experiments.Spec
+	// GridOutput is a fully assembled grid result (one payload field per
+	// experiment kind).
+	GridOutput = experiments.Output
+	// ShardRange is one contiguous slice of a grid's job index space.
+	ShardRange = shard.Range
+	// ShardEnvelope is the JSON-serializable partial result of one shard.
+	ShardEnvelope = shard.Envelope
 )
 
 // Pipeline stages.
@@ -152,6 +184,38 @@ func SetParallelism(n int) { runner.SetParallelism(n) }
 
 // Parallelism reports the worker count experiment drivers currently use.
 func Parallelism() int { return runner.Parallelism() }
+
+// PlanShards reports the contiguous job ranges a k-way split of the
+// spec's grid produces. The same plan is computed independently by every
+// RunShard call, so no coordination beyond (spec, i, k) is needed.
+func PlanShards(spec GridSpec, k int) ([]ShardRange, error) {
+	return experiments.PlanShards(spec, k)
+}
+
+// RunShard executes shard i of a k-way split of the spec's experiment
+// grid and returns its partial-result envelope (JSON-serializable; see
+// ShardEnvelope.Encode). Shards share no state: each process
+// re-synthesizes the dataset from the spec's seed, so shards may run on
+// different hosts and still merge bit-identically — provided all hosts
+// (and the merging process) share one CPU architecture, since float
+// arithmetic differs across architectures (e.g. FMA contraction on
+// arm64). Envelopes record GOARCH and MergeShards enforces the match.
+func RunShard(spec GridSpec, i, k int) (*ShardEnvelope, error) {
+	return experiments.RunShard(spec, i, k)
+}
+
+// MergeShards validates a complete shard set and reassembles the
+// driver-native output, identical (timing fields aside) to a
+// single-process run of the same spec. Envelopes with mismatched grid
+// fingerprints are rejected.
+func MergeShards(envs []*ShardEnvelope) (*GridOutput, error) {
+	return experiments.MergeShards(envs)
+}
+
+// DecodeShardEnvelope parses and validates a serialized shard envelope.
+func DecodeShardEnvelope(data []byte) (*ShardEnvelope, error) {
+	return shard.Decode(data)
+}
 
 // Split partitions a dataset with the paper's random hold-out protocol.
 func Split(d *Dataset, trainFrac float64, seed int64) (train, test *Dataset) {

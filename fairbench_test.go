@@ -119,6 +119,59 @@ func TestFacadeModelSwap(t *testing.T) {
 	}
 }
 
+func TestFacadeSharding(t *testing.T) {
+	// The facade's cross-process story end to end: plan, run the three
+	// shards (round-tripping each envelope through its wire encoding),
+	// merge, and compare against the plain driver on the same data.
+	spec := GridSpec{Experiment: "fig7", Dataset: "german", N: 200, Seed: 5}
+	ranges, err := PlanShards(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) != 3 || ranges[2].End != 19 {
+		t.Fatalf("plan: %+v", ranges)
+	}
+	envs := make([]*ShardEnvelope, 3)
+	for i := range envs {
+		env, err := RunShard(spec, i, 3)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		wire, err := env.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if envs[i], err = DecodeShardEnvelope(wire); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := MergeShards(envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := RunCorrectnessFairness(German(200, 5), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Rows) != len(serial) {
+		t.Fatalf("row counts: %d vs %d", len(merged.Rows), len(serial))
+	}
+	for i := range serial {
+		m, s := merged.Rows[i], serial[i]
+		if m.Approach != s.Approach || m.Correct != s.Correct || m.Fair != s.Fair {
+			t.Fatalf("%s: sharded run diverges from serial driver", s.Approach)
+		}
+	}
+	// A shard set from a different seed must not merge.
+	foreign, err := RunShard(GridSpec{Experiment: "fig7", Dataset: "german", N: 200, Seed: 6}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeShards([]*ShardEnvelope{envs[0], envs[1], foreign}); err == nil {
+		t.Fatal("merged envelopes from different grids")
+	}
+}
+
 func TestFacadeBaselineUnfairOnAdult(t *testing.T) {
 	// The paper's headline observation: the fairness-unaware LR on Adult
 	// has very low DI (Figure 7a) while staying fairly accurate.

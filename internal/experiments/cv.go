@@ -13,32 +13,45 @@ import (
 // and the fold average are post-passes in the serial loop's order, so the
 // aggregate floats match a serial run bit for bit.
 func CrossValidate(src *synth.Source, k int, seed int64) ([]Row, error) {
+	out, err := cvGrid(src, k, seed).RunAll()
+	if err != nil {
+		return nil, err
+	}
+	return out.Rows, nil
+}
+
+func cvGrid(src *synth.Source, k int, seed int64) *Grid {
 	folds := src.Data.KFold(k, rng.New(seed))
 	names := append([]string{"LR"}, registry.Names...)
 	slices := make([]splitPair, len(folds))
 	for fi, fold := range folds {
 		slices[fi] = splitPair{train: fold.Train, test: fold.Test}
 	}
-	rows, err := gridEval(slices, names, src.Graph, func(fi int) int64 { return seed + int64(fi) })
-	if err != nil {
-		return nil, err
-	}
-	acc := make([]Row, len(names))
-	for fi := range folds {
-		fold := rows[fi*len(names) : (fi+1)*len(names)]
-		baseline := fold[0].Seconds
-		for ni := range fold {
-			// The CV tables keep the raw (possibly negative) difference:
-			// they report fold averages, not the clamped Figure 7 column.
-			fold[ni].Overhead = fold[ni].Seconds - baseline
-			addRow(&acc[ni], fold[ni])
-		}
-	}
-	inv := 1 / float64(k)
-	for i := range acc {
-		scaleRow(&acc[i], inv)
-	}
-	return acc, nil
+	return metricGrid(slices, names, src.Graph, seed,
+		func(fi int) int64 { return seed + int64(fi) },
+		func(g *Grid, cells []Cell) (*Output, error) {
+			rows, err := cellRows(cells)
+			if err != nil {
+				return nil, err
+			}
+			acc := make([]Row, len(names))
+			for fi := range slices {
+				fold := rows[fi*len(names) : (fi+1)*len(names)]
+				baseline := fold[0].Seconds
+				for ni := range fold {
+					// The CV tables keep the raw (possibly negative)
+					// difference: they report fold averages, not the
+					// clamped Figure 7 column.
+					fold[ni].Overhead = fold[ni].Seconds - baseline
+					addRow(&acc[ni], fold[ni])
+				}
+			}
+			inv := 1 / float64(k)
+			for i := range acc {
+				scaleRow(&acc[i], inv)
+			}
+			return &Output{Rows: acc}, nil
+		})
 }
 
 func addRow(dst *Row, src Row) {
@@ -92,38 +105,50 @@ type StabilityRow struct {
 // rng.New(seed+run), exactly as the serial protocol), then the (run ×
 // approach) grid fans out across the pool.
 func Stability(src *synth.Source, runs int, seed int64) ([]StabilityRow, error) {
+	out, err := stabilityGrid(src, runs, seed).RunAll()
+	if err != nil {
+		return nil, err
+	}
+	return out.Stability, nil
+}
+
+func stabilityGrid(src *synth.Source, runs int, seed int64) *Grid {
 	names := append([]string{"LR"}, registry.Names...)
 	slices := make([]splitPair, runs)
 	for ri := range slices {
 		slices[ri].train, slices[ri].test = src.Data.Split(2.0/3, rng.New(seed+int64(ri)))
 	}
-	rows, err := gridEval(slices, names, src.Graph, func(ri int) int64 { return seed + int64(ri) })
-	if err != nil {
-		return nil, err
-	}
-	out := make([]StabilityRow, len(names))
-	for ni, name := range names {
-		acc := make([]float64, 0, runs)
-		di := make([]float64, 0, runs)
-		tprb := make([]float64, 0, runs)
-		f1 := make([]float64, 0, runs)
-		for ri := 0; ri < runs; ri++ {
-			r := rows[ri*len(names)+ni]
-			acc = append(acc, r.Correct.Accuracy)
-			di = append(di, r.Fair.DIStar)
-			tprb = append(tprb, r.Fair.TPRB)
-			f1 = append(f1, r.Correct.F1)
-		}
-		out[ni] = StabilityRow{
-			Approach: name,
-			Stage:    rows[ni].Stage,
-			AccMean:  stats.Mean(acc), AccStd: stats.Std(acc),
-			DIMean: stats.Mean(di), DIStd: stats.Std(di),
-			TPRBMean: stats.Mean(tprb), TPRBStd: stats.Std(tprb),
-			F1Mean: stats.Mean(f1), F1Std: stats.Std(f1),
-		}
-	}
-	return out, nil
+	return metricGrid(slices, names, src.Graph, seed,
+		func(ri int) int64 { return seed + int64(ri) },
+		func(g *Grid, cells []Cell) (*Output, error) {
+			rows, err := cellRows(cells)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]StabilityRow, len(names))
+			for ni, name := range names {
+				acc := make([]float64, 0, runs)
+				di := make([]float64, 0, runs)
+				tprb := make([]float64, 0, runs)
+				f1 := make([]float64, 0, runs)
+				for ri := 0; ri < runs; ri++ {
+					r := rows[ri*len(names)+ni]
+					acc = append(acc, r.Correct.Accuracy)
+					di = append(di, r.Fair.DIStar)
+					tprb = append(tprb, r.Fair.TPRB)
+					f1 = append(f1, r.Correct.F1)
+				}
+				out[ni] = StabilityRow{
+					Approach: name,
+					Stage:    rows[ni].Stage,
+					AccMean:  stats.Mean(acc), AccStd: stats.Std(acc),
+					DIMean: stats.Mean(di), DIStd: stats.Std(di),
+					TPRBMean: stats.Mean(tprb), TPRBStd: stats.Std(tprb),
+					F1Mean: stats.Mean(f1), F1Std: stats.Std(f1),
+				}
+			}
+			return &Output{Stability: out}, nil
+		})
 }
 
 // EfficiencyPoint is one (training size, metrics) measurement.
@@ -137,6 +162,14 @@ type EfficiencyPoint struct {
 // Samples are drawn up front (rng.New(seed+size), as in the serial
 // protocol); the (size × approach) grid fans out across the pool.
 func DataEfficiency(src *synth.Source, sizes []int, names []string, seed int64) (map[string][]EfficiencyPoint, error) {
+	out, err := efficiencyGrid(src, sizes, names, seed).RunAll()
+	if err != nil {
+		return nil, err
+	}
+	return out.Efficiency, nil
+}
+
+func efficiencyGrid(src *synth.Source, sizes []int, names []string, seed int64) *Grid {
 	if names == nil {
 		names = append([]string{"LR"}, registry.Names...)
 	}
@@ -145,15 +178,18 @@ func DataEfficiency(src *synth.Source, sizes []int, names []string, seed int64) 
 	for si, n := range sizes {
 		slices[si] = splitPair{train: trainPool.Sample(n, rng.New(seed+int64(n))), test: test}
 	}
-	rows, err := gridEval(slices, names, src.Graph, func(int) int64 { return seed })
-	if err != nil {
-		return nil, err
-	}
-	out := map[string][]EfficiencyPoint{}
-	for si, n := range sizes {
-		for ni, name := range names {
-			out[name] = append(out[name], EfficiencyPoint{Size: n, Row: rows[si*len(names)+ni]})
-		}
-	}
-	return out, nil
+	return metricGrid(slices, names, src.Graph, seed, func(int) int64 { return seed },
+		func(g *Grid, cells []Cell) (*Output, error) {
+			rows, err := cellRows(cells)
+			if err != nil {
+				return nil, err
+			}
+			out := map[string][]EfficiencyPoint{}
+			for si, n := range sizes {
+				for ni, name := range names {
+					out[name] = append(out[name], EfficiencyPoint{Size: n, Row: rows[si*len(names)+ni]})
+				}
+			}
+			return &Output{Efficiency: out}, nil
+		})
 }

@@ -10,13 +10,17 @@
 //	Figure 23   — data efficiency vs training-set size
 //
 // Every driver is deterministic given its seed and returns structured rows
-// the report package renders. All drivers fan their (approach ×
-// dataset-slice) grid cells across a runner worker pool — each cell
-// constructs its own approach and RNG from explicit seeds, so the rows are
-// identical to a serial run for a fixed seed; only wall time changes with
-// runner.SetParallelism. Baseline-overhead accounting (Section 4.3) is a
-// post-pass over the collected rows, keeping the timing subtraction
-// well-defined regardless of completion order.
+// the report package renders. Every driver's (approach × dataset-slice)
+// job list is a first-class Grid (see grid.go): an enumerable, indexable
+// cell set that fans across a runner worker pool in process, and — because
+// a Spec fully determines every cell — can also be split into contiguous
+// shards that run in other processes or hosts and merge back bit-identical
+// (see internal/shard). Each cell constructs its own approach and RNG from
+// explicit seeds, so the rows are identical to a serial run for a fixed
+// seed; only wall time changes with runner.SetParallelism. Baseline-
+// overhead accounting (Section 4.3) is a post-pass over the collected
+// rows, keeping the timing subtraction well-defined regardless of
+// completion order.
 package experiments
 
 import (
@@ -29,7 +33,6 @@ import (
 	"fairbench/internal/metrics"
 	"fairbench/internal/registry"
 	"fairbench/internal/rng"
-	"fairbench/internal/runner"
 	"fairbench/internal/synth"
 )
 
@@ -75,12 +78,17 @@ func Evaluate(a fair.Approach, train, test *dataset.Dataset, g *causal.Graph) (R
 // CorrectnessFairness reproduces Figure 7 for one dataset: the baseline LR
 // followed by all 18 variants on a 70/30 split.
 func CorrectnessFairness(src *synth.Source, seed int64) ([]Row, error) {
-	train, test := src.Data.Split(0.7, rng.New(seed))
-	return evalAll(train, test, src.Graph, seed)
+	out, err := fig7Grid(src, seed).RunAll()
+	if err != nil {
+		return nil, err
+	}
+	return out.Rows, nil
 }
 
-func evalAll(train, test *dataset.Dataset, g *causal.Graph, seed int64) ([]Row, error) {
-	return evalNamed(append([]string{"LR"}, registry.Names...), train, test, g, seed)
+// fig7Grid builds the Figure 7 grid: one 70/30 split × (baseline + all 18
+// variants).
+func fig7Grid(src *synth.Source, seed int64) *Grid {
+	return baselineRowsGrid(src, append([]string{"LR"}, registry.Names...), seed)
 }
 
 // splitPair is one dataset slice of an experiment grid: the train/test
@@ -89,35 +97,37 @@ type splitPair struct {
 	train, test *dataset.Dataset
 }
 
-// gridEval evaluates every (slice × approach) cell of an experiment grid
-// as one flat runner job list, returning rows in slice-major order
-// (rows[si*len(names)+ni] is approach ni on slice si). Each cell
-// constructs its own approach from sliceSeed(si), so results are
-// independent of scheduling. This is the shared engine behind Figure 7,
-// the robustness templates, the CV folds, the stability runs, and the
-// data-efficiency sizes.
-func gridEval(slices []splitPair, names []string, g *causal.Graph, sliceSeed func(si int) int64) ([]Row, error) {
-	return runner.Run(len(slices)*len(names), runner.Options{FailFast: true},
-		func(i int) (Row, error) {
-			si, ni := i/len(names), i%len(names)
-			a, err := registry.New(names[ni], registry.Config{Graph: g, Seed: sliceSeed(si)})
-			if err != nil {
-				return Row{}, err
-			}
-			return Evaluate(a, slices[si].train, slices[si].test, g)
-		})
+// metricGrid builds a (slice × approach) grid whose cells are evaluation
+// Rows in slice-major order (cell si*len(names)+ni is approach ni on
+// slice si). Each cell constructs its own approach from sliceSeed(si), so
+// results are independent of scheduling and of the process that runs
+// them. This is the shared engine behind Figure 7, the robustness
+// templates, the CV folds, the stability runs, and the data-efficiency
+// sizes.
+func metricGrid(slices []splitPair, names []string, g *causal.Graph, seed int64,
+	sliceSeed func(si int) int64, assemble func(*Grid, []Cell) (*Output, error)) *Grid {
+	return &Grid{
+		kind: kindMetric, graph: g, seed: seed,
+		slices: slices, names: names, sliceSeed: sliceSeed,
+		assemble: assemble,
+	}
 }
 
-// evalNamed evaluates the named approaches on one split. names[0] must be
-// the fairness-unaware baseline: its Seconds anchor the Overhead
-// post-pass.
-func evalNamed(names []string, train, test *dataset.Dataset, g *causal.Graph, seed int64) ([]Row, error) {
-	rows, err := gridEval([]splitPair{{train, test}}, names, g, func(int) int64 { return seed })
-	if err != nil {
-		return nil, err
-	}
-	applyOverhead(rows, rows[0].Seconds)
-	return rows, nil
+// baselineRowsGrid is a one-split metric grid whose post-pass anchors the
+// Overhead column on the leading baseline row (names[0] must be the
+// fairness-unaware LR).
+func baselineRowsGrid(src *synth.Source, names []string, seed int64) *Grid {
+	train, test := src.Data.Split(0.7, rng.New(seed))
+	return metricGrid([]splitPair{{train, test}}, names, src.Graph, seed,
+		func(int) int64 { return seed },
+		func(_ *Grid, cells []Cell) (*Output, error) {
+			rows, err := cellRows(cells)
+			if err != nil {
+				return nil, err
+			}
+			applyOverhead(rows, rows[0].Seconds)
+			return &Output{Rows: rows}, nil
+		})
 }
 
 // applyOverhead fills each row's Overhead as its Seconds over the baseline,
@@ -150,19 +160,35 @@ type scaleSlice struct {
 // ScalabilityRows reproduces Figure 8(a-c): runtime overhead as the number
 // of training points grows, on samples of the given dataset.
 func ScalabilityRows(src *synth.Source, sizes []int, names []string, seed int64) (map[string][]ScalabilityPoint, error) {
+	out, err := scaleRowsGrid(src, sizes, names, seed).RunAll()
+	if err != nil {
+		return nil, err
+	}
+	return out.Scalability, nil
+}
+
+func scaleRowsGrid(src *synth.Source, sizes []int, names []string, seed int64) *Grid {
 	slices := make([]scaleSlice, len(sizes))
 	for i, n := range sizes {
 		sample := src.Data.Sample(n, rng.New(seed+int64(n)))
 		train, test := sample.Split(0.7, rng.New(seed))
 		slices[i] = scaleSlice{x: n, train: train, test: test}
 	}
-	return scalabilityGrid(slices, names, src.Graph, seed)
+	return scaleGrid(slices, names, src.Graph, seed)
 }
 
 // ScalabilityAttrs reproduces Figure 8(d-f): runtime overhead as the
 // number of attributes grows, by projecting the dataset onto attribute
 // prefixes.
 func ScalabilityAttrs(src *synth.Source, attrCounts []int, names []string, sampleSize int, seed int64) (map[string][]ScalabilityPoint, error) {
+	out, err := scaleAttrsGrid(src, attrCounts, names, sampleSize, seed).RunAll()
+	if err != nil {
+		return nil, err
+	}
+	return out.Scalability, nil
+}
+
+func scaleAttrsGrid(src *synth.Source, attrCounts []int, names []string, sampleSize int, seed int64) *Grid {
 	sample := src.Data.Sample(sampleSize, rng.New(seed))
 	slices := make([]scaleSlice, len(attrCounts))
 	for i, k := range attrCounts {
@@ -177,42 +203,41 @@ func ScalabilityAttrs(src *synth.Source, attrCounts []int, names []string, sampl
 		train, test := proj.Split(0.7, rng.New(seed))
 		slices[i] = scaleSlice{x: k, train: train, test: test}
 	}
-	return scalabilityGrid(slices, names, src.Graph, seed)
+	return scaleGrid(slices, names, src.Graph, seed)
 }
 
-// scalabilityGrid times every (slice × approach) cell, with the baseline
-// LR as an extra column per slice, then subtracts the baseline in a
-// post-pass. Unlike the metric grids, this grid's entire output is wall
-// time, so it always runs with one worker: co-scheduled cells would
-// contend for cores and corrupt the very quantity being measured
-// (Figure 8's overhead curves). It still goes through runner.Run for the
-// uniform error protocol and the future option of distributing slices
-// across isolated machines.
-func scalabilityGrid(slices []scaleSlice, names []string, g *causal.Graph, seed int64) (map[string][]ScalabilityPoint, error) {
-	cols := len(names) + 1 // column 0 is the baseline LR
-	secs, err := runner.Run(len(slices)*cols, runner.Options{Workers: 1, FailFast: true},
-		func(i int) (float64, error) {
-			sl, name := slices[i/cols], "LR"
-			if ni := i % cols; ni > 0 {
-				name = names[ni-1]
+// scaleGrid builds a pure-timing grid that times every (slice × approach)
+// cell, with the baseline LR as an extra column per slice, and subtracts
+// the baseline in the assembly post-pass. Unlike the metric grids, this
+// grid's entire output is wall time, so RunRange executes its cells with
+// one worker: co-scheduled cells would contend for cores and corrupt the
+// very quantity being measured (Figure 8's overhead curves). Distributing
+// its shards across isolated machines is the sanctioned way to speed it
+// up.
+func scaleGrid(slices []scaleSlice, names []string, g *causal.Graph, seed int64) *Grid {
+	return &Grid{
+		kind: kindScale, graph: g, seed: seed,
+		scale: slices, names: names,
+		assemble: func(gr *Grid, cells []Cell) (*Output, error) {
+			secs, err := cellSeconds(cells)
+			if err != nil {
+				return nil, err
 			}
-			return timeOne(name, sl.train, sl.test, g, seed)
-		})
-	if err != nil {
-		return nil, err
-	}
-	out := map[string][]ScalabilityPoint{}
-	for si, sl := range slices {
-		base := secs[si*cols]
-		for ni, name := range names {
-			ov := secs[si*cols+ni+1] - base
-			if ov < 0 {
-				ov = 0
+			cols := len(gr.names) + 1
+			out := map[string][]ScalabilityPoint{}
+			for si, sl := range gr.scale {
+				base := secs[si*cols]
+				for ni, name := range gr.names {
+					ov := secs[si*cols+ni+1] - base
+					if ov < 0 {
+						ov = 0
+					}
+					out[name] = append(out[name], ScalabilityPoint{X: sl.x, Overhead: ov})
+				}
 			}
-			out[name] = append(out[name], ScalabilityPoint{X: sl.x, Overhead: ov})
-		}
+			return &Output{Scalability: out}, nil
+		},
 	}
-	return out, nil
 }
 
 func timeOne(name string, train, test *dataset.Dataset, g *causal.Graph, seed int64) (float64, error) {

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fairbench/internal/registry"
-	"fairbench/internal/rng"
 	"fairbench/internal/synth"
 )
 
@@ -10,7 +9,13 @@ import (
 // variants (Madras^dp, Agarwal^dp, Agarwal^eo) evaluated on one dataset
 // alongside the baseline, with the same protocol as Figure 7.
 func Extensions(src *synth.Source, seed int64) ([]Row, error) {
-	train, test := src.Data.Split(0.7, rng.New(seed))
-	names := append([]string{"LR"}, registry.ExtendedNames...)
-	return evalNamed(names, train, test, src.Graph, seed)
+	out, err := extensionsGrid(src, seed).RunAll()
+	if err != nil {
+		return nil, err
+	}
+	return out.Rows, nil
+}
+
+func extensionsGrid(src *synth.Source, seed int64) *Grid {
+	return baselineRowsGrid(src, append([]string{"LR"}, registry.ExtendedNames...), seed)
 }

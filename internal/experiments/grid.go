@@ -1,0 +1,468 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"fairbench/internal/causal"
+	"fairbench/internal/registry"
+	"fairbench/internal/runner"
+	"fairbench/internal/shard"
+	"fairbench/internal/synth"
+)
+
+// Spec is the serializable identity of one experiment grid: enough to
+// rebuild the exact same (approach × dataset-slice) job list in any
+// process. The benchmark datasets are synthesized from seeds, so a Spec
+// fully determines every cell's inputs — which is what makes cross-process
+// sharding sound: two processes that Open the same Spec compute the same
+// grid, and cell i is the same computation in both.
+//
+// Nil/zero optional fields select the experiment's paper defaults (see
+// Normalize). The canonical JSON encoding of the normalized Spec, plus
+// the grid's job count, is hashed into the shard fingerprint.
+type Spec struct {
+	// Experiment names the driver: fig7, fig9, fig10, fig15, cv, fig22,
+	// fig23, fig8rows, or fig8attrs.
+	Experiment string `json:"experiment"`
+	// Dataset is adult, compas, or german. Required for the
+	// dataset-parameterized drivers (fig7, fig15, cv); the fixed-dataset
+	// figures default to the paper's choice (fig9 → compas, rest → adult).
+	Dataset string `json:"dataset,omitempty"`
+	// N caps the generated dataset size (0 = the paper's full size).
+	N int `json:"n,omitempty"`
+	// Seed is the experiment's global seed.
+	Seed int64 `json:"seed"`
+	// Names overrides the evaluated approach set (nil = the driver's
+	// default). fig7/fig9/cv/fig22 always evaluate the full set and
+	// ignore this.
+	Names []string `json:"names,omitempty"`
+	// K is the cross-validation fold count (cv only; default 5).
+	K int `json:"k,omitempty"`
+	// Runs is the random-fold count (fig22 only; default 10).
+	Runs int `json:"runs,omitempty"`
+	// Sizes are the training sizes (fig8rows, fig23; default depends on N).
+	Sizes []int `json:"sizes,omitempty"`
+	// AttrCounts are the attribute prefixes (fig8attrs; default 2,4,6,8,9).
+	AttrCounts []int `json:"attrCounts,omitempty"`
+	// SampleSize is the fig8attrs sample (default 8000, capped at N).
+	SampleSize int `json:"sampleSize,omitempty"`
+}
+
+// DefaultFig8Sizes returns the Figure 8(a-c) training sizes for a dataset
+// cap of n (0 = paper size). Shared by the CLI and Spec normalization so
+// a sharded run defaults to exactly the grid a serial run would.
+func DefaultFig8Sizes(n int) []int {
+	if n <= 0 {
+		return []int{1000, 5000, 10000, 20000, 30000}
+	}
+	var sizes []int
+	for _, s := range []int{500, 1000, 2000, 4000} {
+		if s <= n {
+			sizes = append(sizes, s)
+		}
+	}
+	return sizes
+}
+
+// DefaultFig8AttrCounts returns the Figure 8(d-f) attribute prefixes.
+func DefaultFig8AttrCounts() []int { return []int{2, 4, 6, 8, 9} }
+
+// DefaultFig8Sample returns the Figure 8(d-f) sample size under cap n.
+func DefaultFig8Sample(n int) int {
+	if n > 0 && n < 8000 {
+		return n
+	}
+	return 8000
+}
+
+// DefaultFig23Sizes returns the Figure 23 training sizes under cap n.
+func DefaultFig23Sizes(n int) []int {
+	if n <= 0 {
+		return []int{100, 500, 1000, 5000, 10000, 20000}
+	}
+	var sizes []int
+	for _, s := range []int{100, 500, 1000, 2000} {
+		if s <= n {
+			sizes = append(sizes, s)
+		}
+	}
+	return sizes
+}
+
+// DefaultSensitivityApproaches lists the pre- and post-processing
+// approaches of the Figure 10 / Figure 21 model-sensitivity study.
+var DefaultSensitivityApproaches = []string{
+	"KamCal-DP", "Feld-DP", "Calmon-DP", "ZhaWu-PSF", "ZhaWu-DCE",
+	"Salimi-JF-MaxSAT", "KamKar-DP", "Hardt-EO", "Pleiss-EOP",
+}
+
+// Normalize lower-cases the identity fields, fills paper defaults, and
+// validates the spec. Fingerprints are computed over the normalized form,
+// so two specs that materialize the same grid always merge.
+func (s Spec) Normalize() (Spec, error) {
+	s.Experiment = strings.ToLower(strings.TrimSpace(s.Experiment))
+	s.Dataset = strings.ToLower(strings.TrimSpace(s.Dataset))
+	switch s.Experiment {
+	case "fig7", "fig15", "cv":
+		if s.Dataset == "" {
+			return s, fmt.Errorf("experiments: %s requires an explicit dataset", s.Experiment)
+		}
+	case "fig9":
+		if s.Dataset == "" {
+			s.Dataset = "compas"
+		}
+	case "fig10", "fig22", "fig23", "fig8rows", "fig8attrs":
+		if s.Dataset == "" {
+			s.Dataset = "adult"
+		}
+	default:
+		return s, fmt.Errorf("experiments: unknown experiment %q", s.Experiment)
+	}
+	switch s.Dataset {
+	case "adult", "compas", "german":
+	default:
+		return s, fmt.Errorf("experiments: unknown dataset %q", s.Dataset)
+	}
+	// Clear every field the experiment ignores before the canonical
+	// encoding: two specs that materialize the same grid must fingerprint
+	// identically, so stray values in unused fields cannot block a merge.
+	switch s.Experiment {
+	case "fig10", "fig23", "fig8rows", "fig8attrs":
+	default:
+		s.Names = nil // these drivers always evaluate their fixed set
+	}
+	if s.Experiment != "cv" {
+		s.K = 0
+	}
+	if s.Experiment != "fig22" {
+		s.Runs = 0
+	}
+	if s.Experiment != "fig23" && s.Experiment != "fig8rows" {
+		s.Sizes = nil
+	}
+	if s.Experiment != "fig8attrs" {
+		s.AttrCounts, s.SampleSize = nil, 0
+	}
+	switch s.Experiment {
+	case "cv":
+		if s.K == 0 {
+			s.K = 5
+		}
+		if s.K < 2 {
+			return s, fmt.Errorf("experiments: cv needs k >= 2, got %d", s.K)
+		}
+	case "fig22":
+		if s.Runs == 0 {
+			s.Runs = 10
+		}
+		if s.Runs < 1 {
+			return s, fmt.Errorf("experiments: fig22 needs runs >= 1, got %d", s.Runs)
+		}
+	case "fig23":
+		if s.Sizes == nil {
+			s.Sizes = DefaultFig23Sizes(s.N)
+		}
+	case "fig8rows":
+		if s.Sizes == nil {
+			s.Sizes = DefaultFig8Sizes(s.N)
+		}
+	case "fig8attrs":
+		if s.AttrCounts == nil {
+			s.AttrCounts = DefaultFig8AttrCounts()
+		}
+		if s.SampleSize == 0 {
+			s.SampleSize = DefaultFig8Sample(s.N)
+		}
+	}
+	return s, nil
+}
+
+// Cell is the serializable result of one grid job. Exactly one payload
+// field is set, matching the grid's kind: Row for the metric grids, Sens
+// for the model-sensitivity grid, Seconds for the pure-timing scalability
+// grids. All payloads survive a JSON round trip bit-exactly (Go prints
+// floats in shortest-round-trip form), so a cell computed on another host
+// merges into output identical to a local run's.
+type Cell struct {
+	Index   int             `json:"index"`
+	Row     *Row            `json:"row,omitempty"`
+	Sens    *SensitivityRow `json:"sens,omitempty"`
+	Seconds *float64        `json:"seconds,omitempty"`
+}
+
+// Output is a fully assembled grid result; exactly one payload field is
+// populated, matching the experiment. It is what every driver function
+// returns (unwrapped to its native type) and what MergeShards rebuilds
+// from a shard set.
+type Output struct {
+	Experiment  string                        `json:"experiment,omitempty"`
+	Spec        Spec                          `json:"spec"`
+	Rows        []Row                         `json:"rows,omitempty"`
+	Robustness  []RobustnessResult            `json:"robustness,omitempty"`
+	Sensitivity []SensitivityRow              `json:"sensitivity,omitempty"`
+	Stability   []StabilityRow                `json:"stability,omitempty"`
+	Efficiency  map[string][]EfficiencyPoint  `json:"efficiency,omitempty"`
+	Scalability map[string][]ScalabilityPoint `json:"scalability,omitempty"`
+}
+
+type gridKind int
+
+const (
+	kindMetric gridKind = iota // cells are evaluation Rows
+	kindSens                   // cells are SensitivityRows
+	kindScale                  // cells are wall-time seconds
+)
+
+// Grid is a materialized experiment job grid: an enumerable, indexable
+// list of independent cells plus the post-pass that assembles cell
+// results into the driver's native output. Grids replace the drivers'
+// earlier closure-only job lists — because every cell is addressable by a
+// global index, any contiguous index range can run in any process (see
+// RunRange and internal/shard) and the assembled output cannot depend on
+// where cells ran.
+type Grid struct {
+	spec     Spec
+	specJSON []byte // canonical encoding; nil when built directly from a Source
+	kind     gridKind
+	graph    *causal.Graph
+	seed     int64
+	// kindMetric: slices × names, names[0] conventionally the baseline.
+	slices    []splitPair
+	names     []string
+	sliceSeed func(si int) int64
+	// kindSens: models × names.
+	models []string
+	// kindScale: scale × (1 baseline + names) timing columns.
+	scale    []scaleSlice
+	assemble func(g *Grid, cells []Cell) (*Output, error)
+}
+
+// Open materializes the grid a Spec describes: it normalizes the spec,
+// synthesizes the dataset from the spec's seed, and prepares every
+// dataset slice. Opening is cheap relative to running (no approach is
+// fitted); both the shard planner and the merger use it.
+func Open(spec Spec) (*Grid, error) {
+	ns, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	src, err := sourceFor(ns.Dataset, ns.N, ns.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var g *Grid
+	switch ns.Experiment {
+	case "fig7":
+		g = fig7Grid(src, ns.Seed)
+	case "fig15":
+		g = extensionsGrid(src, ns.Seed)
+	case "fig9":
+		g, err = robustnessGrid(src, ns.Seed)
+	case "cv":
+		g = cvGrid(src, ns.K, ns.Seed)
+	case "fig22":
+		g = stabilityGrid(src, ns.Runs, ns.Seed)
+	case "fig23":
+		g = efficiencyGrid(src, ns.Sizes, ns.Names, ns.Seed)
+	case "fig10":
+		g = sensitivityGrid(src, ns.Names, ns.Seed)
+	case "fig8rows":
+		g = scaleRowsGrid(src, ns.Sizes, specNames(ns), ns.Seed)
+	case "fig8attrs":
+		g = scaleAttrsGrid(src, ns.AttrCounts, specNames(ns), ns.SampleSize, ns.Seed)
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q", ns.Experiment)
+	}
+	if err != nil {
+		return nil, err
+	}
+	canonical, err := json.Marshal(ns)
+	if err != nil {
+		return nil, err
+	}
+	g.spec, g.specJSON = ns, canonical
+	return g, nil
+}
+
+// specNames resolves a spec's approach override for the scalability
+// grids, whose driver default is the full registry.
+func specNames(s Spec) []string {
+	if s.Names != nil {
+		return s.Names
+	}
+	return registry.Names
+}
+
+func sourceFor(dataset string, n int, seed int64) (*synth.Source, error) {
+	switch dataset {
+	case "adult":
+		return synth.Adult(n, seed), nil
+	case "compas":
+		return synth.COMPAS(n, seed), nil
+	case "german":
+		return synth.German(n, seed), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", dataset)
+	}
+}
+
+// Spec returns the grid's normalized spec (zero value for grids built
+// directly from a Source rather than Open).
+func (g *Grid) Spec() Spec { return g.spec }
+
+// Len returns the grid's total job count.
+func (g *Grid) Len() int {
+	switch g.kind {
+	case kindSens:
+		return len(g.models) * len(g.names)
+	case kindScale:
+		return len(g.scale) * (len(g.names) + 1)
+	default:
+		return len(g.slices) * len(g.names)
+	}
+}
+
+// alignment returns the shard-boundary constraint for the grid's job
+// index space. The pure-timing scalability grids subtract a per-slice
+// baseline from the other timing columns of the same slice, so all of a
+// slice's columns must be measured by the same process — their shards
+// align to whole slices. Metric grids need no alignment: every cell is
+// self-contained.
+func (g *Grid) alignment() int {
+	if g.kind == kindScale {
+		return len(g.names) + 1
+	}
+	return 1
+}
+
+// Fingerprint returns the grid's shard fingerprint: a hash of the
+// canonical spec and the job count. Only grids materialized by Open can
+// be sharded across processes, because only a Spec travels.
+func (g *Grid) Fingerprint() (string, error) {
+	if g.specJSON == nil {
+		return "", fmt.Errorf("experiments: grid was not opened from a Spec; cross-process sharding needs Open")
+	}
+	return shard.Fingerprint(g.specJSON, g.Len()), nil
+}
+
+// Cell computes grid job i. Per the runner's determinism contract the
+// result depends only on i and the grid definition: every cell builds its
+// own approach and random streams from explicit seeds, so a cell computes
+// the same payload in any process, under any scheduling.
+func (g *Grid) Cell(i int) (Cell, error) {
+	if i < 0 || i >= g.Len() {
+		return Cell{}, fmt.Errorf("experiments: cell %d outside grid [0,%d)", i, g.Len())
+	}
+	switch g.kind {
+	case kindSens:
+		model, name := g.models[i/len(g.names)], g.names[i%len(g.names)]
+		a, err := registry.New(name, registry.Config{
+			Graph: g.graph, Factory: ModelFactory(model), Seed: g.seed,
+		})
+		if err != nil {
+			return Cell{}, err
+		}
+		row, err := Evaluate(a, g.slices[0].train, g.slices[0].test, g.graph)
+		if err != nil {
+			return Cell{}, err
+		}
+		return Cell{Index: i, Sens: &SensitivityRow{Approach: name, Model: model, Row: row}}, nil
+	case kindScale:
+		cols := len(g.names) + 1 // column 0 is the baseline LR
+		sl, name := g.scale[i/cols], "LR"
+		if ni := i % cols; ni > 0 {
+			name = g.names[ni-1]
+		}
+		secs, err := timeOne(name, sl.train, sl.test, g.graph, g.seed)
+		if err != nil {
+			return Cell{}, err
+		}
+		return Cell{Index: i, Seconds: &secs}, nil
+	default:
+		si, ni := i/len(g.names), i%len(g.names)
+		a, err := registry.New(g.names[ni], registry.Config{Graph: g.graph, Seed: g.sliceSeed(si)})
+		if err != nil {
+			return Cell{}, err
+		}
+		row, err := Evaluate(a, g.slices[si].train, g.slices[si].test, g.graph)
+		if err != nil {
+			return Cell{}, err
+		}
+		return Cell{Index: i, Row: &row}, nil
+	}
+}
+
+// RunRange executes the contiguous cells [start, end) — one shard of the
+// grid — across the runner pool and returns them in index order. The
+// pure-timing scalability grids always run their cells with one worker so
+// co-scheduled cells cannot contend for cores and corrupt the measured
+// overhead; sharding is the sanctioned way to parallelize them, across
+// isolated processes or hosts.
+func (g *Grid) RunRange(start, end int) ([]Cell, error) {
+	if start < 0 || end > g.Len() || start > end {
+		return nil, fmt.Errorf("experiments: range [%d,%d) outside grid [0,%d)", start, end, g.Len())
+	}
+	opts := runner.Options{FailFast: true, Offset: start}
+	if g.kind == kindScale {
+		opts.Workers = 1
+	}
+	return runner.Run(end-start, opts, g.Cell)
+}
+
+// Assemble runs the driver's post-pass over a complete, index-ordered
+// cell set (typically the concatenation of merged shards) and returns the
+// driver-native output. The post-pass is pure arithmetic in cell order,
+// so its floats match a single-process run bit for bit.
+func (g *Grid) Assemble(cells []Cell) (*Output, error) {
+	if len(cells) != g.Len() {
+		return nil, fmt.Errorf("experiments: assembling %d cells, grid has %d", len(cells), g.Len())
+	}
+	for i := range cells {
+		if cells[i].Index != i {
+			return nil, fmt.Errorf("experiments: cell %d carries index %d", i, cells[i].Index)
+		}
+	}
+	out, err := g.assemble(g, cells)
+	if err != nil {
+		return nil, err
+	}
+	out.Experiment, out.Spec = g.spec.Experiment, g.spec
+	return out, nil
+}
+
+// RunAll executes the whole grid in this process and assembles it — the
+// single-process path every driver function uses, and the reference a
+// sharded run must reproduce.
+func (g *Grid) RunAll() (*Output, error) {
+	cells, err := g.RunRange(0, g.Len())
+	if err != nil {
+		return nil, err
+	}
+	return g.Assemble(cells)
+}
+
+// cellRows unwraps a metric grid's cells.
+func cellRows(cells []Cell) ([]Row, error) {
+	rows := make([]Row, len(cells))
+	for i := range cells {
+		if cells[i].Row == nil {
+			return nil, fmt.Errorf("experiments: cell %d has no row payload", i)
+		}
+		rows[i] = *cells[i].Row
+	}
+	return rows, nil
+}
+
+// cellSeconds unwraps a scalability grid's cells.
+func cellSeconds(cells []Cell) ([]float64, error) {
+	secs := make([]float64, len(cells))
+	for i := range cells {
+		if cells[i].Seconds == nil {
+			return nil, fmt.Errorf("experiments: cell %d has no timing payload", i)
+		}
+		secs[i] = *cells[i].Seconds
+	}
+	return secs, nil
+}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fairbench/internal/corrupt"
-	"fairbench/internal/dataset"
 	"fairbench/internal/registry"
 	"fairbench/internal/rng"
 	"fairbench/internal/synth"
@@ -19,35 +18,47 @@ type RobustnessResult struct {
 
 // Robustness reproduces Figure 9: COMPAS corrupted by templates T1-T3 with
 // the paper's 50%/10% disproportionate rates. Corruption is cheap and
-// happens up front; the expensive (template × approach) grid then fans out
-// as one flat job list so all three templates train concurrently.
+// happens when the grid is materialized; the expensive (template ×
+// approach) grid then fans out as one flat job list so all three templates
+// train concurrently.
 func Robustness(src *synth.Source, seed int64) ([]RobustnessResult, error) {
+	g, err := robustnessGrid(src, seed)
+	if err != nil {
+		return nil, err
+	}
+	out, err := g.RunAll()
+	if err != nil {
+		return nil, err
+	}
+	return out.Robustness, nil
+}
+
+func robustnessGrid(src *synth.Source, seed int64) (*Grid, error) {
 	train, test := src.Data.Split(0.7, rng.New(seed))
 	templates := []corrupt.Template{corrupt.T1, corrupt.T2, corrupt.T3}
-	dirty := make([]*dataset.Dataset, len(templates))
+	slices := make([]splitPair, len(templates))
 	for i, tmpl := range templates {
 		d, err := corrupt.ApplyCOMPAS(train, tmpl, seed+int64(tmpl))
 		if err != nil {
 			return nil, err
 		}
-		dirty[i] = d
-	}
-	names := append([]string{"LR"}, registry.Names...)
-	slices := make([]splitPair, len(dirty))
-	for i, d := range dirty {
 		slices[i] = splitPair{train: d, test: test}
 	}
-	rows, err := gridEval(slices, names, src.Graph, func(int) int64 { return seed })
-	if err != nil {
-		return nil, err
-	}
-	out := make([]RobustnessResult, len(templates))
-	for ti, tmpl := range templates {
-		tr := rows[ti*len(names) : (ti+1)*len(names)]
-		applyOverhead(tr, tr[0].Seconds)
-		out[ti] = RobustnessResult{Template: tmpl, Rows: tr}
-	}
-	return out, nil
+	names := append([]string{"LR"}, registry.Names...)
+	return metricGrid(slices, names, src.Graph, seed, func(int) int64 { return seed },
+		func(g *Grid, cells []Cell) (*Output, error) {
+			rows, err := cellRows(cells)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]RobustnessResult, len(templates))
+			for ti, tmpl := range templates {
+				tr := rows[ti*len(names) : (ti+1)*len(names)]
+				applyOverhead(tr, tr[0].Seconds)
+				out[ti] = RobustnessResult{Template: tmpl, Rows: tr}
+			}
+			return &Output{Robustness: out}, nil
+		}), nil
 }
 
 // RobustnessDelta compares corrupted-training rows against clean-training

@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"fmt"
+
 	"fairbench/internal/classifier"
-	"fairbench/internal/registry"
 	"fairbench/internal/rng"
-	"fairbench/internal/runner"
 	"fairbench/internal/synth"
 )
 
@@ -40,31 +40,36 @@ type SensitivityRow struct {
 // in-processing approaches are excluded because their mechanism is welded
 // to their own learner (Section 4.5 evaluates pre and post only).
 func ModelSensitivity(src *synth.Source, approaches []string, seed int64) ([]SensitivityRow, error) {
+	out, err := sensitivityGrid(src, approaches, seed).RunAll()
+	if err != nil {
+		return nil, err
+	}
+	return out.Sensitivity, nil
+}
+
+// sensitivityGrid builds the (model family × approach) grid; each cell
+// builds its own classifier factory so no state crosses goroutines or
+// processes.
+func sensitivityGrid(src *synth.Source, approaches []string, seed int64) *Grid {
 	if approaches == nil {
-		approaches = []string{
-			"KamCal-DP", "Feld-DP", "Calmon-DP", "ZhaWu-PSF", "ZhaWu-DCE",
-			"Salimi-JF-MaxSAT", "KamKar-DP", "Hardt-EO", "Pleiss-EOP",
-		}
+		approaches = DefaultSensitivityApproaches
 	}
 	train, test := src.Data.Split(0.7, rng.New(seed))
-	// One job per (model family × approach) cell; each cell builds its own
-	// factory so no classifier state crosses goroutines.
-	return runner.Run(len(ModelNames)*len(approaches), runner.Options{FailFast: true},
-		func(i int) (SensitivityRow, error) {
-			model := ModelNames[i/len(approaches)]
-			name := approaches[i%len(approaches)]
-			a, err := registry.New(name, registry.Config{
-				Graph: src.Graph, Factory: ModelFactory(model), Seed: seed,
-			})
-			if err != nil {
-				return SensitivityRow{}, err
+	return &Grid{
+		kind: kindSens, graph: src.Graph, seed: seed,
+		slices: []splitPair{{train, test}},
+		models: ModelNames, names: approaches,
+		assemble: func(g *Grid, cells []Cell) (*Output, error) {
+			rows := make([]SensitivityRow, len(cells))
+			for i := range cells {
+				if cells[i].Sens == nil {
+					return nil, fmt.Errorf("experiments: cell %d has no sensitivity payload", i)
+				}
+				rows[i] = *cells[i].Sens
 			}
-			row, err := Evaluate(a, train, test, src.Graph)
-			if err != nil {
-				return SensitivityRow{}, err
-			}
-			return SensitivityRow{Approach: name, Model: model, Row: row}, nil
-		})
+			return &Output{Sensitivity: rows}, nil
+		},
+	}
 }
 
 // SensitivitySpread summarizes, per approach, the spread (max - min) of

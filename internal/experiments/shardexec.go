@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+
+	"fairbench/internal/shard"
+)
+
+// This file binds the generic shard machinery (internal/shard) to typed
+// experiment grids: planning a split, running one shard into an envelope,
+// and merging envelopes back into driver-native output. The invariant the
+// shard-equivalence tests pin down: for any Spec and any k,
+//
+//	MergeShards(RunShard(spec, 0, k), …, RunShard(spec, k-1, k))
+//
+// equals Open(spec).RunAll() except for the wall-time fields — whether the
+// shards ran in one process, k processes, or k hosts.
+
+// PlanShards reports the contiguous job ranges a k-way split of the
+// spec's grid produces. Empty trailing ranges (k > grid size) are valid;
+// running them yields empty envelopes that merge cleanly. For the
+// pure-timing fig8 grids the ranges align to whole dataset slices, so a
+// slice's baseline and approach timings always come from one machine.
+func PlanShards(spec Spec, k int) ([]shard.Range, error) {
+	g, err := Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	return shard.PlanAligned(g.Len(), k, g.alignment())
+}
+
+// RunShard executes shard i of a k-way split of the spec's grid and
+// returns the serializable partial-result envelope. Each shard
+// re-materializes the grid from the spec (datasets are synthesized from
+// the spec's seed), so shards share no state and can run anywhere.
+func RunShard(spec Spec, i, k int) (*shard.Envelope, error) {
+	g, err := Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	ranges, err := shard.PlanAligned(g.Len(), k, g.alignment())
+	if err != nil {
+		return nil, err
+	}
+	if i < 0 || i >= k {
+		return nil, fmt.Errorf("experiments: shard %d of %d out of range", i, k)
+	}
+	fp, err := g.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	r := ranges[i]
+	cells, err := g.RunRange(r.Start, r.End)
+	if err != nil {
+		return nil, err
+	}
+	env := &shard.Envelope{
+		Version:     shard.Version,
+		Fingerprint: fp,
+		Spec:        json.RawMessage(g.specJSON),
+		Arch:        runtime.GOARCH,
+		Seed:        g.spec.Seed,
+		Shard:       i,
+		Shards:      k,
+		Total:       g.Len(),
+	}
+	for _, c := range cells {
+		raw, err := json.Marshal(c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: encoding cell %d: %w", c.Index, err)
+		}
+		env.Indices = append(env.Indices, c.Index)
+		env.Rows = append(env.Rows, raw)
+	}
+	return env, nil
+}
+
+// MergeShards validates a complete shard set, reassembles the cells in
+// job order, and runs the driver's post-pass, returning output identical
+// (modulo wall-time fields) to a single-process run of the same spec. It
+// rejects envelopes whose fingerprints disagree with each other or with
+// the grid the embedded spec materializes — the latter catches envelopes
+// produced by a different build whose grid definition drifted.
+func MergeShards(envs []*shard.Envelope) (*Output, error) {
+	m, err := shard.Merge(envs)
+	if err != nil {
+		return nil, err
+	}
+	// The assembly post-pass below does float arithmetic of its own (fold
+	// averaging, stability moments), so the coordinator must share the
+	// shards' architecture for the serial-equivalence guarantee to hold.
+	if m.Arch != runtime.GOARCH {
+		return nil, fmt.Errorf("experiments: envelopes were produced on %s but this process is %s; merge on a matching architecture", m.Arch, runtime.GOARCH)
+	}
+	var spec Spec
+	if err := json.Unmarshal(m.Spec, &spec); err != nil {
+		return nil, fmt.Errorf("experiments: decoding envelope spec: %w", err)
+	}
+	g, err := Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := g.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	if fp != m.Fingerprint {
+		return nil, fmt.Errorf("experiments: fingerprint mismatch: envelopes carry %.12s…, spec materializes %.12s… (grid definition drift?)", m.Fingerprint, fp)
+	}
+	cells := make([]Cell, m.Total)
+	for i, raw := range m.Rows {
+		if err := json.Unmarshal(raw, &cells[i]); err != nil {
+			return nil, fmt.Errorf("experiments: decoding cell %d: %w", i, err)
+		}
+	}
+	// Assemble re-checks count and per-cell indices for every caller.
+	return g.Assemble(cells)
+}

@@ -24,6 +24,14 @@ type Correctness struct {
 
 // ComputeCorrectness tallies the correctness metrics for predictions yhat
 // against ground truth y.
+//
+// Zero-division convention: every ratio whose denominator is empty is
+// reported as 0, never NaN — empty input gives Accuracy 0, no positive
+// predictions (TP+FP == 0) gives Precision 0, no positive labels
+// (TP+FN == 0) gives Recall 0, and Precision+Recall == 0 gives F1 0.
+// Downstream code (aggregation post-passes, the report tables, JSON
+// envelopes for sharded runs) relies on these metrics being finite;
+// TestCorrectnessZeroDenominators pins the convention.
 func ComputeCorrectness(y, yhat []int) Correctness {
 	c := stats.Count(y, yhat)
 	var out Correctness
@@ -65,7 +73,12 @@ type GroupRates struct {
 	Confusion [2]stats.Confusion
 }
 
-// ComputeGroupRates tallies per-group prediction statistics.
+// ComputeGroupRates tallies per-group prediction statistics. A group
+// absent from the data keeps zero-valued rates (PosRate, TPR, TNR all 0),
+// following the same finite-by-convention rule as ComputeCorrectness;
+// only DisparateImpact maps a vanishing privileged positive rate to +Inf,
+// because DI's range is [0, ∞) by definition and Normalize folds the
+// infinity to a DI* of 0.
 func ComputeGroupRates(d *dataset.Dataset, yhat []int) GroupRates {
 	var gr GroupRates
 	var pos, tot [2]float64

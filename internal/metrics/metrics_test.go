@@ -87,6 +87,132 @@ func TestCorrectnessEdgeCases(t *testing.T) {
 	}
 }
 
+// TestCorrectnessZeroDenominators pins the zero-division convention
+// documented on ComputeCorrectness: every undefined ratio is 0, never
+// NaN, so aggregations and serialized envelopes stay finite.
+func TestCorrectnessZeroDenominators(t *testing.T) {
+	cases := []struct {
+		name    string
+		y, yhat []int
+		want    Correctness
+	}{
+		{"empty input", nil, nil, Correctness{}},
+		{"no positive predictions (TP+FP=0)",
+			[]int{1, 0, 1}, []int{0, 0, 0},
+			Correctness{Accuracy: 1.0 / 3}},
+		{"no positive labels (TP+FN=0)",
+			[]int{0, 0, 0}, []int{1, 1, 0},
+			Correctness{Accuracy: 1.0 / 3}},
+		{"all-positive predictions",
+			[]int{1, 0, 1, 0}, []int{1, 1, 1, 1},
+			Correctness{Accuracy: 0.5, Precision: 0.5, Recall: 1, F1: 2.0 / 3}},
+		{"all-negative everything",
+			[]int{0, 0}, []int{0, 0},
+			Correctness{Accuracy: 1}},
+		{"perfect positives",
+			[]int{1, 1}, []int{1, 1},
+			Correctness{Accuracy: 1, Precision: 1, Recall: 1, F1: 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := ComputeCorrectness(c.y, c.yhat)
+			for _, v := range []float64{got.Accuracy, got.Precision, got.Recall, got.F1} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("non-finite metric: %+v", got)
+				}
+			}
+			approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+			if !approx(got.Accuracy, c.want.Accuracy) || !approx(got.Precision, c.want.Precision) ||
+				!approx(got.Recall, c.want.Recall) || !approx(got.F1, c.want.F1) {
+				t.Fatalf("got %+v, want %+v", got, c.want)
+			}
+		})
+	}
+}
+
+// onlyGroup builds a dataset whose tuples all belong to sensitive group s.
+func onlyGroup(s int, n int) (*dataset.Dataset, []int) {
+	d := &dataset.Dataset{
+		Name:  "one-group",
+		Attrs: []dataset.Attr{{Name: "dummy", Kind: dataset.Numeric}},
+		SName: "s",
+		YName: "y",
+	}
+	var yhat []int
+	for i := 0; i < n; i++ {
+		d.X = append(d.X, []float64{0})
+		d.S = append(d.S, s)
+		d.Y = append(d.Y, i%2)
+		yhat = append(yhat, i%2)
+	}
+	return d, yhat
+}
+
+// TestFairnessEmptyProtectedGroup pins the group-metric behavior when one
+// sensitive group is absent entirely — a real hazard for small shards and
+// corrupted slices: rates for the missing group are 0 by convention, so
+// DI degenerates (0 or +Inf, which DI* maps to 0) and the balance metrics
+// report the present group's rate against 0 rather than NaN.
+func TestFairnessEmptyProtectedGroup(t *testing.T) {
+	t.Run("only privileged tuples", func(t *testing.T) {
+		d, yhat := onlyGroup(1, 6)
+		gr := ComputeGroupRates(d, yhat)
+		if gr.PosRate[0] != 0 || gr.TPR[0] != 0 || gr.TNR[0] != 0 {
+			t.Fatalf("missing group rates must be zero: %+v", gr)
+		}
+		if di := DisparateImpact(d, yhat); di != 0 {
+			t.Fatalf("DI with empty unprivileged group: got %v, want 0", di)
+		}
+		if tprb := TPRBalance(d, yhat); tprb != 1 {
+			t.Fatalf("TPRB against empty group: got %v, want 1", tprb)
+		}
+		n := Normalize(ComputeFairness(d, yhat, nil, nil))
+		for _, v := range []float64{n.DIStar, n.TPRB, n.TNRB, n.ID, n.TE} {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				t.Fatalf("normalized score outside [0,1]: %+v", n)
+			}
+		}
+	})
+	t.Run("only unprivileged tuples", func(t *testing.T) {
+		d, yhat := onlyGroup(0, 6)
+		if di := DisparateImpact(d, yhat); !math.IsInf(di, 1) {
+			t.Fatalf("DI with empty privileged group: got %v, want +Inf", di)
+		}
+		if star := DIStar(DisparateImpact(d, yhat)); star != 0 {
+			t.Fatalf("DI* must fold +Inf to 0, got %v", star)
+		}
+	})
+}
+
+// TestFairnessDegeneratePredictions covers the all-positive and
+// all-negative prediction vectors on a two-group dataset.
+func TestFairnessDegeneratePredictions(t *testing.T) {
+	d, _ := example2()
+	allPos := make([]int, d.Len())
+	for i := range allPos {
+		allPos[i] = 1
+	}
+	if di := DisparateImpact(d, allPos); di != 1 {
+		t.Fatalf("all-positive DI: got %v, want 1 (both groups rate 1)", di)
+	}
+	if tprb := TPRBalance(d, allPos); tprb != 0 {
+		t.Fatalf("all-positive TPRB: %v", tprb)
+	}
+	// TNR is 0/0-guarded per group: all-positive predictions leave no
+	// true negatives, so both groups report 0 and the balance is 0.
+	if tnrb := TNRBalance(d, allPos); tnrb != 0 {
+		t.Fatalf("all-positive TNRB: %v", tnrb)
+	}
+	allNeg := make([]int, d.Len())
+	if tprb := TPRBalance(d, allNeg); tprb != 0 {
+		t.Fatalf("all-negative TPRB: %v", tprb)
+	}
+	n := Normalize(ComputeFairness(d, allNeg, nil, nil))
+	if n.DIStar != 1 || n.TPRB != 1 || n.TNRB != 1 {
+		t.Fatalf("all-negative normalized: %+v", n)
+	}
+}
+
 // flipPredictor predicts the sensitive value itself: maximal individual
 // discrimination.
 type flipPredictor struct{}

@@ -64,6 +64,13 @@ type Options struct {
 	// completed count and the total. Calls are serialized; done is
 	// strictly increasing and reaches total unless FailFast skips jobs.
 	Progress func(done, total int)
+	// Offset shifts the job index space: the n jobs are invoked with
+	// indices [Offset, Offset+n), and JobError reports the shifted index.
+	// This lets one contiguous shard of a larger grid run as its own Run
+	// call while every job keeps its global grid coordinate — the same
+	// cell therefore computes the same result whether the grid runs whole
+	// or split across processes (see internal/shard).
+	Offset int
 }
 
 // JobError records which job of a Run failed.
@@ -78,9 +85,10 @@ func (e *JobError) Error() string { return fmt.Sprintf("job %d: %v", e.Index, e.
 func (e *JobError) Unwrap() error { return e.Err }
 
 // Run executes n jobs across a worker pool and returns their results in
-// job-index order. job(i) computes job i; per the package determinism
-// contract it must derive any randomness it needs from i (and its own
-// captured seeds), never from state shared with other jobs.
+// job-index order. job(i) computes job i (i includes Options.Offset); per
+// the package determinism contract it must derive any randomness it needs
+// from i (and its own captured seeds), never from state shared with other
+// jobs.
 //
 // In fail-fast mode a failure returns (nil, err) where err wraps the
 // lowest-index failure — the one the equivalent serial loop would have
@@ -105,12 +113,12 @@ func Run[T any](n int, opts Options, job func(i int) (T, error)) ([]T, error) {
 	} else {
 		runPool(n, workers, opts, job, results, errs)
 	}
-	return collect(results, errs, opts.FailFast)
+	return collect(results, errs, opts)
 }
 
 func runSerial[T any](n int, opts Options, job func(int) (T, error), results []T, errs []error) {
 	for i := 0; i < n; i++ {
-		results[i], errs[i] = job(i)
+		results[i], errs[i] = job(opts.Offset + i)
 		if opts.Progress != nil {
 			opts.Progress(i+1, n)
 		}
@@ -143,7 +151,7 @@ func runPool[T any](n, workers int, opts Options, job func(int) (T, error), resu
 				if opts.FailFast && firstFail.Load() < int64(i) {
 					continue
 				}
-				results[i], errs[i] = job(i)
+				results[i], errs[i] = job(opts.Offset + i)
 				if errs[i] != nil {
 					for {
 						cur := firstFail.Load()
@@ -168,14 +176,14 @@ func runPool[T any](n, workers int, opts Options, job func(int) (T, error), resu
 	wg.Wait()
 }
 
-func collect[T any](results []T, errs []error, failFast bool) ([]T, error) {
+func collect[T any](results []T, errs []error, opts Options) ([]T, error) {
 	var joined []error
 	for i, err := range errs {
 		if err == nil {
 			continue
 		}
-		wrapped := &JobError{Index: i, Err: err}
-		if failFast {
+		wrapped := &JobError{Index: opts.Offset + i, Err: err}
+		if opts.FailFast {
 			return nil, wrapped
 		}
 		joined = append(joined, wrapped)

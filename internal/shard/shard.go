@@ -1,0 +1,244 @@
+// Package shard lets one experiment job grid fan across processes or
+// hosts and come back together deterministically. It is deliberately
+// generic: it knows nothing about approaches, datasets, or metrics — only
+// about a grid of `total` jobs identified by a fingerprint, split into
+// contiguous index ranges, with each range's results carried in a
+// JSON-serializable envelope.
+//
+// The determinism contract extends internal/runner's: a grid cell's
+// result depends only on its global job index and the grid's spec (which
+// the fingerprint hashes), never on which process computed it. Under that
+// contract Merge reassembles the exact rows a single-process run would
+// have produced, in the same order — the shard-equivalence tests in
+// internal/experiments verify this for every experiment driver.
+package shard
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Version is the envelope schema version. Decode rejects envelopes from a
+// different version rather than guessing at field semantics.
+const Version = 1
+
+// Range is one contiguous, half-open slice [Start, End) of a grid's job
+// index space.
+type Range struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Len returns the number of jobs in the range.
+func (r Range) Len() int { return r.End - r.Start }
+
+// Plan splits a grid of n jobs into k contiguous ranges covering [0, n)
+// in order. Ranges are balanced: the first n%k shards hold one extra job.
+// When k > n the trailing shards are empty — still valid, so a fixed
+// shard topology can be reused across grids of any size.
+func Plan(n, k int) ([]Range, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("shard: negative job count %d", n)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("shard: shard count %d, want >= 1", k)
+	}
+	base, extra := n/k, n%k
+	out := make([]Range, k)
+	start := 0
+	for i := range out {
+		size := base
+		if i < extra {
+			size++
+		}
+		out[i] = Range{Start: start, End: start + size}
+		start += size
+	}
+	return out, nil
+}
+
+// PlanAligned is Plan with shard boundaries constrained to multiples of
+// align: it balances the n/align blocks across the k shards, so a block
+// of align consecutive jobs never straddles two shards. Grids whose
+// post-pass combines measurements within a block — the pure-timing
+// scalability grids subtract a per-slice baseline column from the other
+// columns of the same slice — need this so a slice is always timed on a
+// single machine. n must be a multiple of align.
+func PlanAligned(n, k, align int) ([]Range, error) {
+	if align <= 1 {
+		return Plan(n, k)
+	}
+	if n%align != 0 {
+		return nil, fmt.Errorf("shard: job count %d not a multiple of alignment %d", n, align)
+	}
+	blocks, err := Plan(n/align, k)
+	if err != nil {
+		return nil, err
+	}
+	for i := range blocks {
+		blocks[i].Start *= align
+		blocks[i].End *= align
+	}
+	return blocks, nil
+}
+
+// Fingerprint hashes a grid's identity: its canonical spec encoding plus
+// its total job count. Two runs may only be merged when their
+// fingerprints match — equal fingerprints mean the same experiment,
+// dataset, seed, and grid shape, so cell i is the same computation in
+// both.
+func Fingerprint(spec []byte, total int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "fairbench-grid-v%d\n%d\n", Version, total)
+	h.Write(spec)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// Envelope is the partial result of one shard of a grid run: the rows it
+// computed, the global job indices they belong to, and enough identity
+// (spec, seed, fingerprint) for Merge to validate that all parts came
+// from the same grid definition.
+type Envelope struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	// Spec is the canonical encoding of the grid definition (the bytes
+	// Fingerprint hashed), carried so the merging process can rebuild the
+	// grid without out-of-band state.
+	Spec json.RawMessage `json:"spec"`
+	// Arch records GOARCH of the producing process. Float arithmetic is
+	// architecture-sensitive (e.g. FMA contraction on arm64), so the
+	// bit-identical merge contract only holds within one architecture;
+	// Merge rejects mixed-arch sets rather than silently passing through
+	// low-bit drift.
+	Arch string `json:"arch"`
+	Seed int64  `json:"seed"`
+	// Shard/Shards record the plan position (shard Shard of Shards);
+	// Total is the whole grid's job count.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	Total  int `json:"total"`
+	// Indices[j] is the global job index of Rows[j].
+	Indices []int             `json:"indices"`
+	Rows    []json.RawMessage `json:"rows"`
+}
+
+// Validate checks an envelope's internal consistency.
+func (e *Envelope) Validate() error {
+	switch {
+	case e.Version != Version:
+		return fmt.Errorf("shard: envelope version %d, want %d", e.Version, Version)
+	case e.Fingerprint == "":
+		return fmt.Errorf("shard: envelope has no fingerprint")
+	case e.Shards <= 0 || e.Shard < 0 || e.Shard >= e.Shards:
+		return fmt.Errorf("shard: invalid plan position %d/%d", e.Shard, e.Shards)
+	case e.Arch == "":
+		return fmt.Errorf("shard: envelope records no architecture")
+	case e.Total < 0:
+		return fmt.Errorf("shard: negative total %d", e.Total)
+	case len(e.Indices) != len(e.Rows):
+		return fmt.Errorf("shard: %d indices for %d rows", len(e.Indices), len(e.Rows))
+	}
+	for _, idx := range e.Indices {
+		if idx < 0 || idx >= e.Total {
+			return fmt.Errorf("shard: job index %d outside grid [0,%d)", idx, e.Total)
+		}
+	}
+	return nil
+}
+
+// Decode parses and validates a serialized envelope.
+func Decode(data []byte) (*Envelope, error) {
+	var e Envelope
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("shard: decoding envelope: %w", err)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// Encode serializes an envelope after validating it.
+func (e *Envelope) Encode() ([]byte, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(e, "", "  ")
+}
+
+// Merged is the reassembled output of a complete shard set: every row of
+// the grid in job-index order, plus the common identity fields.
+type Merged struct {
+	Fingerprint string
+	Spec        json.RawMessage
+	Arch        string
+	Seed        int64
+	Total       int
+	// Rows[i] is the result of global job i.
+	Rows []json.RawMessage
+}
+
+// Merge reassembles shard envelopes into the full grid's rows in job
+// order. It rejects mismatched fingerprints (parts of different grids),
+// disagreeing seeds/totals/shard counts, duplicate job indices, and
+// incomplete coverage — a merge either reproduces exactly the
+// single-process result set or fails loudly.
+func Merge(envs []*Envelope) (*Merged, error) {
+	if len(envs) == 0 {
+		return nil, fmt.Errorf("shard: no envelopes to merge")
+	}
+	first := envs[0]
+	for _, e := range envs {
+		if err := e.Validate(); err != nil {
+			return nil, err
+		}
+		switch {
+		case e.Fingerprint != first.Fingerprint:
+			return nil, fmt.Errorf("shard: fingerprint mismatch: shard %d has %.12s…, shard %d has %.12s…",
+				first.Shard, first.Fingerprint, e.Shard, e.Fingerprint)
+		case e.Seed != first.Seed:
+			return nil, fmt.Errorf("shard: seed mismatch: %d vs %d", first.Seed, e.Seed)
+		case e.Arch != first.Arch:
+			return nil, fmt.Errorf("shard: architecture mismatch: shard %d ran on %s, shard %d on %s — float results are only bit-identical within one architecture",
+				first.Shard, first.Arch, e.Shard, e.Arch)
+		case e.Total != first.Total:
+			return nil, fmt.Errorf("shard: total mismatch: %d vs %d", first.Total, e.Total)
+		case e.Shards != first.Shards:
+			return nil, fmt.Errorf("shard: plan mismatch: %d-way vs %d-way", first.Shards, e.Shards)
+		case !bytes.Equal(e.Spec, first.Spec):
+			// The fingerprint hashes the spec, so envelopes that agree on
+			// the fingerprint but not the bytes are corrupt or forged.
+			return nil, fmt.Errorf("shard: spec mismatch between shards %d and %d", first.Shard, e.Shard)
+		}
+	}
+	sorted := append([]*Envelope(nil), envs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Shard < sorted[j].Shard })
+	rows := make([]json.RawMessage, first.Total)
+	seen := make([]bool, first.Total)
+	for _, e := range sorted {
+		for j, idx := range e.Indices {
+			if seen[idx] {
+				return nil, fmt.Errorf("shard: job %d delivered twice", idx)
+			}
+			seen[idx] = true
+			rows[idx] = e.Rows[j]
+		}
+	}
+	for idx, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("shard: job %d missing from the merge set (have %d shards of %d)",
+				idx, len(envs), first.Shards)
+		}
+	}
+	return &Merged{
+		Fingerprint: first.Fingerprint,
+		Spec:        first.Spec,
+		Arch:        first.Arch,
+		Seed:        first.Seed,
+		Total:       first.Total,
+		Rows:        rows,
+	}, nil
+}

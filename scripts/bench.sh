@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
 # bench.sh — run the benchmark suite once and record the serial-vs-parallel
-# evalAll pair to BENCH_parallel.json so the perf trajectory populates.
+# evalAll pair to BENCH_parallel.json, plus the shard plan/merge overhead
+# pair to BENCH_shard.json, so both perf trajectories populate.
 #
 # Usage:
-#   scripts/bench.sh [output.json]
+#   scripts/bench.sh [output.json] [shard-output.json]
 #
 # Environment:
 #   BENCHTIME   go test -benchtime value (default 1x: one iteration per
 #               benchmark — a smoke run; use e.g. 3x or 2s for stabler
 #               numbers)
-#   BENCH_PAT   benchmark regexp (default '.': the full suite)
+#   BENCH_PAT   benchmark regexp (default '.': the full suite). When the
+#               pattern excludes the Shard benchmarks, BENCH_shard.json is
+#               skipped with a warning rather than failing the run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_parallel.json}"
+shard_out="${2:-BENCH_shard.json}"
 benchtime="${BENCHTIME:-1x}"
 pattern="${BENCH_PAT:-.}"
 
@@ -47,3 +51,25 @@ cat > "$out" <<EOF
 }
 EOF
 echo "bench.sh: wrote $out (speedup ${speedup}x over serial)"
+
+# Shard-plan overhead: the fixed per-process cost of materializing a grid
+# from its spec (BenchmarkShardPlan) and the coordinator's cost of merging
+# a complete 3-shard set (BenchmarkShardMerge).
+plan="$(echo "$raw" | awk '$1 ~ /^BenchmarkShardPlan(-[0-9]+)?$/ {print $3}')"
+merge="$(echo "$raw" | awk '$1 ~ /^BenchmarkShardMerge(-[0-9]+)?$/ {print $3}')"
+
+if [[ -z "$plan" || -z "$merge" ]]; then
+    echo "bench.sh: ShardPlan/ShardMerge not in output; skipping $shard_out" >&2
+else
+    cat > "$shard_out" <<EOF
+{
+  "benchmark": "shard plan (fig7 COMPAS n=1500, k=3) + merge (fig7 German n=300, 3 shards)",
+  "go": "$(go env GOVERSION)",
+  "cpus": $(nproc),
+  "benchtime": "$benchtime",
+  "plan_ns_per_op": $plan,
+  "merge_ns_per_op": $merge
+}
+EOF
+    echo "bench.sh: wrote $shard_out (plan ${plan} ns/op, merge ${merge} ns/op)"
+fi
