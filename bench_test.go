@@ -205,6 +205,50 @@ func BenchmarkShardMerge(b *testing.B) {
 	}
 }
 
+// ---- Result cache: cold vs warm shard runs (the BENCH_cache.json pair) ----
+//
+// BenchmarkRunShardCold runs a one-shard Figure 7 grid against a fresh
+// cache directory every iteration (every cell computed and written
+// back); BenchmarkRunShardWarm runs the same grid against a populated
+// cache (every cell a verified store hit, zero computations — asserted
+// via the store counters). Their ratio is the speedup a resumed or
+// re-run figure gets per already-computed cell; scripts/bench.sh records
+// both to BENCH_cache.json.
+
+var benchCacheSpec = GridSpec{Experiment: "fig7", Dataset: "german", N: 300, Seed: 1}
+
+func BenchmarkRunShardCold(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir() // a fresh, empty cache every iteration
+		b.StartTimer()
+		if _, err := RunShardCached(benchCacheSpec, 0, 1, dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunShardWarm(b *testing.B) {
+	dir := b.TempDir()
+	env, err := RunShardCached(benchCacheSpec, 0, 1, dir) // populate
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells := len(env.Indices)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env, err := RunShardCached(benchCacheSpec, 0, 1, dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(env.Cached) != cells {
+			b.Fatalf("warm iteration computed %d cells", cells-len(env.Cached))
+		}
+	}
+}
+
 // ---- Ablation benches (design choices DESIGN.md calls out) ----
 
 // Kam-Cal's two faces: weighted resampling (evaluated variant) vs pure

@@ -11,6 +11,9 @@
 //	fairbench fig22  [-runs 10] [-n N]    stability
 //	fairbench fig23  [-n N]               data efficiency
 //	fairbench merge  part0.json part1.json ...   combine shard envelopes
+//	fairbench dispatch -exp fig7 ... -dir DIR    run a grid as subprocesses
+//	fairbench resume   -dir DIR                  finish an interrupted dispatch
+//	fairbench worker   -manifest M -shard I -out O   (spawned by dispatch)
 //
 // -n caps the generated dataset size (0 = the paper's full size); smaller
 // values keep exploratory runs fast. -parallel N sets the experiment
@@ -19,6 +22,12 @@
 // overhead column of the metric experiments reflects the selected
 // concurrency. The pure timing experiment (fig8) always measures with
 // one worker so its overhead curves stay contention-free.
+//
+// -cache DIR (any figure command, dispatch, or -shard run) installs the
+// on-disk result cache: cells already computed for the same grid
+// fingerprint, seed, and architecture are served from disk, so re-runs
+// only compute what is missing while printing byte-identical metric
+// columns.
 //
 // # Sharded execution
 //
@@ -34,9 +43,29 @@
 // single-process run with the same flags, because the datasets are
 // synthesized from the seed: the (experiment, dataset, n, seed, …) spec
 // embedded in each envelope fully determines every grid cell. merge
-// rejects envelopes whose grid fingerprints disagree. Commands that span
-// several datasets (-dataset all) or grids shard one grid at a time:
-// pick a single dataset, and for fig8 pick -grid rows or -grid attrs.
+// rejects envelopes whose grid fingerprints disagree — naming the
+// offending file — and an incomplete set fails listing the shard
+// indices still missing. Commands that span several datasets (-dataset
+// all) or grids shard one grid at a time: pick a single dataset, and
+// for fig8 pick -grid rows or -grid attrs.
+//
+// # Dispatch and resume
+//
+// dispatch drives the whole shard→merge flow itself: it splits the grid
+// -shards ways, runs up to -procs worker subprocesses (each a `fairbench
+// worker` re-exec of this binary), retries failures -retries times,
+// collects the envelopes under -dir, and prints the merged tables. The
+// directory plus the -cache store make the run resumable: if dispatch is
+// interrupted — or a worker is SIGKILLed with no retries left — the
+// completed envelopes and cached cells survive, and
+//
+//	fairbench dispatch -exp fig7 -dataset german -shards 8 -procs 4 \
+//	    -dir run -cache cache
+//	# ... interrupted ...
+//	fairbench resume -dir run -procs 4
+//
+// finishes only the missing work and prints tables byte-identical
+// (timing aside) to an uninterrupted serial run.
 package main
 
 import (
@@ -49,6 +78,7 @@ import (
 	"strings"
 
 	"fairbench"
+	"fairbench/internal/dispatch"
 	"fairbench/internal/experiments"
 	"fairbench/internal/fair"
 	"fairbench/internal/registry"
@@ -79,12 +109,34 @@ func main() {
 	shardFlag := fs.String("shard", "", "run one shard i/K (0-based) of the command's job grid and emit a JSON envelope instead of tables")
 	outFlag := fs.String("out", "", "file for the -shard envelope or the merged-output JSON (default: envelope to stdout; merge prints tables only)")
 	gridFlag := fs.String("grid", "rows", "which fig8 grid to shard: rows|attrs")
+	cacheFlag := fs.String("cache", "", "result-cache directory: serve already-computed cells from disk, write fresh ones back")
+	expFlag := fs.String("exp", "", "dispatch: grid experiment name (fig7|fig9|fig10|fig15|cv|fig22|fig23|fig8rows|fig8attrs)")
+	dirFlag := fs.String("dir", "", "dispatch/resume: dispatch directory holding the manifest and part files")
+	shardsFlag := fs.Int("shards", 0, "dispatch: k-way shard split (default: -procs)")
+	procsFlag := fs.Int("procs", 0, "dispatch/resume: max concurrent worker subprocesses (default: GOMAXPROCS)")
+	retriesFlag := fs.Int("retries", 1, "dispatch/resume: re-spawns per failed shard before giving up on it")
+	manifestFlag := fs.String("manifest", "", "worker: manifest file of the dispatch directory")
 	fs.Parse(os.Args[2:])
 	fairbench.SetParallelism(*parallelFlag)
+	if *cacheFlag != "" {
+		exitIf(fairbench.CacheDir(*cacheFlag))
+	}
+
+	if cmd == "worker" {
+		// dispatch spawns `worker -shard I`: here -shard is the bare shard
+		// index, not the figure commands' i/K form.
+		idx, err := strconv.Atoi(*shardFlag)
+		if err != nil {
+			exit(fmt.Errorf("worker needs -shard <index>, got %q", *shardFlag))
+		}
+		exit(cmdWorker(*manifestFlag, idx, *outFlag))
+	}
 
 	if *shardFlag != "" {
 		spec, err := specFor(cmd, *datasetFlag, *nFlag, *kFlag, *runsFlag, *gridFlag, *seedFlag)
 		if err == nil {
+			// A -cache directory, if given, is already installed process-wide,
+			// so RunShard serves verified hits and records provenance.
 			err = cmdShard(spec, *shardFlag, *outFlag)
 		}
 		exit(err)
@@ -114,6 +166,11 @@ func main() {
 		err = cmdFig23(*nFlag, *seedFlag)
 	case "merge":
 		err = cmdMerge(fs.Args(), *outFlag)
+	case "dispatch":
+		err = cmdDispatch(*expFlag, *datasetFlag, *nFlag, *kFlag, *runsFlag, *seedFlag,
+			*dirFlag, *cacheFlag, *shardsFlag, *procsFlag, *retriesFlag, *outFlag)
+	case "resume":
+		err = cmdResume(*dirFlag, *procsFlag, *retriesFlag, *outFlag)
 	case "all":
 		for _, c := range []func() error{
 			func() error { return cmdFig7("all", *nFlag, *seedFlag) },
@@ -136,17 +193,98 @@ func main() {
 }
 
 func exit(err error) {
+	exitIf(err)
+	os.Exit(0)
+}
+
+// exitIf reports err and exits non-zero, or returns having done nothing.
+func exitIf(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fairbench:", err)
 		os.Exit(1)
 	}
-	os.Exit(0)
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fairbench <list|eval|fig7|fig8|fig9|fig10|fig15|cv|fig22|fig23|merge|all> [flags]
-       fairbench <figN|cv> ... -shard i/K [-out part.json]   run one grid shard
-       fairbench merge part0.json part1.json ...             combine shards`)
+       fairbench <figN|cv> ... -shard i/K [-out part.json] [-cache DIR]  run one grid shard
+       fairbench merge part0.json part1.json ...                         combine shards
+       fairbench dispatch -exp <figN|cv|fig8rows|fig8attrs> [figure flags]
+                 -dir DIR [-shards K] [-procs N] [-retries R] [-cache DIR]
+       fairbench resume -dir DIR [-procs N] [-retries R]                 finish an interrupted dispatch`)
+}
+
+// cmdDispatch runs a grid as worker subprocesses and prints the merged
+// tables, exactly as the serial figure command would print them.
+func cmdDispatch(exp, ds string, n, k, runs int, seed int64,
+	dir, cache string, shards, procs, retries int, out string) error {
+	if exp == "" {
+		return fmt.Errorf("dispatch requires -exp (fig7|fig9|fig10|fig15|cv|fig22|fig23|fig8rows|fig8attrs)")
+	}
+	if dir == "" {
+		return fmt.Errorf("dispatch requires -dir (the resumable dispatch directory)")
+	}
+	spec := fairbench.GridSpec{Experiment: exp, N: n, Seed: seed}
+	if ds != "" && !strings.EqualFold(ds, "all") {
+		spec.Dataset = ds
+	}
+	switch strings.ToLower(exp) {
+	case "cv":
+		spec.K = k
+	case "fig22":
+		spec.Runs = runs
+	}
+	merged, rep, err := fairbench.Dispatch(spec, fairbench.DispatchOptions{
+		Dir: dir, Shards: shards, Procs: procs, Retries: retries,
+		CacheDir: cache, Log: os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	return renderDispatched(merged, rep, out)
+}
+
+func cmdResume(dir string, procs, retries int, out string) error {
+	if dir == "" {
+		return fmt.Errorf("resume requires -dir (the dispatch directory to finish)")
+	}
+	merged, rep, err := fairbench.Resume(dir, fairbench.DispatchOptions{
+		Procs: procs, Retries: retries, Log: os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	return renderDispatched(merged, rep, out)
+}
+
+// renderDispatched prints the merged tables, a provenance summary line
+// (the e2e jobs assert on computed=0 for warm runs), and the optional
+// JSON dump.
+func renderDispatched(merged *fairbench.GridOutput, rep *fairbench.DispatchReport, out string) error {
+	if err := renderOutput(merged); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fairbench: dispatch complete: %d shards (%d reused, %d ran), cells computed=%d cached=%d\n",
+		rep.Shards, len(rep.Reused), len(rep.Ran), rep.CellsComputed, rep.CellsCached)
+	if out != "" {
+		data, err := jsonIndent(merged)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fairbench: wrote merged output to %s\n", out)
+	}
+	return nil
+}
+
+// cmdWorker is the dispatch-spawned subprocess body.
+func cmdWorker(manifest string, shard int, out string) error {
+	if manifest == "" || out == "" || shard < 0 {
+		return fmt.Errorf("worker requires -manifest, -shard, and -out (it is normally spawned by dispatch)")
+	}
+	return dispatch.Worker(manifest, shard, out)
 }
 
 // specFor builds the grid spec a sharded run of cmd describes, resolving
@@ -240,7 +378,9 @@ func cmdMerge(files []string, out string) error {
 			return fmt.Errorf("%s: %w", f, err)
 		}
 	}
-	merged, err := fairbench.MergeShards(envs)
+	// The named merge attributes every validation failure to its file and
+	// lists the shard indices still missing from an incomplete set.
+	merged, err := fairbench.MergeShardsNamed(envs, files)
 	if err != nil {
 		return err
 	}

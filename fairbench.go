@@ -63,14 +63,45 @@
 // `fairbench fig7 -dataset compas -shard 0/3 -out part0.json` followed by
 // `fairbench merge part0.json part1.json part2.json`.
 //
+// # Result caching and resumable dispatch
+//
+// CacheDir installs an on-disk result cache keyed by (grid fingerprint,
+// cell index, seed, GOARCH). Once installed, every grid execution path —
+// the driver functions on stock benchmark sources, RunShard, and the
+// dispatcher's workers — serves verified cache hits instead of
+// recomputing cells, and re-running any figure computes only the
+// cache-miss cells while staying byte-identical to a cold run:
+//
+//	fairbench.CacheDir(".fairbench-cache")
+//	rows, _ := fairbench.RunCorrectnessFairness(src, 42) // cold: computes + caches
+//	rows, _ = fairbench.RunCorrectnessFairness(src, 42)  // warm: zero computations
+//
+// Dispatch runs a grid as worker subprocesses and merges their
+// envelopes; an interrupted (crashed, killed) run is resumed with
+// Resume, which reuses every completed envelope and cached cell:
+//
+//	spec := fairbench.GridSpec{Experiment: "fig7", Dataset: "compas", Seed: 42}
+//	out, rep, err := fairbench.Dispatch(spec, fairbench.DispatchOptions{
+//		Dir: "run", Shards: 8, Procs: 4, CacheDir: "cache",
+//	})
+//	// ... a worker is SIGKILLed, err names the missing shards ...
+//	out, rep, err = fairbench.Resume("run", fairbench.DispatchOptions{Procs: 4})
+//
+// The CLI exposes the same flow as `fairbench dispatch -exp fig7 ...`
+// and `fairbench resume -dir run`.
+//
 // See the examples/ directory for runnable programs.
 package fairbench
 
 import (
+	"fmt"
+	"sync"
+
 	"fairbench/internal/causal"
 	"fairbench/internal/classifier"
 	"fairbench/internal/corrupt"
 	"fairbench/internal/dataset"
+	"fairbench/internal/dispatch"
 	"fairbench/internal/experiments"
 	"fairbench/internal/fair"
 	"fairbench/internal/metrics"
@@ -78,6 +109,7 @@ import (
 	"fairbench/internal/rng"
 	"fairbench/internal/runner"
 	"fairbench/internal/shard"
+	"fairbench/internal/store"
 	"fairbench/internal/synth"
 )
 
@@ -118,6 +150,18 @@ type (
 	ShardRange = shard.Range
 	// ShardEnvelope is the JSON-serializable partial result of one shard.
 	ShardEnvelope = shard.Envelope
+	// DispatchOptions configures a Dispatch/Resume run (shard count,
+	// worker processes, retries, cache directory).
+	DispatchOptions = dispatch.Options
+	// DispatchReport records what a dispatched run did: shards reused vs
+	// executed, per-shard attempts, and the computed/cached cell split.
+	DispatchReport = dispatch.Report
+	// CacheCounters are the in-memory hit/miss/write/reject counters of
+	// the installed result cache.
+	CacheCounters = store.Counters
+	// CacheUsage summarizes the cache directory: entries, bytes, and
+	// distinct grid fingerprints, plus the counters.
+	CacheUsage = store.Stats
 )
 
 // Pipeline stages.
@@ -212,9 +256,139 @@ func MergeShards(envs []*ShardEnvelope) (*GridOutput, error) {
 	return experiments.MergeShards(envs)
 }
 
+// MergeShardsNamed is MergeShards with a provenance label (typically the
+// source file path) per envelope: validation errors name the offending
+// file, and an incomplete set fails listing the shard indices still
+// missing.
+func MergeShardsNamed(envs []*ShardEnvelope, names []string) (*GridOutput, error) {
+	return experiments.MergeShardsNamed(envs, names)
+}
+
 // DecodeShardEnvelope parses and validates a serialized shard envelope.
 func DecodeShardEnvelope(data []byte) (*ShardEnvelope, error) {
 	return shard.Decode(data)
+}
+
+// activeCache tracks the handle CacheDir installed, for the stat/GC API.
+var activeCache = struct {
+	mu sync.Mutex
+	s  *store.Store
+}{}
+
+// CacheDir installs a process-wide on-disk result cache at dir (created
+// if missing), or removes the cache when dir is empty. While installed,
+// every grid execution path that has a fingerprint — the experiment
+// drivers on stock benchmark sources, RunShard, Dispatch workers —
+// consults it: cells cached under (grid fingerprint, cell index, seed,
+// GOARCH) are served from disk after integrity verification, and
+// freshly computed cells are written back atomically. Cached results are
+// byte-identical to recomputation on the same architecture; entries
+// never cross architectures or seeds. Note the cache also stores the
+// pure-timing (fig8) cells — resumability requires it — so clear it, or
+// run without one, to re-measure timings.
+func CacheDir(dir string) error {
+	activeCache.mu.Lock()
+	defer activeCache.mu.Unlock()
+	if dir == "" {
+		activeCache.s = nil
+		experiments.SetDefaultCache(nil)
+		return nil
+	}
+	s, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	activeCache.s = s
+	experiments.SetDefaultCache(s)
+	return nil
+}
+
+// CacheStats returns the installed cache's in-memory counters (zero
+// values when no cache is installed).
+func CacheStats() CacheCounters {
+	activeCache.mu.Lock()
+	s := activeCache.s
+	activeCache.mu.Unlock()
+	if s == nil {
+		return CacheCounters{}
+	}
+	return s.Counters()
+}
+
+// CacheDiskUsage walks the installed cache directory and reports entry
+// count, bytes, and distinct grid fingerprints.
+func CacheDiskUsage() (CacheUsage, error) {
+	activeCache.mu.Lock()
+	s := activeCache.s
+	activeCache.mu.Unlock()
+	if s == nil {
+		return CacheUsage{}, fmt.Errorf("fairbench: no cache installed (call CacheDir first)")
+	}
+	return s.Stats()
+}
+
+// CacheGC drops every cached grid except those the given specs
+// materialize, returning how many grids were removed. Pass the specs of
+// the figures still being iterated on; everything else is reclaimed.
+func CacheGC(keep ...GridSpec) (removed int, err error) {
+	activeCache.mu.Lock()
+	s := activeCache.s
+	activeCache.mu.Unlock()
+	if s == nil {
+		return 0, fmt.Errorf("fairbench: no cache installed (call CacheDir first)")
+	}
+	inUse := map[string]bool{}
+	for _, spec := range keep {
+		fp, err := GridFingerprint(spec)
+		if err != nil {
+			return 0, err
+		}
+		inUse[fp] = true
+	}
+	return s.GC(func(fp string) bool { return inUse[fp] })
+}
+
+// GridFingerprint returns the shard/cache fingerprint the spec's grid
+// materializes to: the identity under which its envelopes merge and its
+// cells are cached.
+func GridFingerprint(spec GridSpec) (string, error) {
+	g, err := experiments.Open(spec)
+	if err != nil {
+		return "", err
+	}
+	return g.Fingerprint()
+}
+
+// RunShardCached is RunShard against an explicit cache directory,
+// without installing (or disturbing) the process-wide cache: cache-hit
+// cells are served from dir, misses are computed and written back, and
+// the envelope's Cached field records which cells were served.
+func RunShardCached(spec GridSpec, i, k int, dir string) (*ShardEnvelope, error) {
+	s, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.RunShardCached(spec, i, k, s)
+}
+
+// Dispatch runs the spec's grid as opts.Shards worker subprocesses (at
+// most opts.Procs concurrently) coordinated through the dispatch
+// directory opts.Dir, retries failed workers, and merges the completed
+// envelopes into driver-native output — byte-identical (timing aside) to
+// a serial run. On failure the error names the shards still missing and
+// the directory stays resumable. The default worker spawner re-execs
+// the current binary's `worker` subcommand, which the fairbench CLI
+// implements; other embedders must set opts.Spawn.
+func Dispatch(spec GridSpec, opts DispatchOptions) (*GridOutput, *DispatchReport, error) {
+	return dispatch.Run(spec, opts)
+}
+
+// Resume continues the dispatched run recorded in dir: completed
+// envelopes are validated and reused, missing shards are executed
+// (consulting the run's result cache, so even a partially computed shard
+// resumes at cell granularity), and the completed set is merged.
+func Resume(dir string, opts DispatchOptions) (*GridOutput, *DispatchReport, error) {
+	return dispatch.Resume(dir, opts)
 }
 
 // Split partitions a dataset with the paper's random hold-out protocol.

@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"fairbench/internal/shard"
+	"fairbench/internal/store"
 )
 
 // This file binds the generic shard machinery (internal/shard) to typed
@@ -34,12 +35,31 @@ func PlanShards(spec Spec, k int) ([]shard.Range, error) {
 // RunShard executes shard i of a k-way split of the spec's grid and
 // returns the serializable partial-result envelope. Each shard
 // re-materializes the grid from the spec (datasets are synthesized from
-// the spec's seed), so shards share no state and can run anywhere.
+// the spec's seed), so shards share no state and can run anywhere. When
+// a process-wide result cache is configured (SetDefaultCache), cells
+// with verified cache entries are served instead of computed, and the
+// envelope's Cached field records which ones.
 func RunShard(spec Spec, i, k int) (*shard.Envelope, error) {
 	g, err := Open(spec)
 	if err != nil {
 		return nil, err
 	}
+	return runShard(g, i, k)
+}
+
+// RunShardCached is RunShard against an explicit result store, leaving
+// the process-wide default untouched — the worker-subprocess entry point
+// and the facade's one-shot cached path.
+func RunShardCached(spec Spec, i, k int, s *store.Store) (*shard.Envelope, error) {
+	g, err := Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	g.SetCache(s)
+	return runShard(g, i, k)
+}
+
+func runShard(g *Grid, i, k int) (*shard.Envelope, error) {
 	ranges, err := shard.PlanAligned(g.Len(), k, g.alignment())
 	if err != nil {
 		return nil, err
@@ -73,6 +93,9 @@ func RunShard(spec Spec, i, k int) (*shard.Envelope, error) {
 		}
 		env.Indices = append(env.Indices, c.Index)
 		env.Rows = append(env.Rows, raw)
+		if c.Cached {
+			env.Cached = append(env.Cached, c.Index)
+		}
 	}
 	return env, nil
 }
@@ -84,7 +107,15 @@ func RunShard(spec Spec, i, k int) (*shard.Envelope, error) {
 // the grid the embedded spec materializes — the latter catches envelopes
 // produced by a different build whose grid definition drifted.
 func MergeShards(envs []*shard.Envelope) (*Output, error) {
-	m, err := shard.Merge(envs)
+	return MergeShardsNamed(envs, nil)
+}
+
+// MergeShardsNamed is MergeShards with a provenance label (typically the
+// file path) per envelope: every validation error names the offending
+// file, and an incomplete set fails with the shard indices still
+// missing.
+func MergeShardsNamed(envs []*shard.Envelope, names []string) (*Output, error) {
+	m, err := shard.MergeNamed(envs, names)
 	if err != nil {
 		return nil, err
 	}

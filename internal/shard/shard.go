@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Version is the envelope schema version. Decode rejects envelopes from a
@@ -123,6 +124,12 @@ type Envelope struct {
 	// Indices[j] is the global job index of Rows[j].
 	Indices []int             `json:"indices"`
 	Rows    []json.RawMessage `json:"rows"`
+	// Cached lists the global job indices (a subset of Indices) whose
+	// rows were served from a result cache rather than computed by the
+	// producing process — per-cell provenance that lets a coordinator
+	// verify claims like "this warm re-run computed nothing". Absent on
+	// envelopes from cacheless runs.
+	Cached []int `json:"cached,omitempty"`
 }
 
 // Validate checks an envelope's internal consistency.
@@ -144,6 +151,17 @@ func (e *Envelope) Validate() error {
 	for _, idx := range e.Indices {
 		if idx < 0 || idx >= e.Total {
 			return fmt.Errorf("shard: job index %d outside grid [0,%d)", idx, e.Total)
+		}
+	}
+	if len(e.Cached) > 0 {
+		have := make(map[int]bool, len(e.Indices))
+		for _, idx := range e.Indices {
+			have[idx] = true
+		}
+		for _, idx := range e.Cached {
+			if !have[idx] {
+				return fmt.Errorf("shard: cached job %d not among the envelope's indices", idx)
+			}
 		}
 	}
 	return nil
@@ -179,6 +197,9 @@ type Merged struct {
 	Total       int
 	// Rows[i] is the result of global job i.
 	Rows []json.RawMessage
+	// Cached is the union of the envelopes' cached-cell provenance, in
+	// job-index order: the global jobs no process had to compute.
+	Cached []int
 }
 
 // Merge reassembles shard envelopes into the full grid's rows in job
@@ -186,53 +207,74 @@ type Merged struct {
 // disagreeing seeds/totals/shard counts, duplicate job indices, and
 // incomplete coverage — a merge either reproduces exactly the
 // single-process result set or fails loudly.
-func Merge(envs []*Envelope) (*Merged, error) {
+func Merge(envs []*Envelope) (*Merged, error) { return MergeNamed(envs, nil) }
+
+// MergeNamed is Merge with provenance for error messages: names[i] (when
+// provided — typically the envelope's file path) labels envs[i] in every
+// validation failure, so a user merging dozens of part files learns
+// which file is bad, not just that one is. An incomplete set fails with
+// the list of shard indices still missing, the actionable unit for
+// re-running or resuming.
+func MergeNamed(envs []*Envelope, names []string) (*Merged, error) {
 	if len(envs) == 0 {
 		return nil, fmt.Errorf("shard: no envelopes to merge")
 	}
+	label := func(i int) string {
+		if i < len(names) && names[i] != "" {
+			return names[i]
+		}
+		return fmt.Sprintf("envelope %d", i)
+	}
 	first := envs[0]
-	for _, e := range envs {
+	for i, e := range envs {
 		if err := e.Validate(); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("shard: %s: %w", label(i), err)
 		}
 		switch {
 		case e.Fingerprint != first.Fingerprint:
-			return nil, fmt.Errorf("shard: fingerprint mismatch: shard %d has %.12s…, shard %d has %.12s…",
-				first.Shard, first.Fingerprint, e.Shard, e.Fingerprint)
+			return nil, fmt.Errorf("shard: fingerprint mismatch: %s has %.12s…, %s has %.12s… — parts of different grids",
+				label(0), first.Fingerprint, label(i), e.Fingerprint)
 		case e.Seed != first.Seed:
-			return nil, fmt.Errorf("shard: seed mismatch: %d vs %d", first.Seed, e.Seed)
+			return nil, fmt.Errorf("shard: seed mismatch: %s has %d, %s has %d", label(0), first.Seed, label(i), e.Seed)
 		case e.Arch != first.Arch:
-			return nil, fmt.Errorf("shard: architecture mismatch: shard %d ran on %s, shard %d on %s — float results are only bit-identical within one architecture",
-				first.Shard, first.Arch, e.Shard, e.Arch)
+			return nil, fmt.Errorf("shard: architecture mismatch: %s ran on %s, %s on %s — float results are only bit-identical within one architecture",
+				label(0), first.Arch, label(i), e.Arch)
 		case e.Total != first.Total:
-			return nil, fmt.Errorf("shard: total mismatch: %d vs %d", first.Total, e.Total)
+			return nil, fmt.Errorf("shard: total mismatch: %s has %d, %s has %d", label(0), first.Total, label(i), e.Total)
 		case e.Shards != first.Shards:
-			return nil, fmt.Errorf("shard: plan mismatch: %d-way vs %d-way", first.Shards, e.Shards)
+			return nil, fmt.Errorf("shard: plan mismatch: %s is %d-way, %s is %d-way", label(0), first.Shards, label(i), e.Shards)
 		case !bytes.Equal(e.Spec, first.Spec):
 			// The fingerprint hashes the spec, so envelopes that agree on
 			// the fingerprint but not the bytes are corrupt or forged.
-			return nil, fmt.Errorf("shard: spec mismatch between shards %d and %d", first.Shard, e.Shard)
+			return nil, fmt.Errorf("shard: spec mismatch between %s and %s", label(0), label(i))
 		}
 	}
-	sorted := append([]*Envelope(nil), envs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Shard < sorted[j].Shard })
+	order := make([]int, len(envs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return envs[order[a]].Shard < envs[order[b]].Shard })
 	rows := make([]json.RawMessage, first.Total)
+	owner := make([]int, first.Total) // envelope position that delivered each job
 	seen := make([]bool, first.Total)
-	for _, e := range sorted {
+	var cached []int
+	for _, ei := range order {
+		e := envs[ei]
 		for j, idx := range e.Indices {
 			if seen[idx] {
-				return nil, fmt.Errorf("shard: job %d delivered twice", idx)
+				return nil, fmt.Errorf("shard: job %d delivered twice, by %s and %s",
+					idx, label(owner[idx]), label(ei))
 			}
 			seen[idx] = true
+			owner[idx] = ei
 			rows[idx] = e.Rows[j]
 		}
+		cached = append(cached, e.Cached...)
 	}
-	for idx, ok := range seen {
-		if !ok {
-			return nil, fmt.Errorf("shard: job %d missing from the merge set (have %d shards of %d)",
-				idx, len(envs), first.Shards)
-		}
+	if missing := missingShards(envs, seen, first); missing != "" {
+		return nil, fmt.Errorf("shard: incomplete merge set: %s — run the missing shard(s) and merge again, or resume the dispatch directory", missing)
 	}
+	sort.Ints(cached)
 	return &Merged{
 		Fingerprint: first.Fingerprint,
 		Spec:        first.Spec,
@@ -240,5 +282,37 @@ func Merge(envs []*Envelope) (*Merged, error) {
 		Seed:        first.Seed,
 		Total:       first.Total,
 		Rows:        rows,
+		Cached:      cached,
 	}, nil
+}
+
+// missingShards summarizes incomplete coverage in terms of the shard
+// indices a user would re-run: the plan positions absent from the set.
+// When every plan position is present yet jobs are still uncovered (an
+// envelope dropped rows), it falls back to naming the missing jobs.
+func missingShards(envs []*Envelope, seen []bool, first *Envelope) string {
+	var missingJobs []int
+	for idx, ok := range seen {
+		if !ok {
+			missingJobs = append(missingJobs, idx)
+		}
+	}
+	if len(missingJobs) == 0 {
+		return ""
+	}
+	present := make(map[int]bool, len(envs))
+	for _, e := range envs {
+		present[e.Shard] = true
+	}
+	var absent []string
+	for i := 0; i < first.Shards; i++ {
+		if !present[i] {
+			absent = append(absent, fmt.Sprintf("%d", i))
+		}
+	}
+	if len(absent) > 0 {
+		return fmt.Sprintf("missing shard(s) %s of %d", strings.Join(absent, ", "), first.Shards)
+	}
+	return fmt.Sprintf("all %d shards present but %d job(s) uncovered (first: job %d)",
+		first.Shards, len(missingJobs), missingJobs[0])
 }

@@ -242,3 +242,62 @@ func TestValidateCatchesCorruption(t *testing.T) {
 		t.Fatal("indices/rows length mismatch accepted")
 	}
 }
+
+// TestMergeNamedAttributesErrors pins the merge-diagnostics contract:
+// with file names supplied, every validation error names the offending
+// file, and an incomplete set lists the shard indices still missing.
+func TestMergeNamedAttributesErrors(t *testing.T) {
+	names := []string{"part0.json", "part1.json", "part2.json"}
+	envs := envelopes(t, 9, 3)
+	envs[2].Fingerprint = Fingerprint([]byte("other grid"), 9)
+	if _, err := MergeNamed(envs, names); err == nil ||
+		!strings.Contains(err.Error(), "part2.json") {
+		t.Fatalf("fingerprint error does not name the file: %v", err)
+	}
+
+	incomplete := envelopes(t, 9, 3)
+	_, err := MergeNamed([]*Envelope{incomplete[0], incomplete[2]}, []string{"part0.json", "part2.json"})
+	if err == nil || !strings.Contains(err.Error(), "missing shard(s) 1 of 3") {
+		t.Fatalf("incomplete set does not list missing shard indices: %v", err)
+	}
+
+	dup := envelopes(t, 9, 3)
+	dup[1].Indices[0] = 0
+	if _, err := MergeNamed(dup, names); err == nil ||
+		!strings.Contains(err.Error(), "part0.json") || !strings.Contains(err.Error(), "part1.json") {
+		t.Fatalf("duplicate-job error does not name both files: %v", err)
+	}
+
+	invalid := envelopes(t, 9, 3)
+	invalid[1].Arch = ""
+	if _, err := MergeNamed(invalid, names); err == nil ||
+		!strings.Contains(err.Error(), "part1.json") {
+		t.Fatalf("validation error does not name the file: %v", err)
+	}
+}
+
+// TestCachedProvenance pins the Cached field: it must be a subset of the
+// envelope's indices, and Merge unions it across shards in job order.
+func TestCachedProvenance(t *testing.T) {
+	envs := envelopes(t, 9, 3)
+	envs[1].Cached = []int{envs[1].Indices[0]}
+	envs[2].Cached = append([]int(nil), envs[2].Indices...)
+	m, err := Merge(envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int{envs[1].Indices[0]}, envs[2].Indices...)
+	if len(m.Cached) != len(want) {
+		t.Fatalf("merged cached %v", m.Cached)
+	}
+	for i, idx := range want {
+		if m.Cached[i] != idx {
+			t.Fatalf("merged cached %v, want %v", m.Cached, want)
+		}
+	}
+	bad := envelopes(t, 9, 3)
+	bad[0].Cached = []int{8} // shard 0 never delivered job 8
+	if err := bad[0].Validate(); err == nil {
+		t.Fatal("cached index outside the envelope's indices accepted")
+	}
+}

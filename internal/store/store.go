@@ -1,0 +1,305 @@
+// Package store is the on-disk result cache behind resumable grid
+// execution: a content-addressed map from a grid cell's full identity —
+// (grid fingerprint, cell index, seed, GOARCH) — to the serialized cell
+// payload it produced. Because a fingerprint hashes the normalized spec
+// and the grid shape, and every cell is a pure function of (spec, index)
+// on one architecture, a cached payload is exactly the bytes a fresh
+// computation would yield; re-running any figure therefore only computes
+// cache-miss cells while staying byte-identical to a cold run.
+//
+// Entries are written atomically (temp file + rename in the destination
+// directory), so a SIGKILL mid-write can never leave a half-entry that a
+// later run would trust. Reads verify integrity end to end: the entry's
+// recorded key fields must equal the requested key and the payload must
+// match its recorded SHA-256, so a corrupted, truncated, or mis-filed
+// entry is rejected (and removed) rather than served — the cell is simply
+// recomputed. Lookups against a different seed, index, fingerprint, or
+// architecture can never be satisfied by an entry written under another
+// key, because the key is both the address and part of the verified
+// content.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Version is the entry schema version; Get rejects entries from another
+// version rather than guessing at field semantics.
+const Version = 1
+
+// Key is the full identity of one cached grid cell.
+type Key struct {
+	// Fingerprint is the grid's shard fingerprint (hex SHA-256 of the
+	// canonical spec plus the job count; see internal/shard.Fingerprint).
+	Fingerprint string
+	// Index is the cell's global job index within the grid.
+	Index int
+	// Seed is the grid's experiment seed. It is already hashed into the
+	// fingerprint; keying on it again means a poisoned or mis-filed entry
+	// must forge two independent records to satisfy a wrong-seed lookup.
+	Seed int64
+	// Arch is the GOARCH the payload was computed on. Float arithmetic is
+	// architecture-sensitive, so entries never cross architectures.
+	Arch string
+}
+
+func (k Key) validate() error {
+	switch {
+	case len(k.Fingerprint) < 16:
+		return fmt.Errorf("store: fingerprint %q too short to address", k.Fingerprint)
+	case k.Index < 0:
+		return fmt.Errorf("store: negative cell index %d", k.Index)
+	case k.Arch == "":
+		return fmt.Errorf("store: key has no architecture")
+	}
+	return nil
+}
+
+// entry is the on-disk form of one cached cell: the key fields it was
+// written under plus the payload and its checksum.
+type entry struct {
+	Version     int             `json:"version"`
+	Fingerprint string          `json:"fingerprint"`
+	Index       int             `json:"index"`
+	Seed        int64           `json:"seed"`
+	Arch        string          `json:"arch"`
+	SHA256      string          `json:"sha256"`
+	Payload     json.RawMessage `json:"payload"`
+}
+
+// Counters are the in-memory access statistics of one Store handle.
+type Counters struct {
+	// Hits counts Get calls served from a verified entry.
+	Hits int64
+	// Misses counts Get calls with no entry on disk.
+	Misses int64
+	// Writes counts successful Put calls.
+	Writes int64
+	// Rejected counts entries found on disk but refused: corrupted,
+	// truncated, wrong schema version, or recorded under a different key.
+	Rejected int64
+}
+
+// Stats combines the handle's counters with a walk of the cache
+// directory.
+type Stats struct {
+	Counters
+	// Entries is the number of cell entries on disk.
+	Entries int
+	// Bytes is their total size.
+	Bytes int64
+	// Fingerprints is the number of distinct grids with at least one
+	// cached cell.
+	Fingerprints int
+}
+
+// Store is a handle on one cache directory. It is safe for concurrent
+// use by any number of goroutines and — because writes are atomic
+// renames of fully-written temp files — by concurrent processes sharing
+// the directory.
+type Store struct {
+	dir      string
+	hits     atomic.Int64
+	misses   atomic.Int64
+	writes   atomic.Int64
+	rejected atomic.Int64
+}
+
+// Open creates (if needed) and opens a cache directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty cache directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "cells"), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the cache directory this handle operates on.
+func (s *Store) Dir() string { return s.dir }
+
+// path lays entries out as
+// cells/<fp[:2]>/<fp>/<arch>/s<seed>/<index>.json: the two-byte fan-out
+// keeps directory sizes bounded, and grouping by fingerprint first makes
+// GC of a whole grid a single RemoveAll.
+func (s *Store) path(k Key) string {
+	return filepath.Join(s.dir, "cells", k.Fingerprint[:2], k.Fingerprint,
+		k.Arch, fmt.Sprintf("s%d", k.Seed), fmt.Sprintf("%d.json", k.Index))
+}
+
+func payloadSum(payload []byte) string {
+	return fmt.Sprintf("%x", sha256.Sum256(payload))
+}
+
+// Get returns the verified payload cached under k, or ok=false on a miss.
+// An entry that exists but fails verification — undecodable, truncated,
+// wrong schema version, checksum mismatch, or recorded under key fields
+// that differ from k — counts as Rejected, is removed best-effort, and
+// reads as a miss, so the caller recomputes instead of trusting it.
+func (s *Store) Get(k Key) ([]byte, bool) {
+	if k.validate() != nil {
+		return nil, false
+	}
+	p := s.path(k)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil ||
+		e.Version != Version ||
+		e.Fingerprint != k.Fingerprint || e.Index != k.Index ||
+		e.Seed != k.Seed || e.Arch != k.Arch ||
+		e.SHA256 != payloadSum(e.Payload) {
+		s.rejected.Add(1)
+		os.Remove(p) // quarantine by deletion; the cell will be recomputed
+		return nil, false
+	}
+	s.hits.Add(1)
+	return e.Payload, true
+}
+
+// Put caches payload under k, atomically: the entry is fully written to a
+// temp file in the destination directory and renamed into place, so
+// concurrent writers of the same cell (which, by the determinism
+// contract, carry identical payloads) and killed processes are both
+// harmless.
+func (s *Store) Put(k Key, payload []byte) error {
+	if err := k.validate(); err != nil {
+		return err
+	}
+	e := entry{
+		Version:     Version,
+		Fingerprint: k.Fingerprint,
+		Index:       k.Index,
+		Seed:        k.Seed,
+		Arch:        k.Arch,
+		SHA256:      payloadSum(payload),
+		Payload:     json.RawMessage(payload),
+	}
+	data, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("store: encoding entry: %w", err)
+	}
+	p := s.path(k)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := WriteFileAtomic(p, data); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// WriteFileAtomic writes data to path via a same-directory temp file and
+// rename, so path never holds a partial write — the primitive behind
+// every durable artifact of the resumable-execution layer (cache
+// entries here; manifests and envelope part files in internal/dispatch).
+func WriteFileAtomic(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Counters returns the handle's in-memory access statistics.
+func (s *Store) Counters() Counters {
+	return Counters{
+		Hits:     s.hits.Load(),
+		Misses:   s.misses.Load(),
+		Writes:   s.writes.Load(),
+		Rejected: s.rejected.Load(),
+	}
+}
+
+// Stats walks the cache directory and reports entry count, total bytes,
+// and distinct fingerprints, alongside the handle's counters.
+func (s *Store) Stats() (Stats, error) {
+	st := Stats{Counters: s.Counters()}
+	fps := map[string]bool{}
+	err := s.walkFingerprints(func(fp, dir string) error {
+		return filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			info, err := d.Info()
+			if err != nil {
+				return err
+			}
+			fps[fp] = true
+			st.Entries++
+			st.Bytes += info.Size()
+			return nil
+		})
+	})
+	st.Fingerprints = len(fps)
+	return st, err
+}
+
+// GC removes every cached grid whose fingerprint the keep predicate does
+// not claim, and returns how many grids were dropped. Grids still in use
+// (keep returns true) are untouched, entry by entry.
+func (s *Store) GC(keep func(fingerprint string) bool) (removed int, err error) {
+	err = s.walkFingerprints(func(fp, dir string) error {
+		if keep != nil && keep(fp) {
+			return nil
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			return err
+		}
+		removed++
+		return nil
+	})
+	return removed, err
+}
+
+// walkFingerprints visits every <fp> directory under cells/<xx>/.
+func (s *Store) walkFingerprints(visit func(fp, dir string) error) error {
+	root := filepath.Join(s.dir, "cells")
+	fanout, err := os.ReadDir(root)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, fx := range fanout {
+		if !fx.IsDir() {
+			continue
+		}
+		fps, err := os.ReadDir(filepath.Join(root, fx.Name()))
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		for _, fp := range fps {
+			if !fp.IsDir() {
+				continue
+			}
+			if err := visit(fp.Name(), filepath.Join(root, fx.Name(), fp.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,23 +1,26 @@
 #!/usr/bin/env bash
 # bench.sh — run the benchmark suite once and record the serial-vs-parallel
-# evalAll pair to BENCH_parallel.json, plus the shard plan/merge overhead
-# pair to BENCH_shard.json, so both perf trajectories populate.
+# evalAll pair to BENCH_parallel.json, the shard plan/merge overhead pair
+# to BENCH_shard.json, and the cold-vs-warm result-cache pair to
+# BENCH_cache.json, so all three perf trajectories populate.
 #
 # Usage:
-#   scripts/bench.sh [output.json] [shard-output.json]
+#   scripts/bench.sh [output.json] [shard-output.json] [cache-output.json]
 #
 # Environment:
 #   BENCHTIME   go test -benchtime value (default 1x: one iteration per
 #               benchmark — a smoke run; use e.g. 3x or 2s for stabler
 #               numbers)
 #   BENCH_PAT   benchmark regexp (default '.': the full suite). When the
-#               pattern excludes the Shard benchmarks, BENCH_shard.json is
-#               skipped with a warning rather than failing the run.
+#               pattern excludes the Shard or RunShard benchmarks, the
+#               corresponding JSON is skipped with a warning rather than
+#               failing the run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_parallel.json}"
 shard_out="${2:-BENCH_shard.json}"
+cache_out="${3:-BENCH_cache.json}"
 benchtime="${BENCHTIME:-1x}"
 pattern="${BENCH_PAT:-.}"
 
@@ -72,4 +75,28 @@ else
 }
 EOF
     echo "bench.sh: wrote $shard_out (plan ${plan} ns/op, merge ${merge} ns/op)"
+fi
+
+# Result-cache payoff: the same one-shard fig7 grid against a fresh cache
+# (every cell computed + written back) vs a populated one (every cell a
+# verified store hit, zero computations).
+cold="$(echo "$raw" | awk '$1 ~ /^BenchmarkRunShardCold(-[0-9]+)?$/ {print $3}')"
+warm="$(echo "$raw" | awk '$1 ~ /^BenchmarkRunShardWarm(-[0-9]+)?$/ {print $3}')"
+
+if [[ -z "$cold" || -z "$warm" ]]; then
+    echo "bench.sh: RunShardCold/Warm not in output; skipping $cache_out" >&2
+else
+    cache_speedup="$(awk -v c="$cold" -v w="$warm" 'BEGIN { if (w > 0) printf "%.1f", c / w; else printf "0" }')"
+    cat > "$cache_out" <<EOF
+{
+  "benchmark": "RunShard cold vs warm result cache (fig7 German n=300, 1 shard)",
+  "go": "$(go env GOVERSION)",
+  "cpus": $(nproc),
+  "benchtime": "$benchtime",
+  "cold_ns_per_op": $cold,
+  "warm_ns_per_op": $warm,
+  "warm_speedup": $cache_speedup
+}
+EOF
+    echo "bench.sh: wrote $cache_out (warm cache ${cache_speedup}x over cold)"
 fi
