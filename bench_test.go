@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 
+	"fairbench/internal/classifier"
+	"fairbench/internal/dataset"
 	"fairbench/internal/experiments"
 	"fairbench/internal/fair"
 	"fairbench/internal/postproc"
@@ -245,6 +247,76 @@ func BenchmarkRunShardWarm(b *testing.B) {
 		}
 		if len(env.Cached) != cells {
 			b.Fatalf("warm iteration computed %d cells", cells-len(env.Cached))
+		}
+	}
+}
+
+// ---- Training kernels: the BENCH_train.json trio ----
+//
+// BenchmarkFitLogreg is the hot loop behind every cell: one full-batch
+// Adam fit of the baseline logistic regression on a standardized German
+// 70% split. BenchmarkGridCellCold is a whole uncached fig7 German n=300
+// grid (19 cold cells: Open + RunAll with no result cache), the same
+// workload BENCH_cache.json's cold number measures through RunShard.
+// BenchmarkSynthMaterialize is dataset materialization alone — the cost
+// the per-run synthesis memo amortizes across Opens. scripts/bench.sh
+// records all three (ns/op and allocs/op) to BENCH_train.json next to
+// the seed baselines measured before the flat-layout refactor.
+
+func BenchmarkFitLogreg(b *testing.B) {
+	src := synth.German(1000, 1)
+	train, _ := src.Data.Split(0.7, rng.New(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := fair.NewBaseline()
+		if err := base.Fit(train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdamStepLogreg isolates one full-batch Adam objective+update
+// step of the logistic regression (what the per-iteration allocation
+// bound in internal/classifier pins); the surrounding Fit machinery is
+// excluded by running MaxIter=1.
+func BenchmarkAdamStepLogreg(b *testing.B) {
+	src := synth.German(1000, 1)
+	train, _ := src.Data.Split(0.7, rng.New(1))
+	work := train.Clone()
+	dataset.FitStandardizer(work).Apply(work)
+	x := work.FeatureMatrix(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lr := classifier.NewLogistic()
+		lr.MaxIter = 1
+		if err := lr.Fit(x, work.Y, work.Weights); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridCellCold(b *testing.B) {
+	spec := experiments.Spec{Experiment: "fig7", Dataset: "german", N: 300, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := experiments.Open(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.SetCache(nil) // always the cold path: every cell computed
+		if _, err := g.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynthMaterialize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if src := synth.Adult(5000, 1); src.Data.Len() != 5000 {
+			b.Fatal("bad materialization")
 		}
 	}
 }

@@ -29,6 +29,13 @@
 // only compute what is missing while printing byte-identical metric
 // columns.
 //
+// -cpuprofile FILE / -memprofile FILE (any command) record a pprof
+// CPU or allocation profile of the run, so performance work on the
+// figure commands starts from a measured profile rather than a guess:
+//
+//	fairbench fig7 -dataset german -n 300 -cpuprofile cpu.prof
+//	go tool pprof cpu.prof
+//
 // # Sharded execution
 //
 // Any figure command can run as one shard of its job grid and emit a
@@ -73,6 +80,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -116,11 +125,14 @@ func main() {
 	procsFlag := fs.Int("procs", 0, "dispatch/resume: max concurrent worker subprocesses (default: GOMAXPROCS)")
 	retriesFlag := fs.Int("retries", 1, "dispatch/resume: re-spawns per failed shard before giving up on it")
 	manifestFlag := fs.String("manifest", "", "worker: manifest file of the dispatch directory")
+	cpuProfFlag := fs.String("cpuprofile", "", "write a CPU profile of this command to the file (inspect with go tool pprof)")
+	memProfFlag := fs.String("memprofile", "", "write an allocation profile of this command to the file (inspect with go tool pprof)")
 	fs.Parse(os.Args[2:])
 	fairbench.SetParallelism(*parallelFlag)
 	if *cacheFlag != "" {
 		exitIf(fairbench.CacheDir(*cacheFlag))
 	}
+	exitIf(startProfiles(*cpuProfFlag, *memProfFlag))
 
 	if cmd == "worker" {
 		// dispatch spawns `worker -shard I`: here -shard is the bare shard
@@ -186,6 +198,7 @@ func main() {
 			}
 		}
 	default:
+		stopProfiles() // flush any -cpuprofile/-memprofile started above
 		usage()
 		os.Exit(2)
 	}
@@ -194,15 +207,73 @@ func main() {
 
 func exit(err error) {
 	exitIf(err)
+	stopProfiles()
 	os.Exit(0)
 }
 
 // exitIf reports err and exits non-zero, or returns having done nothing.
+// Profiles are flushed even on the error path so a crashing run still
+// leaves its evidence behind.
 func exitIf(err error) {
 	if err != nil {
+		stopProfiles()
 		fmt.Fprintln(os.Stderr, "fairbench:", err)
 		os.Exit(1)
 	}
+}
+
+// stopProfiles flushes any active profiles; exit paths call it explicitly
+// because os.Exit skips deferred functions. Reassigned by startProfiles.
+var stopProfiles = func() {}
+
+// startProfiles enables the -cpuprofile/-memprofile outputs. Future perf
+// work on the figure commands starts from one of these profiles, not
+// from a guess:
+//
+//	fairbench fig7 -dataset german -n 300 -cpuprofile cpu.prof
+//	go tool pprof cpu.prof
+func startProfiles(cpuPath, memPath string) error {
+	if cpuPath == "" && memPath == "" {
+		return nil
+	}
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpuFile = f
+	}
+	stopProfiles = func() {
+		stopProfiles = func() {} // idempotent: exit paths may overlap
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "fairbench: -cpuprofile:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "fairbench: wrote CPU profile to %s\n", cpuPath)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fairbench: -memprofile:", err)
+				return
+			}
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "fairbench: -memprofile:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "fairbench: wrote allocation profile to %s\n", memPath)
+			}
+			f.Close()
+		}
+	}
+	return nil
 }
 
 func usage() {

@@ -1,0 +1,131 @@
+package classifier
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFitLeavesReceiverConfigUntouched pins the defaults-into-locals
+// contract: Fit must not write resolved defaults (or anything else) back
+// into the receiver's configuration fields, so a zero-value model is
+// reusable and two goroutines may Fit models built from one shared
+// factory without racing on field writes.
+func TestFitLeavesReceiverConfigUntouched(t *testing.T) {
+	x, y := linearlySeparable(60, 5)
+	xor, xy := xorData(60, 5)
+
+	lr := &LogisticRegression{}
+	if err := lr.Fit(x, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	if lr.MaxIter != 0 || lr.Step != 0 || lr.L2 != 0 {
+		t.Fatalf("LogisticRegression.Fit mutated config: %+v", lr)
+	}
+
+	svm := &LinearSVM{}
+	if err := svm.Fit(x, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	if svm.Lambda != 0 || svm.Epochs != 0 {
+		t.Fatalf("LinearSVM.Fit mutated config: %+v", svm)
+	}
+
+	mlp := &MLP{}
+	if err := mlp.Fit(xor, xy, nil); err != nil {
+		t.Fatal(err)
+	}
+	if mlp.Hidden != 0 || mlp.Epochs != 0 || mlp.Step != 0 || mlp.Batch != 0 {
+		t.Fatalf("MLP.Fit mutated config: %+v", mlp)
+	}
+	if mlp.PredictProba(xor[0]) == 0.5 && mlp.PredictProba(xor[1]) == 0.5 {
+		t.Fatal("zero-value MLP must still predict with resolved defaults")
+	}
+
+	knn := &KNN{}
+	if err := knn.Fit(x, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	if knn.K != 0 {
+		t.Fatalf("KNN.Fit mutated config: %+v", knn)
+	}
+	if p := knn.PredictProba(x[0]); p < 0 || p > 1 {
+		t.Fatalf("zero-value kNN prediction out of range: %v", p)
+	}
+
+	tree := &DecisionTree{}
+	if err := tree.Fit(x, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tree.MaxDepth != 0 || tree.MinLeaf != 0 {
+		t.Fatalf("DecisionTree.Fit mutated config: %+v", tree)
+	}
+
+	rf := &RandomForest{}
+	if err := rf.Fit(x, y, nil); err != nil {
+		t.Fatal(err)
+	}
+	if rf.Trees != 0 || rf.MaxDepth != 0 {
+		t.Fatalf("RandomForest.Fit mutated config: %+v", rf)
+	}
+}
+
+// TestConcurrentFitSharedBacking trains every model family concurrently
+// on the SAME design matrix — the zero-copy sharing pattern the grid
+// runner relies on when cells split one memoized dataset into views.
+// Run under -race (CI does), this pins that training only reads shared
+// rows.
+func TestConcurrentFitSharedBacking(t *testing.T) {
+	x, y := linearlySeparable(120, 9)
+	factories := []func() Classifier{
+		func() Classifier { return NewLogistic() },
+		func() Classifier { return NewSVM() },
+		func() Classifier { return NewKNN() },
+		func() Classifier { return NewTree() },
+		func() Classifier { return NewMLP() },
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(factories)*2)
+	for k := 0; k < len(errs); k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			c := factories[k%len(factories)]()
+			if err := c.Fit(x, y, nil); err != nil {
+				errs[k] = err
+				return
+			}
+			c.PredictProba(x[0])
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFitAllocationBounds pins the allocation-free hot loops: a logistic
+// fit allocates a fixed handful of buffers (Adam state, weight vector)
+// regardless of MaxIter — per-iteration allocations are zero.
+func TestFitAllocationBounds(t *testing.T) {
+	x, y := linearlySeparable(200, 3)
+	long := testing.AllocsPerRun(3, func() {
+		lr := &LogisticRegression{MaxIter: 64}
+		if err := lr.Fit(x, y, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	short := testing.AllocsPerRun(3, func() {
+		lr := &LogisticRegression{MaxIter: 1}
+		if err := lr.Fit(x, y, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if long != short {
+		t.Fatalf("logreg fit allocates per iteration: %v allocs at 64 iters vs %v at 1 (one Adam step must be allocation-free)", long, short)
+	}
+	if long > 16 {
+		t.Fatalf("logreg fit allocates too much: %v allocs (want <= 16 fixed buffers)", long)
+	}
+}

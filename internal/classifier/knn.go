@@ -16,13 +16,12 @@ type KNN struct {
 // NewKNN returns a kNN classifier with the paper's default k.
 func NewKNN() *KNN { return &KNN{K: 33} }
 
-// Fit memorizes the training data.
+// Fit memorizes the training data. The receiver's K is left untouched;
+// PredictProba resolves the default, so a zero-value model is reusable
+// and race-free across cells.
 func (k *KNN) Fit(x [][]float64, y []int, w []float64) error {
 	if err := checkFitInput(x, y, w); err != nil {
 		return err
-	}
-	if k.K == 0 {
-		k.K = 33
 	}
 	k.x, k.y, k.w = x, y, w
 	return nil
@@ -56,6 +55,9 @@ func (k *KNN) PredictProba(q []float64) float64 {
 		return 0.5
 	}
 	kk := k.K
+	if kk == 0 {
+		kk = 33
+	}
 	if kk > len(k.x) {
 		kk = len(k.x)
 	}

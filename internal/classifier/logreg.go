@@ -9,6 +9,10 @@ import (
 // trained by full-batch Adam on the weighted log loss. It is the paper's
 // fairness-unaware baseline and the default model completing pre- and
 // post-processing pipelines.
+//
+// Fit resolves unset hyper-parameters to the benchmark defaults without
+// writing them back to the receiver, so a zero-value model is reusable
+// and data-race-free when cells sharing a factory train concurrently.
 type LogisticRegression struct {
 	// L2 is the ridge penalty on the non-intercept weights (default 1e-3,
 	// matching scikit-learn's mild default regularization role).
@@ -28,15 +32,25 @@ func NewLogistic() *LogisticRegression {
 }
 
 // Fit trains the model; w may be nil for uniform weights.
+//
+// The Adam objective below is gradient-only: it returns 0 instead of the
+// weighted log loss. Adam's update and stopping rule read nothing but the
+// gradient, and the callers discard the final objective value, so
+// skipping the two math.Log calls per tuple per iteration leaves the
+// weight trajectory bit-identical while nearly halving fit time. The
+// gradient buffer is owned by Adam and reused across all MaxIter
+// iterations; the loop itself allocates nothing (pinned by
+// TestFitAllocationBounds).
 func (lr *LogisticRegression) Fit(x [][]float64, y []int, w []float64) error {
 	if err := checkFitInput(x, y, w); err != nil {
 		return err
 	}
-	if lr.MaxIter == 0 {
-		lr.MaxIter = 300
+	maxIter, step := lr.MaxIter, lr.Step
+	if maxIter == 0 {
+		maxIter = 300
 	}
-	if lr.Step == 0 {
-		lr.Step = 0.1
+	if step == 0 {
+		step = 0.1
 	}
 	d := len(x[0])
 	var totalW float64
@@ -52,7 +66,6 @@ func (lr *LogisticRegression) Fit(x [][]float64, y []int, w []float64) error {
 		for j := range grad {
 			grad[j] = 0
 		}
-		var loss float64
 		for i, row := range x {
 			wi := 1.0
 			if w != nil {
@@ -63,26 +76,22 @@ func (lr *LogisticRegression) Fit(x [][]float64, y []int, w []float64) error {
 				z += theta[j] * v
 			}
 			p := matrix.Sigmoid(z)
-			yi := float64(y[i])
-			loss += wi * logLoss(p, yi)
-			g := wi * (p - yi)
+			g := wi * (p - float64(y[i]))
 			for j, v := range row {
 				grad[j] += g * v
 			}
 			grad[d] += g
 		}
-		loss /= totalW
 		for j := range grad {
 			grad[j] /= totalW
 		}
 		for j := 0; j < d; j++ { // no penalty on intercept
-			loss += lr.L2 * theta[j] * theta[j]
 			grad[j] += 2 * lr.L2 * theta[j]
 		}
-		return loss
+		return 0
 	}
 	w0 := make([]float64, d+1)
-	theta, _ := optimize.Adam(obj, w0, optimize.AdamConfig{Step: lr.Step, MaxIter: lr.MaxIter})
+	theta, _ := optimize.Adam(obj, w0, optimize.AdamConfig{Step: step, MaxIter: maxIter})
 	lr.W = theta
 	return nil
 }
@@ -100,13 +109,4 @@ func (lr *LogisticRegression) Score(x []float64) float64 {
 // PredictProba returns the sigmoid of the decision value.
 func (lr *LogisticRegression) PredictProba(x []float64) float64 {
 	return matrix.Sigmoid(lr.Score(x))
-}
-
-func logLoss(p, y float64) float64 {
-	const eps = 1e-12
-	p = matrix.Clamp(p, eps, 1-eps)
-	if y >= 0.5 {
-		return -ln(p)
-	}
-	return -ln(1 - p)
 }

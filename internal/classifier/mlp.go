@@ -11,6 +11,13 @@ import (
 // sigmoid output, trained by mini-batch SGD on the weighted log loss with
 // L2 regularization — the paper's fifth model family (20 hidden neurons,
 // alpha = 0.01, Appendix F).
+//
+// The hidden-layer weights and their gradient accumulator live in flat
+// matrix.Dense backings (w1 rows are views into one allocation), and the
+// per-batch gradient buffers are allocated once per Fit and zeroed
+// between batches — the training loop allocates nothing per batch or per
+// epoch. Defaults resolve into locals, so a zero-value model is reusable
+// and race-free across cells.
 type MLP struct {
 	// Hidden is the hidden-layer width (default 20).
 	Hidden int
@@ -25,8 +32,10 @@ type MLP struct {
 	// Seed drives initialization and shuffling.
 	Seed int64
 
-	w1 [][]float64 // hidden x (d+1), last column bias
-	w2 []float64   // hidden+1, last entry bias
+	hidden int         // resolved width the fitted weights use
+	w1     [][]float64 // hidden x (d+1), last column bias; views into w1m
+	w1m    *matrix.Dense
+	w2     []float64 // hidden+1, last entry bias
 }
 
 // NewMLP returns an MLP with the paper's defaults.
@@ -39,70 +48,78 @@ func (m *MLP) Fit(x [][]float64, y []int, w []float64) error {
 	if err := checkFitInput(x, y, w); err != nil {
 		return err
 	}
-	if m.Hidden == 0 {
-		m.Hidden = 20
+	hidden, epochs, step, batch := m.Hidden, m.Epochs, m.Step, m.Batch
+	if hidden == 0 {
+		hidden = 20
 	}
-	if m.Epochs == 0 {
-		m.Epochs = 60
+	if epochs == 0 {
+		epochs = 60
 	}
-	if m.Step == 0 {
-		m.Step = 0.05
+	if step == 0 {
+		step = 0.05
 	}
-	if m.Batch == 0 {
-		m.Batch = 32
+	if batch == 0 {
+		batch = 32
 	}
 	n, d := len(x), len(x[0])
 	g := rng.New(m.Seed)
 	scale := 1 / math.Sqrt(float64(d)+1)
-	m.w1 = make([][]float64, m.Hidden)
+	m.hidden = hidden
+	m.w1m = matrix.NewDense(hidden, d+1)
+	m.w1 = m.w1m.RowsView()
 	for h := range m.w1 {
-		m.w1[h] = make([]float64, d+1)
 		for j := range m.w1[h] {
 			m.w1[h][j] = g.Normal(0, scale)
 		}
 	}
-	m.w2 = make([]float64, m.Hidden+1)
+	m.w2 = make([]float64, hidden+1)
 	for h := range m.w2 {
-		m.w2[h] = g.Normal(0, 1/math.Sqrt(float64(m.Hidden)+1))
+		m.w2[h] = g.Normal(0, 1/math.Sqrt(float64(hidden)+1))
 	}
 
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
-	hid := make([]float64, m.Hidden)
-	for epoch := 0; epoch < m.Epochs; epoch++ {
+	hid := make([]float64, hidden)
+	// Per-batch gradient accumulators, allocated once and zeroed between
+	// batches.
+	g1m := matrix.NewDense(hidden, d+1)
+	g1 := g1m.RowsView()
+	g2 := make([]float64, hidden+1)
+	for epoch := 0; epoch < epochs; epoch++ {
 		g.Shuffle(n, func(a, b int) { order[a], order[b] = order[b], order[a] })
-		for start := 0; start < n; start += m.Batch {
-			end := start + m.Batch
+		for start := 0; start < n; start += batch {
+			end := start + batch
 			if end > n {
 				end = n
 			}
-			g1 := make([][]float64, m.Hidden)
-			for h := range g1 {
-				g1[h] = make([]float64, d+1)
+			for i := range g1m.Data {
+				g1m.Data[i] = 0
 			}
-			g2 := make([]float64, m.Hidden+1)
+			for i := range g2 {
+				g2[i] = 0
+			}
 			var bw float64
 			for _, i := range order[start:end] {
 				wi := weightOf(w, i)
 				bw += wi
 				// Forward.
-				for h := 0; h < m.Hidden; h++ {
+				for h := 0; h < hidden; h++ {
 					z := m.w1[h][d]
 					for j, v := range x[i] {
 						z += m.w1[h][j] * v
 					}
 					hid[h] = math.Tanh(z)
 				}
-				out := m.w2[m.Hidden]
-				for h := 0; h < m.Hidden; h++ {
+				out := m.w2[hidden]
+				for h := 0; h < hidden; h++ {
 					out += m.w2[h] * hid[h]
 				}
 				p := matrix.Sigmoid(out)
 				// Backward.
 				dOut := wi * (p - float64(y[i]))
-				for h := 0; h < m.Hidden; h++ {
+				for h := 0; h < hidden; h++ {
 					g2[h] += dOut * hid[h]
 					dHid := dOut * m.w2[h] * (1 - hid[h]*hid[h])
 					for j, v := range x[i] {
@@ -110,19 +127,19 @@ func (m *MLP) Fit(x [][]float64, y []int, w []float64) error {
 					}
 					g1[h][d] += dHid
 				}
-				g2[m.Hidden] += dOut
+				g2[hidden] += dOut
 			}
 			if bw == 0 {
 				continue
 			}
-			lr := m.Step
-			for h := 0; h < m.Hidden; h++ {
+			lr := step
+			for h := 0; h < hidden; h++ {
 				for j := 0; j <= d; j++ {
 					m.w1[h][j] -= lr * (g1[h][j]/bw + m.Alpha*m.w1[h][j])
 				}
 				m.w2[h] -= lr * (g2[h]/bw + m.Alpha*m.w2[h])
 			}
-			m.w2[m.Hidden] -= lr * g2[m.Hidden] / bw
+			m.w2[hidden] -= lr * g2[hidden] / bw
 		}
 	}
 	return nil
@@ -134,8 +151,8 @@ func (m *MLP) PredictProba(x []float64) float64 {
 		return 0.5
 	}
 	d := len(m.w1[0]) - 1
-	out := m.w2[m.Hidden]
-	for h := 0; h < m.Hidden; h++ {
+	out := m.w2[m.hidden]
+	for h := 0; h < m.hidden; h++ {
 		z := m.w1[h][d]
 		for j := 0; j < d && j < len(x); j++ {
 			z += m.w1[h][j] * x[j]

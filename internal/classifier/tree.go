@@ -36,23 +36,26 @@ type treeNode struct {
 // NewTree returns a decision tree with benchmark defaults.
 func NewTree() *DecisionTree { return &DecisionTree{MaxDepth: 100, MinLeaf: 2} }
 
-// Fit builds the tree.
+// Fit builds the tree. Defaults resolve into a working copy of the
+// receiver's configuration (the caller's fields are never written), so a
+// zero-value tree is reusable and race-free across cells.
 func (t *DecisionTree) Fit(x [][]float64, y []int, w []float64) error {
 	if err := checkFitInput(x, y, w); err != nil {
 		return err
 	}
-	if t.MaxDepth == 0 {
-		t.MaxDepth = 100
+	work := *t
+	if work.MaxDepth == 0 {
+		work.MaxDepth = 100
 	}
-	if t.MinLeaf == 0 {
-		t.MinLeaf = 2
+	if work.MinLeaf == 0 {
+		work.MinLeaf = 2
 	}
 	idx := make([]int, len(x))
 	for i := range idx {
 		idx[i] = i
 	}
-	g := rng.New(t.Seed)
-	t.root = t.build(x, y, w, idx, 0, g)
+	g := rng.New(work.Seed)
+	t.root = work.build(x, y, w, idx, 0, g)
 	return nil
 }
 
@@ -201,23 +204,25 @@ type RandomForest struct {
 // NewForest returns a random forest with the paper's defaults.
 func NewForest() *RandomForest { return &RandomForest{Trees: 40, MaxDepth: 100, Seed: 11} }
 
-// Fit trains the ensemble on bootstrap resamples.
+// Fit trains the ensemble on bootstrap resamples. Defaults resolve into
+// locals; the receiver's configuration fields are never written.
 func (rf *RandomForest) Fit(x [][]float64, y []int, w []float64) error {
 	if err := checkFitInput(x, y, w); err != nil {
 		return err
 	}
-	if rf.Trees == 0 {
-		rf.Trees = 40
+	trees, maxDepth := rf.Trees, rf.MaxDepth
+	if trees == 0 {
+		trees = 40
 	}
-	if rf.MaxDepth == 0 {
-		rf.MaxDepth = 100
+	if maxDepth == 0 {
+		maxDepth = 100
 	}
 	n := len(x)
 	d := len(x[0])
 	sub := int(math.Ceil(math.Sqrt(float64(d))))
 	g := rng.New(rf.Seed)
-	rf.ensemble = make([]*DecisionTree, rf.Trees)
-	for t := 0; t < rf.Trees; t++ {
+	rf.ensemble = make([]*DecisionTree, trees)
+	for t := 0; t < trees; t++ {
 		bx := make([][]float64, n)
 		by := make([]int, n)
 		var bw []float64
@@ -231,7 +236,7 @@ func (rf *RandomForest) Fit(x [][]float64, y []int, w []float64) error {
 				bw[i] = w[j]
 			}
 		}
-		tree := &DecisionTree{MaxDepth: rf.MaxDepth, MinLeaf: 2, FeatureSubset: sub, Seed: g.Int63()}
+		tree := &DecisionTree{MaxDepth: maxDepth, MinLeaf: 2, FeatureSubset: sub, Seed: g.Int63()}
 		if err := tree.Fit(bx, by, bw); err != nil {
 			return err
 		}

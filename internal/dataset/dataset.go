@@ -7,11 +7,26 @@
 // approach needs: train/test splitting, k-fold cross validation, weighted
 // resampling, per-attribute standardization and discretization, and CSV
 // import/export.
+//
+// # Flat layout and the view contract
+//
+// Datasets built by NewFlat (all package generators and Clone use it) keep
+// X in one flat row-major backing array; each X[i] is a stride-spaced
+// subslice of it, so scanning rows walks memory sequentially and cloning
+// is a single copy. Slicing operations — Subset, Split, KFold, Sample,
+// ResampleWeighted — are zero-copy: the returned dataset's rows ALIAS the
+// parent's row storage (S, Y, and Weights are small and copied). The
+// contract every consumer in this repository follows: derived datasets are
+// read-only views; code that needs to mutate tuples takes a Clone first
+// (every repairer and corruption template does). This is what lets one
+// synthesized dataset back an entire experiment grid across worker
+// goroutines without a byte of row copying.
 package dataset
 
 import (
 	"fmt"
 
+	"fairbench/internal/matrix"
 	"fairbench/internal/rng"
 )
 
@@ -40,6 +55,10 @@ type Attr struct {
 // feature vectors; S and Y are parallel slices. Weights, when non-nil,
 // carry per-tuple importance weights (used by reweighing pre-processors and
 // cost-sensitive in-processing); nil means uniform weight 1.
+//
+// Rows of a dataset produced by a slicing operation (Subset and friends)
+// alias their parent's storage — see the package comment for the view
+// contract. Mutate via Clone.
 type Dataset struct {
 	Name    string
 	Attrs   []Attr
@@ -50,7 +69,36 @@ type Dataset struct {
 	// SName and YName label the sensitive attribute and target task for
 	// reporting (e.g. "Sex" and "Income>=50K" for Adult).
 	SName, YName string
+
+	// flat, when non-nil, is the matrix backing every X row contiguously
+	// (X[i] == flat.Row(i)). Datasets assembled from scattered rows (views,
+	// hand-built X) leave it nil; Clone always rebuilds it.
+	flat *matrix.Dense
 }
+
+// NewFlat returns a dataset with n zeroed tuples whose rows live in one
+// flat backing array: X[i] is a view into it. Generators fill rows in
+// place via X[i] (or Row).
+func NewFlat(name string, attrs []Attr, n int) *Dataset {
+	d := &Dataset{
+		Name:  name,
+		Attrs: attrs,
+		S:     make([]int, n),
+		Y:     make([]int, n),
+		flat:  matrix.NewDense(n, len(attrs)),
+	}
+	d.X = d.flat.RowsView()
+	return d
+}
+
+// Flat returns the contiguous backing matrix when the dataset has one
+// (built by NewFlat or Clone), or nil for datasets assembled from
+// scattered rows. Kernels use it to stream X without per-row indirection.
+func (d *Dataset) Flat() *matrix.Dense { return d.flat }
+
+// Row returns the feature vector of tuple i (a view; do not mutate
+// without Clone).
+func (d *Dataset) Row(i int) []float64 { return d.X[i] }
 
 // Len returns the number of tuples |D|.
 func (d *Dataset) Len() int { return len(d.X) }
@@ -82,19 +130,23 @@ func (d *Dataset) Validate() error {
 	return nil
 }
 
-// Clone returns a deep copy of the dataset.
+// Clone returns a deep copy of the dataset with a freshly allocated,
+// contiguous flat backing — the one operation that severs every alias to
+// the parent, and therefore the required first step before mutating any
+// derived dataset.
 func (d *Dataset) Clone() *Dataset {
 	out := &Dataset{
 		Name:  d.Name,
 		Attrs: append([]Attr(nil), d.Attrs...),
-		X:     make([][]float64, len(d.X)),
 		S:     append([]int(nil), d.S...),
 		Y:     append([]int(nil), d.Y...),
 		SName: d.SName,
 		YName: d.YName,
 	}
+	out.flat = matrix.NewDense(len(d.X), len(d.Attrs))
+	out.X = out.flat.RowsView()
 	for i, row := range d.X {
-		out.X[i] = append([]float64(nil), row...)
+		copy(out.X[i], row)
 	}
 	if d.Weights != nil {
 		out.Weights = append([]float64(nil), d.Weights...)
@@ -122,8 +174,10 @@ func (d *Dataset) TotalWeight() float64 {
 	return s
 }
 
-// Subset returns a new dataset containing the tuples at the given indices
-// (rows are copied, so mutating the subset does not alias the parent).
+// Subset returns a dataset containing the tuples at the given indices as a
+// zero-copy view: the rows of the result alias this dataset's row storage
+// (S, Y, and Weights are copied — they are one word per tuple). Callers
+// that mutate tuples must Clone the subset first; see the package comment.
 func (d *Dataset) Subset(idx []int) *Dataset {
 	out := &Dataset{
 		Name:  d.Name,
@@ -138,7 +192,7 @@ func (d *Dataset) Subset(idx []int) *Dataset {
 		out.Weights = make([]float64, len(idx))
 	}
 	for j, i := range idx {
-		out.X[j] = append([]float64(nil), d.X[i]...)
+		out.X[j] = d.X[i]
 		out.S[j] = d.S[i]
 		out.Y[j] = d.Y[i]
 		if d.Weights != nil {
@@ -148,8 +202,8 @@ func (d *Dataset) Subset(idx []int) *Dataset {
 	return out
 }
 
-// Split partitions the dataset into train and test with the given train
-// fraction, shuffling with g. The paper uses a random 70%-30% split.
+// Split partitions the dataset into train and test views with the given
+// train fraction, shuffling with g. The paper uses a random 70%-30% split.
 func (d *Dataset) Split(trainFrac float64, g *rng.RNG) (train, test *Dataset) {
 	n := d.Len()
 	perm := g.Perm(n)
@@ -163,8 +217,9 @@ func (d *Dataset) Split(trainFrac float64, g *rng.RNG) (train, test *Dataset) {
 	return d.Subset(perm[:cut]), d.Subset(perm[cut:])
 }
 
-// KFold returns k (train, test) pairs for k-fold cross validation with a
-// shuffled assignment. Used for the 5-fold CV tables (Figures 16-18).
+// KFold returns k (train, test) view pairs for k-fold cross validation
+// with a shuffled assignment. Used for the 5-fold CV tables (Figures
+// 16-18).
 func (d *Dataset) KFold(k int, g *rng.RNG) []struct{ Train, Test *Dataset } {
 	n := d.Len()
 	perm := g.Perm(n)
@@ -182,27 +237,35 @@ func (d *Dataset) KFold(k int, g *rng.RNG) []struct{ Train, Test *Dataset } {
 	return folds
 }
 
-// Sample draws a uniform random subset of size n without replacement.
+// Sample draws a uniform random subset view of size n without
+// replacement; n >= Len returns an identity view (whole dataset, original
+// order, no RNG consumed — matching the draw-nothing semantics the full
+// sample always had).
 func (d *Dataset) Sample(n int, g *rng.RNG) *Dataset {
 	if n >= d.Len() {
-		return d.Clone()
+		idx := make([]int, d.Len())
+		for i := range idx {
+			idx[i] = i
+		}
+		return d.Subset(idx)
 	}
 	return d.Subset(g.SampleWithoutReplacement(d.Len(), n))
 }
 
 // ResampleWeighted draws n tuples with replacement with probability
-// proportional to w (the Kam-Cal resampling step).
+// proportional to w (the Kam-Cal resampling step), as a view.
 func (d *Dataset) ResampleWeighted(w []float64, n int, g *rng.RNG) *Dataset {
 	return d.Subset(g.SampleWeighted(w, n))
 }
 
 // ProjectAttrs returns a dataset keeping only the attributes at the given
 // column indices (used by the attribute-scalability experiment, Fig 8 d-f).
+// Projection reorders columns, so the result is materialized into its own
+// flat backing rather than aliased.
 func (d *Dataset) ProjectAttrs(cols []int) *Dataset {
 	out := &Dataset{
 		Name:  d.Name,
 		Attrs: make([]Attr, len(cols)),
-		X:     make([][]float64, d.Len()),
 		S:     append([]int(nil), d.S...),
 		Y:     append([]int(nil), d.Y...),
 		SName: d.SName,
@@ -211,12 +274,13 @@ func (d *Dataset) ProjectAttrs(cols []int) *Dataset {
 	for j, c := range cols {
 		out.Attrs[j] = d.Attrs[c]
 	}
+	out.flat = matrix.NewDense(d.Len(), len(cols))
+	out.X = out.flat.RowsView()
 	for i, row := range d.X {
-		nr := make([]float64, len(cols))
+		nr := out.X[i]
 		for j, c := range cols {
 			nr[j] = row[c]
 		}
-		out.X[i] = nr
 	}
 	if d.Weights != nil {
 		out.Weights = append([]float64(nil), d.Weights...)
@@ -272,19 +336,23 @@ func (d *Dataset) BaseRates() (unpriv, priv float64) {
 	return unpriv, priv
 }
 
-// FeatureMatrix returns the design matrix used by the classifiers:
-// each row is X_i with S appended as the final column when includeS is
-// true. The returned matrix is freshly allocated.
+// FeatureMatrix returns the design matrix used by the classifiers: each
+// row is X_i with S appended as the final column when includeS is true.
+// The rows live in one flat backing array (a single allocation), so
+// training kernels stream them sequentially. Like the slicing operations,
+// the result follows the view contract: classifiers read it, they do not
+// write it.
 func (d *Dataset) FeatureMatrix(includeS bool) [][]float64 {
-	out := make([][]float64, d.Len())
+	cols := len(d.Attrs)
+	if includeS {
+		cols++
+	}
+	m := matrix.NewDense(d.Len(), cols)
+	out := m.RowsView()
 	for i, row := range d.X {
+		copy(out[i], row)
 		if includeS {
-			r := make([]float64, len(row)+1)
-			copy(r, row)
-			r[len(row)] = float64(d.S[i])
-			out[i] = r
-		} else {
-			out[i] = append([]float64(nil), row...)
+			out[i][len(row)] = float64(d.S[i])
 		}
 	}
 	return out
@@ -300,4 +368,16 @@ func FeatureRow(x []float64, s int, includeS bool) []float64 {
 	copy(r, x)
 	r[len(x)] = float64(s)
 	return r
+}
+
+// AppendFeatureRow appends the classifier input row for (x, s) to dst and
+// returns the extended slice — the allocation-free FeatureRow used by
+// per-tuple prediction hot loops (dst is typically a scratch buffer
+// reused across calls, truncated to dst[:0] by the caller).
+func AppendFeatureRow(dst, x []float64, s int, includeS bool) []float64 {
+	dst = append(dst, x...)
+	if includeS {
+		dst = append(dst, float64(s))
+	}
+	return dst
 }

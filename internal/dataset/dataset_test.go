@@ -54,15 +54,59 @@ func TestCloneDeep(t *testing.T) {
 	}
 }
 
-func TestSubsetCopies(t *testing.T) {
+func TestSubsetIsView(t *testing.T) {
 	d := toy(6)
 	s := d.Subset([]int{1, 3})
 	if s.Len() != 2 || s.X[0][0] != 1 || s.X[1][0] != 3 {
 		t.Fatalf("subset contents wrong: %+v", s.X)
 	}
-	s.X[0][0] = 42
+	// The view contract: subset rows alias the parent's storage (so
+	// splits and folds are zero-copy), while S/Y stay independent.
+	if &s.X[0][0] != &d.X[1][0] {
+		t.Fatal("Subset rows must alias the parent (zero-copy view contract)")
+	}
+	s.Y[0] = 1 - s.Y[0]
+	if d.Y[1] == s.Y[0] {
+		t.Fatal("Subset must copy S/Y")
+	}
+	// Clone severs the alias — the sanctioned way to mutate a view.
+	c := s.Clone()
+	c.X[0][0] = 42
 	if d.X[1][0] == 42 {
-		t.Fatal("Subset must copy rows")
+		t.Fatal("Clone of a view must not alias the parent")
+	}
+}
+
+func TestNewFlatBacking(t *testing.T) {
+	attrs := []Attr{{Name: "a", Kind: Numeric}, {Name: "b", Kind: Numeric}}
+	d := NewFlat("flat", attrs, 4)
+	if d.Flat() == nil || d.Flat().Rows != 4 || d.Flat().Cols != 2 {
+		t.Fatalf("flat backing missing: %+v", d.Flat())
+	}
+	d.X[2][1] = 7
+	if d.Flat().At(2, 1) != 7 {
+		t.Fatal("X rows must view the flat backing")
+	}
+	if d.Row(2)[1] != 7 {
+		t.Fatal("Row must return the same view")
+	}
+	// Clone rebuilds a contiguous backing even from scattered rows.
+	c := toy(3).Clone()
+	if c.Flat() == nil {
+		t.Fatal("Clone must materialize a flat backing")
+	}
+}
+
+func TestAppendFeatureRow(t *testing.T) {
+	x := []float64{1, 2}
+	buf := make([]float64, 0, 8)
+	r := AppendFeatureRow(buf[:0], x, 1, true)
+	if len(r) != 3 || r[2] != 1 {
+		t.Fatalf("AppendFeatureRow with S: %v", r)
+	}
+	r = AppendFeatureRow(buf[:0], x, 1, false)
+	if len(r) != 2 || r[1] != 2 {
+		t.Fatalf("AppendFeatureRow without S: %v", r)
 	}
 }
 

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestViewSlicesMatchMaterialized proves the flat data plane's central
+// bit-identity claim: a grid whose train/test slices are zero-copy views
+// into the synthesized dataset's flat backing produces byte-identical
+// rows to the same grid with every slice deep-copied into its own
+// storage. Together with the golden-row suite (which pins the view-based
+// path to the pre-refactor numbers) this is the byte-equivalence oracle
+// for the zero-copy view contract.
+func TestViewSlicesMatchMaterialized(t *testing.T) {
+	src, err := sourceFor("german", 240, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	viewGrid := fig7Grid(src, 7)
+	matGrid := fig7Grid(src, 7)
+	for i := range matGrid.slices {
+		matGrid.slices[i].train = matGrid.slices[i].train.Clone()
+		matGrid.slices[i].test = matGrid.slices[i].test.Clone()
+	}
+
+	viewOut, err := viewGrid.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	matOut, err := matGrid.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viewOut.Rows) == 0 || len(viewOut.Rows) != len(matOut.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(viewOut.Rows), len(matOut.Rows))
+	}
+	for i := range viewOut.Rows {
+		a, b := viewOut.Rows[i], matOut.Rows[i]
+		a.Seconds, a.Overhead = 0, 0 // wall time is the sanctioned nondeterminism
+		b.Seconds, b.Overhead = 0, 0
+		aj, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(aj) != string(bj) {
+			t.Fatalf("row %d diverges between view-backed and materialized slices:\n  view: %s\n  mat:  %s", i, aj, bj)
+		}
+	}
+}
+
+// TestSourceMemoReturnsSharedMaterialization pins the per-run synthesis
+// memo: repeated sourceFor calls for one (dataset, n, seed) return the
+// same Source (no re-synthesis), and distinct keys stay distinct.
+func TestSourceMemoReturnsSharedMaterialization(t *testing.T) {
+	a, err := sourceFor("compas", 200, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sourceFor("compas", 200, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("sourceFor re-synthesized a memoized (dataset, n, seed)")
+	}
+	c, err := sourceFor("compas", 200, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("sourceFor conflated distinct seeds")
+	}
+}

@@ -78,19 +78,28 @@ type Repairer interface {
 }
 
 // TestTransformer is implemented by repairers that also transform test
-// data (Feld and Calmon in the benchmark).
+// data (Feld and Calmon in the benchmark). The returned slice may be
+// scratch storage reused by the transformer's next TransformRow call:
+// callers consume or copy it before transforming another row (the
+// per-tuple prediction loops do), and must not mutate it.
 type TestTransformer interface {
 	TransformRow(x []float64, s int) []float64
 }
 
 // Baseline is the fairness-unaware logistic regression the paper overlays
 // on every plot. The sensitive attribute is part of the feature vector.
+//
+// Prediction methods reuse a per-instance row buffer, so a Baseline is not
+// safe for concurrent prediction on a shared instance; every grid cell
+// constructs its own approach (the runner's determinism contract), and
+// prediction loops within a cell are sequential.
 type Baseline struct {
 	Factory  classifier.Factory
 	IncludeS bool
 
-	clf classifier.Classifier
-	std *dataset.Standardizer
+	clf    classifier.Classifier
+	std    *dataset.Standardizer
+	rowBuf []float64
 }
 
 // NewBaseline returns the default LR baseline with S included.
@@ -131,18 +140,27 @@ func (b *Baseline) Predict(test *dataset.Dataset) ([]int, error) {
 	return out, nil
 }
 
+// featureRow builds the standardized classifier input for (x, s) in the
+// instance's scratch buffer — zero allocations per prediction once the
+// buffer has grown to row size.
+func (b *Baseline) featureRow(x []float64, s int) []float64 {
+	row := append(b.rowBuf[:0], x...)
+	b.std.ApplyRow(row)
+	if b.IncludeS {
+		row = append(row, float64(s))
+	}
+	b.rowBuf = row[:0]
+	return row
+}
+
 // PredictOne labels a single tuple.
 func (b *Baseline) PredictOne(x []float64, s int) int {
-	row := append([]float64(nil), x...)
-	b.std.ApplyRow(row)
-	return classifier.Predict(b.clf, dataset.FeatureRow(row, s, b.IncludeS))
+	return classifier.Predict(b.clf, b.featureRow(x, s))
 }
 
 // Proba returns the baseline's positive probability for one tuple.
 func (b *Baseline) Proba(x []float64, s int) float64 {
-	row := append([]float64(nil), x...)
-	b.std.ApplyRow(row)
-	return b.clf.PredictProba(dataset.FeatureRow(row, s, b.IncludeS))
+	return b.clf.PredictProba(b.featureRow(x, s))
 }
 
 // PreProcessed wraps a Repairer and a downstream classifier into a
@@ -157,8 +175,9 @@ type PreProcessed struct {
 	// like Feld drop it (their repair makes X independent of S).
 	IncludeS bool
 
-	clf classifier.Classifier
-	std *dataset.Standardizer
+	clf    classifier.Classifier
+	std    *dataset.Standardizer
+	rowBuf []float64
 }
 
 // Name implements Approach.
@@ -217,9 +236,15 @@ func (p *PreProcessed) PredictIntervened(x []float64, sTrue, sInput int) int {
 	if t, ok := p.Mechanism.(TestTransformer); ok {
 		row = t.TransformRow(x, sTrue)
 	}
-	row = append([]float64(nil), row...)
+	// Copy into the instance scratch before standardizing: row may be the
+	// transformer's reusable buffer, and x itself must stay untouched.
+	row = append(p.rowBuf[:0], row...)
 	p.std.ApplyRow(row)
-	return classifier.Predict(p.clf, dataset.FeatureRow(row, sInput, p.IncludeS))
+	if p.IncludeS {
+		row = append(row, float64(sInput))
+	}
+	p.rowBuf = row[:0]
+	return classifier.Predict(p.clf, row)
 }
 
 // Adjuster is a post-processing mechanism: given a trained base model's

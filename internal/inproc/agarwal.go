@@ -156,11 +156,13 @@ func (a *Agarwal) Fit(train *dataset.Dataset) error {
 			}
 			weights[i] = math.Min(8, math.Max(1.0/8, weights[i]))
 		}
+		// Gradient-only weighted logistic objective: Adam discards the
+		// value, so the per-tuple log-loss terms are never computed.
 		obj := func(wv, grad []float64) float64 {
 			for j := range grad {
 				grad[j] = 0
 			}
-			var loss, tw float64
+			var tw float64
 			d := len(wv) - 1
 			for i, row := range x {
 				z := wv[d]
@@ -169,7 +171,6 @@ func (a *Agarwal) Fit(train *dataset.Dataset) error {
 				}
 				p := sigmoid(z)
 				yi := float64(y[i])
-				loss += weights[i] * logLoss(p, yi)
 				gval := weights[i] * (p - yi)
 				for j, v := range row {
 					grad[j] += gval * v
@@ -178,12 +179,11 @@ func (a *Agarwal) Fit(train *dataset.Dataset) error {
 				tw += weights[i]
 			}
 			if tw > 0 {
-				loss /= tw
 				for j := range grad {
 					grad[j] /= tw
 				}
 			}
-			return loss
+			return 0
 		}
 		w, _ = optimize.Adam(obj, w, optimize.AdamConfig{MaxIter: 250})
 		a.models = append(a.models, append([]float64(nil), w...))

@@ -126,11 +126,12 @@ func (k *Kearns) Fit(train *dataset.Dataset) error {
 	w := make([]float64, dim+1)
 	for round := 0; round < k.Rounds; round++ {
 		// Learner best response: weighted logistic regression.
+		// Gradient-only weighted logistic objective: Adam discards the
+		// value, so the per-tuple log-loss terms are never computed.
 		obj := func(wv, grad []float64) float64 {
 			for j := range grad {
 				grad[j] = 0
 			}
-			var loss float64
 			var tw float64
 			d := len(wv) - 1
 			for i, row := range x {
@@ -140,7 +141,6 @@ func (k *Kearns) Fit(train *dataset.Dataset) error {
 				}
 				p := sigmoid(z)
 				yi := float64(y[i])
-				loss += weights[i] * logLoss(p, yi)
 				g := weights[i] * (p - yi)
 				for j, v := range row {
 					grad[j] += g * v
@@ -149,12 +149,11 @@ func (k *Kearns) Fit(train *dataset.Dataset) error {
 				tw += weights[i]
 			}
 			if tw > 0 {
-				loss /= tw
 				for j := range grad {
 					grad[j] /= tw
 				}
 			}
-			return loss
+			return 0
 		}
 		w, _ = optimize.Adam(obj, w, optimize.AdamConfig{MaxIter: 250})
 		k.models = append(k.models, append([]float64(nil), w...))

@@ -181,20 +181,19 @@ func (t *Thomas) Fit(train *dataset.Dataset) error {
 	t.NoSolutionFound = true
 	w := make([]float64, dim+1)
 	for attempt := 0; attempt < t.MaxAttempts; attempt++ {
+		// Gradient-only: Adam discards the value, so neither the log-loss
+		// terms nor the barrier value is materialized — only their
+		// gradients.
 		obj := func(wv, grad []float64) float64 {
 			for j := range grad {
 				grad[j] = 0
 			}
-			loss := logLossAndGrad(wv, cx, cy, grad)
+			logGradOnly(wv, cx, cy, grad)
 			// Barrier on the squared smooth violations, with the analytic
 			// chain-rule gradient through the per-sample sigmoids.
 			viols := t.violations(wv, cx, cy, cs)
-			var pen float64
-			for _, v := range viols {
-				pen += v * v
-			}
 			t.addViolationGrad(wv, cx, cy, cs, viols, barrier, grad)
-			return loss + barrier*pen
+			return 0
 		}
 		w, _ = optimize.Adam(obj, w, optimize.AdamConfig{MaxIter: 400})
 

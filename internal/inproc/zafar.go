@@ -129,11 +129,14 @@ func (z *Zafar) Fit(train *dataset.Dataset) error {
 	w0 := make([]float64, dim+1)
 	switch z.Mode {
 	case ZafarDPFair:
+		// Gradient-only: the penalty method's inner Adam never reads the
+		// objective value.
 		loss := func(w, grad []float64) float64 {
 			for j := range grad {
 				grad[j] = 0
 			}
-			return logLossAndGrad(w, x, y, grad)
+			logGradOnly(w, x, y, grad)
+			return 0
 		}
 		cpos := func(w, grad []float64) float64 { return cov(w, nil, grad) - z.CovBound }
 		cneg := func(w, grad []float64) float64 {
@@ -177,11 +180,14 @@ func (z *Zafar) Fit(train *dataset.Dataset) error {
 		// current weights, solve the resulting penalized convex
 		// subproblem, repeat.
 		w := w0
+		// Gradient-only: both the warm start and the penalized subproblems
+		// run under Adam, which discards the value.
 		uncon := func(wv, grad []float64) float64 {
 			for j := range grad {
 				grad[j] = 0
 			}
-			return logLossAndGrad(wv, x, y, grad)
+			logGradOnly(wv, x, y, grad)
+			return 0
 		}
 		w, _ = optimize.Adam(uncon, w, optimize.AdamConfig{MaxIter: 300})
 		for round := 0; round < 4; round++ {

@@ -1,0 +1,110 @@
+package matrix
+
+import "fmt"
+
+// Dense is a row-major dense matrix over one flat backing array. It is
+// the kernel-level layout of the data plane: every row is a stride-spaced
+// subslice of the same allocation, so iterating rows walks memory
+// sequentially (no per-row pointer chasing) and a whole matrix copies
+// with a single memmove. Dense never allocates per element or per row
+// after construction.
+//
+// The zero value is an empty matrix. Row views returned by Row alias the
+// backing array; callers that need an independent copy use Clone.
+type Dense struct {
+	// Data is the flat backing array, row-major: element (i, j) lives at
+	// Data[i*Stride+j]. Exposed for kernels that stream the whole matrix.
+	Data []float64
+	// Rows and Cols are the logical dimensions.
+	Rows, Cols int
+	// Stride is the index distance between vertically adjacent elements
+	// (>= Cols; NewDense packs rows tightly, Stride == Cols).
+	Stride int
+}
+
+// NewDense returns a zeroed r×c matrix with one flat allocation.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("matrix: NewDense(%d, %d): negative dimension", r, c))
+	}
+	return &Dense{Data: make([]float64, r*c), Rows: r, Cols: c, Stride: c}
+}
+
+// FromRows copies a [][]float64 into a freshly allocated Dense. Every row
+// must have the same length.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return &Dense{}
+	}
+	d := NewDense(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != d.Cols {
+			panic(fmt.Sprintf("matrix: FromRows row %d has %d cols, want %d", i, len(row), d.Cols))
+		}
+		copy(d.Data[i*d.Stride:], row)
+	}
+	return d
+}
+
+// Row returns row i as a view into the backing array. Mutating the view
+// mutates the matrix.
+func (d *Dense) Row(i int) []float64 {
+	off := i * d.Stride
+	return d.Data[off : off+d.Cols : off+d.Cols]
+}
+
+// At returns element (i, j).
+func (d *Dense) At(i, j int) float64 { return d.Data[i*d.Stride+j] }
+
+// Set assigns element (i, j).
+func (d *Dense) Set(i, j int, v float64) { d.Data[i*d.Stride+j] = v }
+
+// RowsView returns the matrix as a []-of-rows header whose rows alias the
+// backing array — the bridge to [][]float64 APIs. The header slice is a
+// fresh allocation; the row data is shared.
+func (d *Dense) RowsView() [][]float64 {
+	out := make([][]float64, d.Rows)
+	for i := range out {
+		out[i] = d.Row(i)
+	}
+	return out
+}
+
+// Clone returns a deep copy with a tightly packed backing array.
+func (d *Dense) Clone() *Dense {
+	out := NewDense(d.Rows, d.Cols)
+	if d.Stride == d.Cols {
+		copy(out.Data, d.Data[:d.Rows*d.Cols])
+		return out
+	}
+	for i := 0; i < d.Rows; i++ {
+		copy(out.Row(i), d.Row(i))
+	}
+	return out
+}
+
+// MatVecInto computes dst = d·x without allocating; dst must have length
+// d.Rows and x length d.Cols.
+func (d *Dense) MatVecInto(dst, x []float64) {
+	if len(dst) != d.Rows || len(x) != d.Cols {
+		panic(fmt.Sprintf("matrix: MatVecInto dims %d×%d vs dst %d, x %d", d.Rows, d.Cols, len(dst), len(x)))
+	}
+	for i := 0; i < d.Rows; i++ {
+		dst[i] = Dot(d.Row(i), x)
+	}
+}
+
+// TransposeMatVecInto computes dst = dᵀ·x without allocating: dst[j] =
+// Σ_i d[i][j]·x[i]. dst must have length d.Cols and x length d.Rows. dst
+// is fully overwritten.
+func (d *Dense) TransposeMatVecInto(dst, x []float64) {
+	if len(dst) != d.Cols || len(x) != d.Rows {
+		panic(fmt.Sprintf("matrix: TransposeMatVecInto dims %d×%d vs dst %d, x %d", d.Rows, d.Cols, len(dst), len(x)))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < d.Rows; i++ {
+		Axpy(x[i], d.Row(i), dst)
+	}
+}

@@ -1,0 +1,79 @@
+package matrix
+
+import "testing"
+
+func TestDenseRowViews(t *testing.T) {
+	d := NewDense(3, 2)
+	d.Set(1, 1, 5)
+	if d.At(1, 1) != 5 || d.Data[3] != 5 {
+		t.Fatalf("Set/At disagree with flat layout: %v", d.Data)
+	}
+	r := d.Row(1)
+	r[0] = 7
+	if d.At(1, 0) != 7 {
+		t.Fatal("Row must be a view into the backing array")
+	}
+	if cap(r) != 2 {
+		t.Fatalf("Row view must be capacity-capped to its row, cap=%d", cap(r))
+	}
+	v := d.RowsView()
+	v[2][1] = 9
+	if d.At(2, 1) != 9 {
+		t.Fatal("RowsView rows must alias the backing array")
+	}
+}
+
+func TestDenseFromRowsClone(t *testing.T) {
+	src := [][]float64{{1, 2}, {3, 4}}
+	d := FromRows(src)
+	if d.Rows != 2 || d.Cols != 2 || d.At(1, 0) != 3 {
+		t.Fatalf("FromRows: %+v", d)
+	}
+	src[0][0] = 99
+	if d.At(0, 0) != 1 {
+		t.Fatal("FromRows must copy")
+	}
+	c := d.Clone()
+	c.Set(0, 0, 42)
+	if d.At(0, 0) != 1 {
+		t.Fatal("Clone must not alias")
+	}
+}
+
+func TestDenseMatVecInto(t *testing.T) {
+	d := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	x := []float64{1, -1}
+	dst := make([]float64, 3)
+	d.MatVecInto(dst, x)
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MatVecInto[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	// Matches the [][]float64 kernel bit for bit.
+	ref := MatVec(d.RowsView(), x)
+	for i := range ref {
+		if ref[i] != dst[i] {
+			t.Fatalf("MatVecInto diverges from MatVec at %d", i)
+		}
+	}
+	tdst := make([]float64, 2)
+	tx := []float64{1, 0, -1}
+	d.TransposeMatVecInto(tdst, tx)
+	tref := TransposeMatVec(d.RowsView(), tx)
+	for i := range tref {
+		if tref[i] != tdst[i] {
+			t.Fatalf("TransposeMatVecInto diverges at %d", i)
+		}
+	}
+}
+
+func TestDensePanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MatVecInto must panic on a dimension mismatch")
+		}
+	}()
+	NewDense(2, 2).MatVecInto(make([]float64, 3), []float64{1, 2})
+}

@@ -104,7 +104,11 @@ func ComputeGroupRates(d *dataset.Dataset, yhat []int) GroupRates {
 // zero privileged positive rate with a positive unprivileged rate yields
 // +Inf, matching the metric's [0, ∞) range.
 func DisparateImpact(d *dataset.Dataset, yhat []int) float64 {
-	gr := ComputeGroupRates(d, yhat)
+	return ComputeGroupRates(d, yhat).DI()
+}
+
+// DI derives Disparate Impact from already-tallied group rates.
+func (gr GroupRates) DI() float64 {
 	if gr.PosRate[1] == 0 {
 		if gr.PosRate[0] == 0 {
 			return 1 // no positives anywhere: vacuously fair
@@ -180,12 +184,15 @@ func TotalEffect(d *dataset.Dataset, g *causal.Graph, yhat []int, bins int) caus
 // ComputeFairness evaluates every fairness metric at once. p may be nil,
 // in which case ID is reported as 0 (e.g. for precomputed prediction
 // vectors with no model handle). g may be nil, in which case the causal
-// metrics are 0.
+// metrics are 0. The group-rate tallies behind DI, TPRB, and TNRB are
+// computed in one pass over the predictions instead of one per metric;
+// the derived values are bit-identical to the per-metric functions.
 func ComputeFairness(d *dataset.Dataset, yhat []int, p Predictor, g *causal.Graph) Fairness {
+	gr := ComputeGroupRates(d, yhat)
 	f := Fairness{
-		DI:   DisparateImpact(d, yhat),
-		TPRB: TPRBalance(d, yhat),
-		TNRB: TNRBalance(d, yhat),
+		DI:   gr.DI(),
+		TPRB: gr.TPR[1] - gr.TPR[0],
+		TNRB: gr.TNR[1] - gr.TNR[0],
 	}
 	if p != nil {
 		f.ID = IndividualDiscrimination(d, p)

@@ -324,3 +324,36 @@ func TestGroupRates(t *testing.T) {
 		t.Fatalf("confusions: %+v", gr.Confusion)
 	}
 }
+
+// TestMetricsAllocationBounds pins the allocation-free evaluation path:
+// the correctness tally and the single-pass group-rate fairness metrics
+// allocate nothing per call. (The causal and ID metrics are exercised
+// with nil handles here — their cost is the model's, not the tally's.)
+func TestMetricsAllocationBounds(t *testing.T) {
+	d, yhat := example2()
+	allocs := testing.AllocsPerRun(20, func() {
+		_ = ComputeCorrectness(d.Y, yhat)
+		f := ComputeFairness(d, yhat, nil, nil)
+		_ = Normalize(f)
+	})
+	if allocs != 0 {
+		t.Fatalf("metric evaluation allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestComputeFairnessMatchesPerMetricFunctions pins that the single-pass
+// group-rate tally derives exactly the values the standalone metric
+// functions report.
+func TestComputeFairnessMatchesPerMetricFunctions(t *testing.T) {
+	d, yhat := example2()
+	f := ComputeFairness(d, yhat, nil, nil)
+	if f.DI != DisparateImpact(d, yhat) {
+		t.Fatalf("DI diverges: %v vs %v", f.DI, DisparateImpact(d, yhat))
+	}
+	if f.TPRB != TPRBalance(d, yhat) {
+		t.Fatalf("TPRB diverges: %v vs %v", f.TPRB, TPRBalance(d, yhat))
+	}
+	if f.TNRB != TNRBalance(d, yhat) {
+		t.Fatalf("TNRB diverges: %v vs %v", f.TNRB, TNRBalance(d, yhat))
+	}
+}

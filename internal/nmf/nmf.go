@@ -14,7 +14,10 @@ import (
 
 // Factorize computes W (r×k) and H (k×c) minimizing ||M - W·H||_F with
 // non-negativity, using multiplicative updates from a random positive
-// initialization. M is row-major r×c with non-negative entries.
+// initialization. M is row-major r×c with non-negative entries. Every
+// intermediate product is written into scratch matrices allocated once
+// before the loop — the Salimi MatFac repair calls this per admissible
+// stratum, and the update arithmetic is unchanged term for term.
 func Factorize(m [][]float64, k, iters int, seed int64) (w, h [][]float64) {
 	r := len(m)
 	if r == 0 {
@@ -24,19 +27,27 @@ func Factorize(m [][]float64, k, iters int, seed int64) (w, h [][]float64) {
 	g := rng.New(seed)
 	w = randMat(r, k, g)
 	h = randMat(k, c, g)
+	wtm := zeroMat(k, c)
+	wtw := zeroMat(k, k)
+	wtwh := zeroMat(k, c)
+	wh := zeroMat(r, c)
+	mht := zeroMat(r, k)
+	whht := zeroMat(r, k)
 	const eps = 1e-12
 	for it := 0; it < iters; it++ {
 		// H <- H .* (WᵀM) ./ (WᵀWH)
-		wtm := mulT(w, m)          // k×c
-		wtwh := mul(mulT(w, w), h) // k×c
+		mulTInto(wtm, w, m)
+		mulTInto(wtw, w, w)
+		mulInto(wtwh, wtw, h)
 		for i := 0; i < k; i++ {
 			for j := 0; j < c; j++ {
 				h[i][j] *= wtm[i][j] / (wtwh[i][j] + eps)
 			}
 		}
 		// W <- W .* (MHᵀ) ./ (WHHᵀ)
-		mht := mulBT(m, h)          // r×k
-		whht := mulBT(mul(w, h), h) // r×k
+		mulBTInto(mht, m, h)
+		mulInto(wh, w, h)
+		mulBTInto(whht, wh, h)
 		for i := 0; i < r; i++ {
 			for j := 0; j < k; j++ {
 				w[i][j] *= mht[i][j] / (whht[i][j] + eps)
@@ -88,16 +99,44 @@ func randMat(r, c int, g *rng.RNG) [][]float64 {
 	return m
 }
 
+// zeroMat allocates an r×c zero matrix.
+func zeroMat(r, c int) [][]float64 {
+	m := make([][]float64, r)
+	for i := range m {
+		m[i] = make([]float64, c)
+	}
+	return m
+}
+
+// zero clears a scratch matrix before accumulation.
+func zero(m [][]float64) {
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] = 0
+		}
+	}
+}
+
 // mul returns A·B.
 func mul(a, b [][]float64) [][]float64 {
 	r, k := len(a), len(b)
 	if r == 0 || k == 0 {
 		return nil
 	}
+	out := zeroMat(r, len(b[0]))
+	mulInto(out, a, b)
+	return out
+}
+
+// mulInto computes out = A·B into preallocated out.
+func mulInto(out, a, b [][]float64) {
+	zero(out)
+	r, k := len(a), len(b)
+	if r == 0 || k == 0 {
+		return
+	}
 	c := len(b[0])
-	out := make([][]float64, r)
 	for i := 0; i < r; i++ {
-		out[i] = make([]float64, c)
 		for t := 0; t < k; t++ {
 			av := a[i][t]
 			if av == 0 {
@@ -108,20 +147,17 @@ func mul(a, b [][]float64) [][]float64 {
 			}
 		}
 	}
-	return out
 }
 
-// mulT returns Aᵀ·B for A (n×k), B (n×c) -> k×c.
-func mulT(a, b [][]float64) [][]float64 {
+// mulTInto computes out = Aᵀ·B for A (n×k), B (n×c) into preallocated
+// k×c out.
+func mulTInto(out, a, b [][]float64) {
+	zero(out)
 	n := len(a)
 	if n == 0 {
-		return nil
+		return
 	}
 	k, c := len(a[0]), len(b[0])
-	out := make([][]float64, k)
-	for i := range out {
-		out[i] = make([]float64, c)
-	}
 	for t := 0; t < n; t++ {
 		for i := 0; i < k; i++ {
 			av := a[t][i]
@@ -133,19 +169,14 @@ func mulT(a, b [][]float64) [][]float64 {
 			}
 		}
 	}
-	return out
 }
 
-// mulBT returns A·Bᵀ for A (r×c), B (k×c) -> r×k.
-func mulBT(a, b [][]float64) [][]float64 {
+// mulBTInto computes out = A·Bᵀ for A (r×c), B (k×c) into preallocated
+// r×k out.
+func mulBTInto(out, a, b [][]float64) {
 	r := len(a)
-	if r == 0 {
-		return nil
-	}
 	k := len(b)
-	out := make([][]float64, r)
 	for i := 0; i < r; i++ {
-		out[i] = make([]float64, k)
 		for j := 0; j < k; j++ {
 			var s float64
 			for t := range a[i] {
@@ -154,5 +185,4 @@ func mulBT(a, b [][]float64) [][]float64 {
 			out[i][j] = s
 		}
 	}
-	return out
 }

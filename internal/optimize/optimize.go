@@ -42,12 +42,18 @@ func (c *GDConfig) defaults() {
 }
 
 // GradientDescent minimizes f starting from w0 using backtracking line
-// search; it returns the final iterate and objective value.
+// search; it returns the final iterate and objective value. The candidate
+// iterate and gradient buffers are allocated once and reused across every
+// backtracking trial (an accepted candidate is swapped in, not copied), so
+// the loop allocates nothing per iteration — the Objective contract that
+// the gradient is fully overwritten is what makes the reuse sound.
 func GradientDescent(f Objective, w0 []float64, cfg GDConfig) ([]float64, float64) {
 	cfg.defaults()
 	w := matrix.Clone(w0)
 	grad := make([]float64, len(w))
 	val := f(w, grad)
+	cand := make([]float64, len(w))
+	cg := make([]float64, len(w))
 	step := cfg.Step
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		if matrix.NormInf(grad) < cfg.Tol {
@@ -56,15 +62,16 @@ func GradientDescent(f Objective, w0 []float64, cfg GDConfig) ([]float64, float6
 		// Backtracking: halve the step until the objective decreases.
 		improved := false
 		for t := 0; t < 30; t++ {
-			cand := matrix.Clone(w)
+			copy(cand, w)
 			matrix.Axpy(-step, grad, cand)
 			if cfg.Project != nil {
 				cfg.Project(cand)
 			}
-			cg := make([]float64, len(w))
 			cv := f(cand, cg)
 			if cv < val {
-				w, grad, val = cand, cg, cv
+				w, cand = cand, w
+				grad, cg = cg, grad
+				val = cv
 				improved = true
 				step *= 1.2 // cautiously re-grow
 				break
@@ -183,14 +190,24 @@ func MinimizePenalty(f Objective, cons []Constraint, w0 []float64, cfg PenaltyCo
 }
 
 // ProjectSimplex projects w in place onto the probability simplex
-// {w : w_i >= 0, sum w_i = 1} (Duchi et al. algorithm).
+// {w : w_i >= 0, sum w_i = 1} (Duchi et al. algorithm). The hot callers
+// (Calmon's per-state transition rows) project short vectors millions of
+// times per repair, so the descending-sort scratch lives on the stack for
+// rows up to 64 entries and the projection allocates nothing.
 func ProjectSimplex(w []float64) {
 	n := len(w)
 	if n == 0 {
 		return
 	}
 	// Sort a copy descending.
-	u := matrix.Clone(w)
+	var ubuf [64]float64
+	var u []float64
+	if n <= len(ubuf) {
+		u = ubuf[:n]
+	} else {
+		u = make([]float64, n)
+	}
+	copy(u, w)
 	for i := 1; i < n; i++ { // insertion sort: n is small in our uses
 		for j := i; j > 0 && u[j] > u[j-1]; j-- {
 			u[j], u[j-1] = u[j-1], u[j]
@@ -214,7 +231,11 @@ func ProjectSimplex(w []float64) {
 		return
 	}
 	for i := range w {
-		w[i] = math.Max(0, w[i]-theta)
+		if v := w[i] - theta; v > 0 {
+			w[i] = v
+		} else {
+			w[i] = 0
+		}
 	}
 }
 

@@ -47,6 +47,13 @@ type Calmon struct {
 	targets  [][]target
 	fitted   bool
 	origMean [2]float64
+
+	// Per-instance scratch reused by the repair-application and
+	// TransformRow hot loops (one Calmon instance serves one grid cell;
+	// predictions are sequential within a cell).
+	binScratch []int
+	rowScratch []float64
+	expScratch []float64
 }
 
 type target struct {
@@ -131,11 +138,16 @@ func (c *Calmon) cellOf(row []float64) int {
 // binsOf decodes a cell code into per-chosen-attribute bin indices.
 func (c *Calmon) binsOf(cell int) []int {
 	out := make([]int, len(c.attrs))
+	c.binsInto(cell, out)
+	return out
+}
+
+// binsInto decodes cell into out without allocating (out has len(attrs)).
+func (c *Calmon) binsInto(cell int, out []int) {
 	for k := range c.attrs {
 		out[k] = cell % c.cards[k]
 		cell /= c.cards[k]
 	}
-	return out
 }
 
 // neighbors returns the reachable (cell', y') targets of state (cell, y):
@@ -224,42 +236,57 @@ func (c *Calmon) Repair(train *dataset.Dataset) (*dataset.Dataset, error) {
 		c.origMean[s] = pos
 	}
 
-	// Precompute targets per state; the transition parameter vector packs
-	// the per-state simplex rows back to back.
+	// Precompute targets per state.
 	c.targets = make([][]target, nState)
-	offsets := make([]int, nState+1)
 	for st := 0; st < nState; st++ {
 		c.targets[st] = c.neighbors(st/2, st%2)
-		offsets[st+1] = offsets[st] + len(c.targets[st])
 	}
-	total := offsets[nState]
 
 	for s := 0; s < 2; s++ {
 		ps := p[s]
-		theta := make([]float64, total)
-		// Initialize as identity-ish: all mass on the self target.
+		// Only states with empirical mass enter the optimization. A
+		// zero-mass state contributes nothing to any objective term and
+		// receives zero gradient, so through every projected-gradient step
+		// its transition row stays bit-for-bit at the identity
+		// initialization (projecting an identity simplex row is an exact
+		// no-op). Packing just the active rows makes each iteration
+		// O(observed states) instead of O(attribute-domain product) — the
+		// exponential blow-up the paper's Section 4.3 measures — while
+		// computing the identical trajectory in the identical float order.
+		var active []int
 		for st := 0; st < nState; st++ {
+			if ps[st] != 0 {
+				active = append(active, st)
+			}
+		}
+		offsets := make([]int, len(active)+1)
+		for k, st := range active {
+			offsets[k+1] = offsets[k] + len(c.targets[st])
+		}
+		theta := make([]float64, offsets[len(active)])
+		// Initialize as identity-ish: all mass on the self target.
+		for k, st := range active {
 			for ti, t := range c.targets[st] {
 				if t.cell == st/2 && t.y == st%2 {
-					theta[offsets[st]+ti] = 1
+					theta[offsets[k]+ti] = 1
 				}
 			}
 		}
 		sOther := 1 - s
+		q := make([]float64, nState) // mapped distribution, reused per eval
 		obj := func(w []float64, grad []float64) float64 {
 			for i := range grad {
 				grad[i] = 0
 			}
+			for i := range q {
+				q[i] = 0
+			}
 			// Mapped distribution q and its positive-label mass.
-			q := make([]float64, nState)
 			var distortion float64
-			for st := 0; st < nState; st++ {
+			for k, st := range active {
 				mass := ps[st]
-				if mass == 0 {
-					continue
-				}
 				for ti, t := range c.targets[st] {
-					w0 := w[offsets[st]+ti]
+					w0 := w[offsets[k]+ti]
 					q[t.cell*2+t.y] += mass * w0
 					distortion += mass * w0 * t.dist
 				}
@@ -287,13 +314,10 @@ func (c *Calmon) Repair(train *dataset.Dataset) (*dataset.Dataset, error) {
 			if gap < 0 {
 				sign = -1
 			}
-			for st := 0; st < nState; st++ {
+			for k, st := range active {
 				mass := ps[st]
-				if mass == 0 {
-					continue
-				}
 				for ti, t := range c.targets[st] {
-					gi := offsets[st] + ti
+					gi := offsets[k] + ti
 					grad[gi] += lamDist * mass * t.dist
 					dq := q[t.cell*2+t.y] - ps[t.cell*2+t.y]
 					grad[gi] += lamClose * 2 * dq * mass
@@ -305,17 +329,31 @@ func (c *Calmon) Repair(train *dataset.Dataset) (*dataset.Dataset, error) {
 			return val
 		}
 		project := func(w []float64) {
-			for st := 0; st < nState; st++ {
-				optimize.ProjectSimplex(w[offsets[st]:offsets[st+1]])
+			for k := range active {
+				optimize.ProjectSimplex(w[offsets[k]:offsets[k+1]])
 			}
 		}
 		theta, _ = optimize.GradientDescent(obj, theta, optimize.GDConfig{
 			Step: 0.5, MaxIter: c.Iters, Project: project,
 		})
-		// Store the learned per-state rows.
+		// Store the learned per-state rows; states never observed in this
+		// group keep the identity mapping the optimizer would have left
+		// them with.
 		rows := make([][]float64, nState)
+		for k, st := range active {
+			rows[st] = append([]float64(nil), theta[offsets[k]:offsets[k+1]]...)
+		}
 		for st := 0; st < nState; st++ {
-			rows[st] = append([]float64(nil), theta[offsets[st]:offsets[st+1]]...)
+			if rows[st] != nil {
+				continue
+			}
+			r := make([]float64, len(c.targets[st]))
+			for ti, t := range c.targets[st] {
+				if t.cell == st/2 && t.y == st%2 {
+					r[ti] = 1
+				}
+			}
+			rows[st] = r
 		}
 		c.trans[s] = rows
 	}
@@ -338,26 +376,40 @@ func (c *Calmon) Repair(train *dataset.Dataset) (*dataset.Dataset, error) {
 // applyCell rewrites the chosen attributes of row to the representative
 // values of the target cell.
 func (c *Calmon) applyCell(row []float64, cell int) {
-	bins := c.binsOf(cell)
+	if c.binScratch == nil {
+		c.binScratch = make([]int, len(c.attrs))
+	}
+	c.binsInto(cell, c.binScratch)
 	for k, j := range c.attrs {
-		row[j] = c.binMid[k][bins[k]]
+		row[j] = c.binMid[k][c.binScratch[k]]
 	}
 }
 
 // TransformRow implements fair.TestTransformer: test features move to the
 // expected target cell representative (deterministic; labels are unknown
 // at test time so the two label rows are averaged by the group's label
-// rate).
+// rate). Per the TestTransformer contract the returned slice is scratch
+// reused by the next call; callers copy before the next transform.
 func (c *Calmon) TransformRow(x []float64, s int) []float64 {
 	if !c.fitted {
 		return x
 	}
-	out := append([]float64(nil), x...)
+	out := append(c.rowScratch[:0], x...)
+	c.rowScratch = out[:0]
 	cell := c.cellOf(x)
 	// Average the expected representative value over the two label rows
 	// weighted by the group's original label distribution.
 	wy1 := c.origMean[s]
-	exp := make([]float64, len(c.attrs))
+	if c.expScratch == nil {
+		c.expScratch = make([]float64, len(c.attrs))
+	}
+	if c.binScratch == nil {
+		c.binScratch = make([]int, len(c.attrs))
+	}
+	exp, bins := c.expScratch, c.binScratch
+	for k := range exp {
+		exp[k] = 0
+	}
 	var norm float64
 	for y := 0; y < 2; y++ {
 		wy := wy1
@@ -367,7 +419,7 @@ func (c *Calmon) TransformRow(x []float64, s int) []float64 {
 		st := cell*2 + y
 		for ti, t := range c.targets[st] {
 			w := wy * c.trans[s][st][ti]
-			bins := c.binsOf(t.cell)
+			c.binsInto(t.cell, bins)
 			for k := range c.attrs {
 				exp[k] += w * c.binMid[k][bins[k]]
 			}

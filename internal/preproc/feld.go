@@ -26,6 +26,9 @@ type Feld struct {
 	// categorical attributes (left unrepaired, as in the reference
 	// implementation which targets ordinal features).
 	groupCols [][2][]float64
+	// rowScratch backs TransformRow's result between calls (one Feld
+	// instance serves one grid cell; predictions are sequential).
+	rowScratch []float64
 }
 
 // RepairName implements fair.Repairer.
@@ -89,12 +92,14 @@ func (f *Feld) Repair(train *dataset.Dataset) (*dataset.Dataset, error) {
 }
 
 // TransformRow implements fair.TestTransformer: test tuples are repaired
-// with the train-fitted quantile maps.
+// with the train-fitted quantile maps. The returned slice is scratch
+// reused by the next call, per the TestTransformer contract.
 func (f *Feld) TransformRow(x []float64, s int) []float64 {
 	if f.groupCols == nil {
 		return x
 	}
-	out := append([]float64(nil), x...)
+	out := append(f.rowScratch[:0], x...)
+	f.rowScratch = out[:0]
 	for j := range out {
 		if j < len(f.groupCols) && (f.groupCols[j][0] != nil || f.groupCols[j][1] != nil) {
 			out[j] = f.repairValue(j, x[j], s)

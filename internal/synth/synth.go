@@ -123,15 +123,8 @@ func Adult(n int, seed int64) *Source {
 		{Name: "Hours_per_week", Kind: dataset.Numeric},
 		{Name: "Native_country", Kind: dataset.Categorical, Card: 2},
 	}
-	d := &dataset.Dataset{
-		Name:  "Adult",
-		Attrs: attrs,
-		X:     make([][]float64, n),
-		S:     make([]int, n),
-		Y:     make([]int, n),
-		SName: "Sex",
-		YName: "Income",
-	}
+	d := dataset.NewFlat("Adult", attrs, n)
+	d.SName, d.YName = "Sex", "Income"
 	scores := make([]float64, n)
 	for i := 0; i < n; i++ {
 		sex := g.Bernoulli(0.67) // 1 = Male
@@ -186,7 +179,7 @@ func Adult(n int, seed int64) *Source {
 		// hours in this data.
 		hours := clip(g.Normal(34+6.5*float64(sex)+0.45*(edu-9), 9), 1, 99)
 
-		d.X[i] = []float64{age, wc, edu, marital, occ, rel, float64(race), hours, float64(country)}
+		fillRow(d.X[i], age, wc, edu, marital, occ, rel, float64(race), hours, float64(country))
 		d.S[i] = sex
 
 		// Income logit: mediated effects via education, occupation, hours,
@@ -252,15 +245,8 @@ func COMPAS(n int, seed int64) *Source {
 		{Name: "Sex", Kind: dataset.Categorical, Card: 2},
 		{Name: "Prior", Kind: dataset.Numeric},
 	}
-	d := &dataset.Dataset{
-		Name:  "COMPAS",
-		Attrs: attrs,
-		X:     make([][]float64, n),
-		S:     make([]int, n),
-		Y:     make([]int, n),
-		SName: "Race",
-		YName: "Risk_of_recidivism",
-	}
+	d := dataset.NewFlat("COMPAS", attrs, n)
+	d.SName, d.YName = "Race", "Risk_of_recidivism"
 	scores := make([]float64, n)
 	for i := 0; i < n; i++ {
 		race := g.Bernoulli(0.49) // 1 = non-African-American (privileged)
@@ -273,7 +259,7 @@ func COMPAS(n int, seed int64) *Source {
 		lam := math.Exp(0.9 - 0.35*float64(race) - 0.018*(age-30) + 0.35*float64(sex))
 		prior := float64(g.Poisson(lam))
 
-		d.X[i] = []float64{age, float64(sex), prior}
+		fillRow(d.X[i], age, float64(sex), prior)
 		d.S[i] = race
 
 		// Favorable outcome (no recidivism) logit: fewer priors, older age,
@@ -320,15 +306,8 @@ func German(n int, seed int64) *Source {
 		{Name: "Status", Kind: dataset.Categorical, Card: 4},
 		{Name: "Credit_history", Kind: dataset.Categorical, Card: 3},
 	}
-	d := &dataset.Dataset{
-		Name:  "German",
-		Attrs: attrs,
-		X:     make([][]float64, n),
-		S:     make([]int, n),
-		Y:     make([]int, n),
-		SName: "Sex",
-		YName: "Credit_risk",
-	}
+	d := dataset.NewFlat("German", attrs, n)
+	d.SName, d.YName = "Sex", "Credit_risk"
 	scores := make([]float64, n)
 	for i := 0; i < n; i++ {
 		sex := g.Bernoulli(0.69) // 1 = Male
@@ -358,7 +337,7 @@ func German(n int, seed int64) *Source {
 		months := clip(g.Normal(12+amount/400, 8), 4, 72)
 		invest := float64(g.Categorical([]float64{3, 2, 1 + savings/2}))
 
-		d.X[i] = []float64{age, amount, months, invest, savings, housing, property, status, history}
+		fillRow(d.X[i], age, amount, months, invest, savings, housing, property, status, history)
 		d.S[i] = sex
 
 		// Low-risk logit: savings, clean history, property, shorter and
@@ -387,6 +366,13 @@ func germanGraph() *causal.Graph {
 		g.MustEdge(e[0], e[1])
 	}
 	return g
+}
+
+// fillRow writes vals into an already-allocated flat-backed dataset row;
+// the variadic slice never escapes, so sampling stays allocation-free per
+// tuple.
+func fillRow(row []float64, vals ...float64) {
+	copy(row, vals)
 }
 
 // b2f converts a bool condition to 1.0/0.0 for use inside logit formulas.

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # bench.sh — run the benchmark suite once and record the serial-vs-parallel
 # evalAll pair to BENCH_parallel.json, the shard plan/merge overhead pair
-# to BENCH_shard.json, and the cold-vs-warm result-cache pair to
-# BENCH_cache.json, so all three perf trajectories populate.
+# to BENCH_shard.json, the cold-vs-warm result-cache pair to
+# BENCH_cache.json, and the training-kernel trio (baseline LR fit, cold
+# fig7 grid cell set, dataset materialization) to BENCH_train.json, so all
+# four perf trajectories populate.
 #
 # Usage:
-#   scripts/bench.sh [output.json] [shard-output.json] [cache-output.json]
+#   scripts/bench.sh [output.json] [shard-output.json] [cache-output.json] [train-output.json]
 #
 # Environment:
 #   BENCHTIME   go test -benchtime value (default 1x: one iteration per
@@ -21,6 +23,7 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_parallel.json}"
 shard_out="${2:-BENCH_shard.json}"
 cache_out="${3:-BENCH_cache.json}"
+train_out="${4:-BENCH_train.json}"
 benchtime="${BENCHTIME:-1x}"
 pattern="${BENCH_PAT:-.}"
 
@@ -99,4 +102,53 @@ else
 }
 EOF
     echo "bench.sh: wrote $cache_out (warm cache ${cache_speedup}x over cold)"
+fi
+
+# Training-kernel trajectory: ns/op and allocs/op for the baseline LR fit
+# pipeline, a whole cold (uncached) fig7 German n=300 grid, and dataset
+# materialization. The seed_* constants are the same benchmarks measured
+# at the pre-flat-layout commit (PR 3 head, go1.24 amd64) — the "before"
+# column of the flat-matrix data plane refactor; the ratios quantify its
+# payoff per commit.
+seed_fit_ns=10181391
+seed_fit_allocs=1415
+seed_adam_ns=34272
+seed_adam_allocs=5
+seed_cold_ns=397654781
+seed_cold_allocs=1164504
+seed_synth_ns=5598085
+seed_synth_allocs=5124
+
+bench_col() { # bench_col <benchmark-name> <awk-field>
+    echo "$raw" | awk -v b="$1" -v f="$2" '$1 ~ "^"b"(-[0-9]+)?$" {print $f}'
+}
+fit_ns="$(bench_col BenchmarkFitLogreg 3)"
+fit_allocs="$(bench_col BenchmarkFitLogreg 7)"
+adam_ns="$(bench_col BenchmarkAdamStepLogreg 3)"
+adam_allocs="$(bench_col BenchmarkAdamStepLogreg 7)"
+cold_cell_ns="$(bench_col BenchmarkGridCellCold 3)"
+cold_cell_allocs="$(bench_col BenchmarkGridCellCold 7)"
+synth_ns="$(bench_col BenchmarkSynthMaterialize 3)"
+synth_allocs="$(bench_col BenchmarkSynthMaterialize 7)"
+
+if [[ -z "$fit_ns" || -z "$adam_ns" || -z "$cold_cell_ns" || -z "$synth_ns" ]]; then
+    echo "bench.sh: FitLogreg/GridCellCold/SynthMaterialize not in output; skipping $train_out" >&2
+else
+    cold_speedup="$(awk -v a="$seed_cold_ns" -v b="$cold_cell_ns" 'BEGIN { if (b > 0) printf "%.2f", a / b; else printf "0" }')"
+    fit_alloc_ratio="$(awk -v a="$seed_fit_allocs" -v b="$fit_allocs" 'BEGIN { if (b > 0) printf "%.1f", a / b; else printf "0" }')"
+    cat > "$train_out" <<EOF
+{
+  "benchmark": "training kernels: baseline LR fit (German n=1000, 70% split), cold uncached fig7 German n=300 grid (19 cells), Adult n=5000 materialization",
+  "go": "$(go env GOVERSION)",
+  "cpus": $(nproc),
+  "benchtime": "$benchtime",
+  "fit_logreg": { "ns_per_op": $fit_ns, "allocs_per_op": $fit_allocs, "seed_ns_per_op": $seed_fit_ns, "seed_allocs_per_op": $seed_fit_allocs },
+  "adam_step_logreg": { "ns_per_op": $adam_ns, "allocs_per_op": $adam_allocs, "seed_ns_per_op": $seed_adam_ns, "seed_allocs_per_op": $seed_adam_allocs },
+  "grid_cell_cold": { "ns_per_op": $cold_cell_ns, "allocs_per_op": $cold_cell_allocs, "seed_ns_per_op": $seed_cold_ns, "seed_allocs_per_op": $seed_cold_allocs },
+  "synth_materialize": { "ns_per_op": $synth_ns, "allocs_per_op": $synth_allocs, "seed_ns_per_op": $seed_synth_ns, "seed_allocs_per_op": $seed_synth_allocs },
+  "cold_grid_speedup_vs_seed": $cold_speedup,
+  "fit_logreg_allocs_reduction_vs_seed": $fit_alloc_ratio
+}
+EOF
+    echo "bench.sh: wrote $train_out (cold grid ${cold_speedup}x vs seed, logreg allocs ÷${fit_alloc_ratio})"
 fi
