@@ -13,7 +13,8 @@
 //	fairbench merge  part0.json part1.json ...   combine shard envelopes
 //	fairbench dispatch -exp fig7 ... -dir DIR    run a grid as subprocesses
 //	fairbench resume   -dir DIR                  finish an interrupted dispatch
-//	fairbench worker   -manifest M -shard I -out O   (spawned by dispatch)
+//	fairbench sched  -exp fig7 ... -dir DIR -hosts hosts.json   multi-host run
+//	fairbench worker   -manifest M -shard I -out O   (spawned by dispatch/sched)
 //
 // -n caps the generated dataset size (0 = the paper's full size); smaller
 // values keep exploratory runs fast. -parallel N sets the experiment
@@ -73,6 +74,28 @@
 //
 // finishes only the missing work and prints tables byte-identical
 // (timing aside) to an uninterrupted serial run.
+//
+// # Multi-host scheduling
+//
+// sched generalizes dispatch to a pool of hosts described by a
+// hosts.json file (a JSON array of {name, slots, transport, cmd}
+// objects; see the README's "Multi-host execution" section). Local
+// hosts re-exec this binary's worker subcommand; remote hosts run a
+// worker binary through an arbitrary command prefix (typically ssh)
+// with the manifest streamed over stdin and the envelope back over
+// stdout — which is what `worker -manifest - -shard I -out -`
+// implements, so no shared filesystem is needed. Planning is cache-aware: with -cache,
+// ranges already fully computed are served by the coordinator and the
+// rest are balanced across hosts by uncached cell count. Failed
+// attempts move to other hosts, hosts silent past -heartbeat are
+// declared dead, and repeatedly failing hosts are excluded:
+//
+//	fairbench sched -exp fig7 -dataset german -shards 8 \
+//	    -hosts hosts.json -dir run -cache cache
+//
+// prints tables byte-identical (timing aside) to the serial run, or
+// fails naming the missing ranges with the directory resumable by
+// `sched` (same flags) or `resume -dir run`.
 package main
 
 import (
@@ -85,6 +108,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"fairbench"
 	"fairbench/internal/dispatch"
@@ -123,8 +147,11 @@ func main() {
 	dirFlag := fs.String("dir", "", "dispatch/resume: dispatch directory holding the manifest and part files")
 	shardsFlag := fs.Int("shards", 0, "dispatch: k-way shard split (default: -procs)")
 	procsFlag := fs.Int("procs", 0, "dispatch/resume: max concurrent worker subprocesses (default: GOMAXPROCS)")
-	retriesFlag := fs.Int("retries", 1, "dispatch/resume: re-spawns per failed shard before giving up on it")
-	manifestFlag := fs.String("manifest", "", "worker: manifest file of the dispatch directory")
+	retriesFlag := fs.Int("retries", 1, "dispatch/resume: re-spawns per failed shard; sched: extra full rounds over the pool (negative = none)")
+	manifestFlag := fs.String("manifest", "", "worker: manifest file of the dispatch directory (- reads it from stdin)")
+	hostsFlag := fs.String("hosts", "", "sched: hosts.json pool definition (default: one local host with -procs slots)")
+	heartbeatFlag := fs.Duration("heartbeat", 60*time.Second, "sched: declare a host dead after this long without a transport heartbeat")
+	maxHostFailFlag := fs.Int("max-host-failures", 3, "sched: exclude a host after this many failed attempts")
 	cpuProfFlag := fs.String("cpuprofile", "", "write a CPU profile of this command to the file (inspect with go tool pprof)")
 	memProfFlag := fs.String("memprofile", "", "write an allocation profile of this command to the file (inspect with go tool pprof)")
 	fs.Parse(os.Args[2:])
@@ -142,6 +169,12 @@ func main() {
 			exit(fmt.Errorf("worker needs -shard <index>, got %q", *shardFlag))
 		}
 		exit(cmdWorker(*manifestFlag, idx, *outFlag))
+	}
+
+	if cmd == "sched" {
+		exit(cmdSched(*expFlag, *datasetFlag, *nFlag, *kFlag, *runsFlag, *seedFlag,
+			*dirFlag, *cacheFlag, *hostsFlag, *shardsFlag, *procsFlag, *retriesFlag,
+			*maxHostFailFlag, *heartbeatFlag, *outFlag))
 	}
 
 	if *shardFlag != "" {
@@ -282,7 +315,26 @@ func usage() {
        fairbench merge part0.json part1.json ...                         combine shards
        fairbench dispatch -exp <figN|cv|fig8rows|fig8attrs> [figure flags]
                  -dir DIR [-shards K] [-procs N] [-retries R] [-cache DIR]
-       fairbench resume -dir DIR [-procs N] [-retries R]                 finish an interrupted dispatch`)
+       fairbench resume -dir DIR [-procs N] [-retries R]                 finish an interrupted dispatch
+       fairbench sched -exp <figN|cv|fig8rows|fig8attrs> [figure flags] -dir DIR
+                 [-hosts hosts.json] [-shards K] [-cache DIR] [-retries R]
+                 [-heartbeat 60s] [-max-host-failures 3]                 multi-host run`)
+}
+
+// gridSpecFor assembles the grid spec the dispatch-style commands
+// (dispatch, sched) describe with their flags.
+func gridSpecFor(exp, ds string, n, k, runs int, seed int64) fairbench.GridSpec {
+	spec := fairbench.GridSpec{Experiment: exp, N: n, Seed: seed}
+	if ds != "" && !strings.EqualFold(ds, "all") {
+		spec.Dataset = ds
+	}
+	switch strings.ToLower(exp) {
+	case "cv":
+		spec.K = k
+	case "fig22":
+		spec.Runs = runs
+	}
+	return spec
 }
 
 // cmdDispatch runs a grid as worker subprocesses and prints the merged
@@ -295,16 +347,7 @@ func cmdDispatch(exp, ds string, n, k, runs int, seed int64,
 	if dir == "" {
 		return fmt.Errorf("dispatch requires -dir (the resumable dispatch directory)")
 	}
-	spec := fairbench.GridSpec{Experiment: exp, N: n, Seed: seed}
-	if ds != "" && !strings.EqualFold(ds, "all") {
-		spec.Dataset = ds
-	}
-	switch strings.ToLower(exp) {
-	case "cv":
-		spec.K = k
-	case "fig22":
-		spec.Runs = runs
-	}
+	spec := gridSpecFor(exp, ds, n, k, runs, seed)
 	merged, rep, err := fairbench.Dispatch(spec, fairbench.DispatchOptions{
 		Dir: dir, Shards: shards, Procs: procs, Retries: retries,
 		CacheDir: cache, Log: os.Stderr,
@@ -350,10 +393,74 @@ func renderDispatched(merged *fairbench.GridOutput, rep *fairbench.DispatchRepor
 	return nil
 }
 
-// cmdWorker is the dispatch-spawned subprocess body.
+// cmdSched runs a grid across a pool of hosts and prints the merged
+// tables — the serial figure command's output, fault-tolerantly.
+func cmdSched(exp, ds string, n, k, runs int, seed int64, dir, cache, hostsPath string,
+	shards, procs, retries, maxHostFailures int, heartbeat time.Duration, out string) error {
+	if exp == "" {
+		return fmt.Errorf("sched requires -exp (fig7|fig9|fig10|fig15|cv|fig22|fig23|fig8rows|fig8attrs)")
+	}
+	if dir == "" {
+		return fmt.Errorf("sched requires -dir (the resumable sched directory)")
+	}
+	var hosts []fairbench.SchedHost
+	if hostsPath != "" {
+		var err error
+		if hosts, err = fairbench.LoadHosts(hostsPath); err != nil {
+			return err
+		}
+	} else if procs > 0 {
+		hosts = []fairbench.SchedHost{{Name: "local", Slots: procs}}
+	}
+	merged, rep, err := fairbench.Sched(gridSpecFor(exp, ds, n, k, runs, seed), fairbench.SchedOptions{
+		Dir: dir, Hosts: hosts, Shards: shards, CacheDir: cache,
+		HeartbeatTimeout: heartbeat, Retries: retries, MaxHostFailures: maxHostFailures,
+		Log: os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	return renderScheduled(merged, rep, out)
+}
+
+// renderScheduled prints the merged tables, a provenance summary line
+// (the e2e jobs assert on computed=0 for warm runs), and the optional
+// JSON dump.
+func renderScheduled(merged *fairbench.GridOutput, rep *fairbench.SchedReport, out string) error {
+	if err := renderOutput(merged); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "fairbench: sched complete: %d range(s) (%d reused, %d served from cache), %d host(s) excluded, cells computed=%d cached=%d\n",
+		len(rep.Ranges), len(rep.Reused), len(rep.Skipped), len(rep.Excluded), rep.CellsComputed, rep.CellsCached)
+	if out != "" {
+		data, err := jsonIndent(merged)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fairbench: wrote merged output to %s\n", out)
+	}
+	return nil
+}
+
+// cmdWorker is the dispatch/sched-spawned subprocess body. With
+// `-manifest - -shard I -out -` it speaks the remote-transport protocol instead:
+// manifest over stdin, envelope over stdout, no filesystem shared with
+// the scheduler.
 func cmdWorker(manifest string, shard int, out string) error {
+	if manifest == "-" || out == "-" {
+		if manifest != "-" || out != "-" {
+			return fmt.Errorf("worker streams manifest and envelope together: use -manifest - with -out -")
+		}
+		if shard < 0 {
+			return fmt.Errorf("worker requires -shard")
+		}
+		return dispatch.WorkerIO(os.Stdin, shard, os.Stdout)
+	}
 	if manifest == "" || out == "" || shard < 0 {
-		return fmt.Errorf("worker requires -manifest, -shard, and -out (it is normally spawned by dispatch)")
+		return fmt.Errorf("worker requires -manifest, -shard, and -out (it is normally spawned by dispatch or sched)")
 	}
 	return dispatch.Worker(manifest, shard, out)
 }

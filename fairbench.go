@@ -90,6 +90,30 @@
 // The CLI exposes the same flow as `fairbench dispatch -exp fig7 ...`
 // and `fairbench resume -dir run`.
 //
+// # Multi-host scheduling
+//
+// Sched generalizes Dispatch to a pool of hosts with per-host
+// concurrency slots, reusing the same manifest/part-file protocol. Work
+// reaches a host through a pluggable transport — local subprocesses by
+// default, or a worker binary run over any command runner (ssh-shaped)
+// with the manifest streamed in and the envelope streamed back. Planning
+// is cache-aware: ranges the result cache can fully serve never reach a
+// host, and the rest are balanced by uncached cell count. Failed
+// attempts are retried on other hosts, hosts that go silent past the
+// heartbeat deadline are declared dead, and repeatedly failing hosts are
+// excluded with their ranges reassigned to survivors — under every
+// failure mode the merged output stays byte-identical (timing aside) to
+// a serial run, or the run fails resumably:
+//
+//	hosts, _ := fairbench.LoadHosts("hosts.json")
+//	spec := fairbench.GridSpec{Experiment: "fig7", Dataset: "compas", Seed: 42}
+//	out, rep, err := fairbench.Sched(spec, fairbench.SchedOptions{
+//		Dir: "run", Hosts: hosts, CacheDir: "cache",
+//	})
+//
+// The CLI exposes the same flow as `fairbench sched -exp fig7 -hosts
+// hosts.json -dir run -cache cache`.
+//
 // See the examples/ directory for runnable programs.
 package fairbench
 
@@ -108,6 +132,7 @@ import (
 	"fairbench/internal/registry"
 	"fairbench/internal/rng"
 	"fairbench/internal/runner"
+	"fairbench/internal/sched"
 	"fairbench/internal/shard"
 	"fairbench/internal/store"
 	"fairbench/internal/synth"
@@ -162,6 +187,21 @@ type (
 	// CacheUsage summarizes the cache directory: entries, bytes, and
 	// distinct grid fingerprints, plus the counters.
 	CacheUsage = store.Stats
+	// SchedHost describes one member of a multi-host execution pool.
+	SchedHost = sched.Host
+	// SchedTransport places one assigned range on a host (see
+	// sched.LocalExec and sched.RemoteExec for the built-ins).
+	SchedTransport = sched.Transport
+	// SchedOptions configures a multi-host scheduled run (pool, shard
+	// target, cache, heartbeat deadline, retry budget).
+	SchedOptions = sched.Options
+	// SchedReport records what a scheduled run did: the cache-aware
+	// plan, ranges served from cache vs placed on hosts, per-host
+	// deliveries, excluded hosts, and the computed/cached cell split.
+	SchedReport = sched.Report
+	// ShardPlan is a cache-aware split of one grid: contiguous ranges
+	// annotated with their uncached cell counts.
+	ShardPlan = experiments.ShardPlan
 )
 
 // Pipeline stages.
@@ -390,6 +430,46 @@ func Dispatch(spec GridSpec, opts DispatchOptions) (*GridOutput, *DispatchReport
 func Resume(dir string, opts DispatchOptions) (*GridOutput, *DispatchReport, error) {
 	return dispatch.Resume(dir, opts)
 }
+
+// PlanShardsCacheAware plans a split of the spec's grid targeting k work
+// ranges with the result cache at cacheDir consulted cell by cell:
+// fully-cached stretches become skippable zero-work ranges and the rest
+// is balanced by uncached cell count. An empty cacheDir plans every cell
+// as work. Over a fully-cached grid the plan's Assigned() is empty.
+func PlanShardsCacheAware(spec GridSpec, k int, cacheDir string) (*ShardPlan, error) {
+	var s *store.Store
+	if cacheDir != "" {
+		var err error
+		if s, err = store.Open(cacheDir); err != nil {
+			return nil, err
+		}
+	}
+	return experiments.PlanShardsCacheAware(spec, k, s)
+}
+
+// Sched schedules the spec's grid across a pool of hosts — the
+// multi-host layer above Dispatch, reusing the same directory protocol,
+// so its output is byte-identical (timing aside) to a serial run and its
+// directories are resumable by either scheduler. Planning is
+// cache-aware (fully-cached ranges are served by the coordinator, the
+// rest balanced by uncached work), failed attempts are retried on other
+// hosts, silent hosts are declared dead after opts.HeartbeatTimeout, and
+// repeatedly failing hosts are excluded with their ranges reassigned to
+// survivors. Load a pool definition with LoadHosts; an empty pool
+// defaults to one local host.
+func Sched(spec GridSpec, opts SchedOptions) (*GridOutput, *SchedReport, error) {
+	return sched.Run(spec, opts)
+}
+
+// SchedResume continues the scheduled run recorded in dir, taking the
+// spec, plan, and cache directory from its manifest.
+func SchedResume(dir string, opts SchedOptions) (*GridOutput, *SchedReport, error) {
+	return sched.Resume(dir, opts)
+}
+
+// LoadHosts reads a hosts.json pool definition (a JSON array of
+// SchedHost objects) for Sched.
+func LoadHosts(path string) ([]SchedHost, error) { return sched.LoadHosts(path) }
 
 // Split partitions a dataset with the paper's random hold-out protocol.
 func Split(d *Dataset, trainFrac float64, seed int64) (train, test *Dataset) {

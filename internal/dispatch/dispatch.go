@@ -62,6 +62,25 @@ type Manifest struct {
 	// CacheDir is the result-cache directory workers consult, empty for
 	// cacheless runs. Recorded here so resume uses the same cache.
 	CacheDir string `json:"cacheDir,omitempty"`
+	// Ranges, when present, is an explicit shard plan: worker i executes
+	// Ranges[i] instead of slice i of the uniform aligned split. The
+	// cache-aware scheduler (internal/sched) records its plan here so
+	// that workers, resumes, and the merge all agree on the boundaries
+	// it chose at plan time; absent on plain dispatch manifests. When
+	// present it must hold exactly Shards ranges.
+	Ranges []shard.Range `json:"ranges,omitempty"`
+}
+
+// Write atomically persists the manifest to path.
+func (m *Manifest) Write(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := store.WriteFileAtomic(path, data); err != nil {
+		return fmt.Errorf("dispatch: %w", err)
+	}
+	return nil
 }
 
 // PartName returns the envelope file name for shard i.
@@ -144,7 +163,7 @@ func Run(spec experiments.Spec, opts Options) (*experiments.Output, *Report, err
 // from the manifest.
 func Resume(dir string, opts Options) (*experiments.Output, *Report, error) {
 	manifestPath := filepath.Join(dir, ManifestName)
-	m, err := readManifest(manifestPath)
+	m, err := ReadManifest(manifestPath)
 	if err != nil {
 		return nil, nil, fmt.Errorf("dispatch: %s: %w — nothing to resume (run dispatch first)", dir, err)
 	}
@@ -190,7 +209,7 @@ func prepare(spec experiments.Spec, opts *Options) (*Manifest, string, error) {
 		CacheDir:    opts.CacheDir,
 	}
 	manifestPath := filepath.Join(opts.Dir, ManifestName)
-	if existing, err := readManifest(manifestPath); err == nil {
+	if existing, err := ReadManifest(manifestPath); err == nil {
 		// The directory already holds a run: it must be this run, or we
 		// would silently mix envelopes of different grids.
 		if existing.Fingerprint != fp || existing.Shards != opts.Shards {
@@ -208,32 +227,37 @@ func prepare(spec experiments.Spec, opts *Options) (*Manifest, string, error) {
 		opts.CacheDir = existing.CacheDir
 	} else if !errors.Is(err, fs.ErrNotExist) {
 		return nil, "", err
-	} else {
-		data, err := json.MarshalIndent(m, "", "  ")
-		if err != nil {
-			return nil, "", err
-		}
-		if err := store.WriteFileAtomic(manifestPath, data); err != nil {
-			return nil, "", fmt.Errorf("dispatch: %w", err)
-		}
+	} else if err := m.Write(manifestPath); err != nil {
+		return nil, "", err
 	}
 	return m, manifestPath, nil
 }
 
-func readManifest(path string) (*Manifest, error) {
+// ReadManifest loads and validates the manifest at path. It is exported
+// for coordinators layered on the dispatch directory protocol (the
+// multi-host scheduler in internal/sched reads and writes the same
+// manifests, so its directories stay resumable by Resume).
+func ReadManifest(path string) (*Manifest, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	return decodeManifest(data, path)
+}
+
+func decodeManifest(data []byte, label string) (*Manifest, error) {
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("dispatch: decoding %s: %w", path, err)
+		return nil, fmt.Errorf("dispatch: decoding %s: %w", label, err)
 	}
 	if m.Version != ManifestVersion {
-		return nil, fmt.Errorf("dispatch: %s has manifest version %d, want %d", path, m.Version, ManifestVersion)
+		return nil, fmt.Errorf("dispatch: %s has manifest version %d, want %d", label, m.Version, ManifestVersion)
 	}
 	if m.Shards < 1 {
-		return nil, fmt.Errorf("dispatch: %s records %d shards", path, m.Shards)
+		return nil, fmt.Errorf("dispatch: %s records %d shards", label, m.Shards)
+	}
+	if len(m.Ranges) > 0 && len(m.Ranges) != m.Shards {
+		return nil, fmt.Errorf("dispatch: %s records %d shards but a %d-range plan", label, m.Shards, len(m.Ranges))
 	}
 	return &m, nil
 }
@@ -269,7 +293,7 @@ func run(m *Manifest, manifestPath string, opts Options) (*experiments.Output, *
 	}
 	spawn := opts.Spawn
 	if spawn == nil {
-		spawn = selfExecSpawn
+		spawn = SelfExec
 	}
 	rep := &Report{
 		Fingerprint: m.Fingerprint,
@@ -282,7 +306,7 @@ func run(m *Manifest, manifestPath string, opts Options) (*experiments.Output, *
 	var pending []int
 	for i := 0; i < m.Shards; i++ {
 		path := filepath.Join(opts.Dir, PartName(i))
-		switch err := validatePart(path, m, i); {
+		switch err := ValidatePart(path, m, i); {
 		case err == nil:
 			rep.Reused = append(rep.Reused, i)
 		case errors.Is(err, fs.ErrNotExist):
@@ -388,17 +412,21 @@ func oneAttempt(spawn SpawnFunc, manifestPath string, m *Manifest, outPath strin
 		cmd.Stderr = &stderr
 	}
 	if err := cmd.Run(); err != nil {
-		return fmt.Errorf("worker: %w%s", err, stderrTail(stderr.String()))
+		return fmt.Errorf("worker: %w%s", err, StderrTail(stderr.String()))
 	}
 	// Trust nothing about the exit status alone: the envelope must exist
 	// and validate against the manifest before the shard counts as done.
-	if err := validatePart(outPath, m, i); err != nil {
+	if err := ValidatePart(outPath, m, i); err != nil {
 		return fmt.Errorf("worker exited 0 but %w", err)
 	}
 	return nil
 }
 
-func stderrTail(s string) string {
+// StderrTail formats the last few lines of a worker's stderr for
+// inclusion in a failure message — shared by every coordinator that
+// spawns workers (this package's dispatcher, internal/sched's
+// transports).
+func StderrTail(s string) string {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return ""
@@ -410,9 +438,11 @@ func stderrTail(s string) string {
 	return "; stderr: " + strings.Join(lines, " | ")
 }
 
-// validatePart checks that the envelope at path is complete, decodes,
-// and belongs to shard i of the manifest's grid.
-func validatePart(path string, m *Manifest, i int) error {
+// ValidatePart checks that the envelope at path is complete, decodes,
+// and belongs to shard i of the manifest's grid — the single part
+// acceptance gate shared by the local dispatcher and the multi-host
+// scheduler: no envelope counts as done, anywhere, without passing it.
+func ValidatePart(path string, m *Manifest, i int) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -426,6 +456,21 @@ func validatePart(path string, m *Manifest, i int) error {
 		return fmt.Errorf("%s carries fingerprint %.12s…, manifest has %.12s…", path, env.Fingerprint, m.Fingerprint)
 	case env.Shard != i || env.Shards != m.Shards:
 		return fmt.Errorf("%s is shard %d/%d, expected %d/%d", path, env.Shard, env.Shards, i, m.Shards)
+	}
+	// Under an explicit plan the envelope must cover exactly Ranges[i]:
+	// a same-grid envelope cut on different boundaries (say, copied from
+	// another run directory) would otherwise be reused here and poison
+	// the merge with duplicate or missing indices on every resume.
+	if len(m.Ranges) > 0 {
+		r := m.Ranges[i]
+		if len(env.Indices) != r.Len() {
+			return fmt.Errorf("%s covers %d cells, the manifest's range %d is [%d,%d)", path, len(env.Indices), i, r.Start, r.End)
+		}
+		for j, idx := range env.Indices {
+			if idx != r.Start+j {
+				return fmt.Errorf("%s carries cell %d where the manifest's range %d expects %d — envelope cut on different boundaries", path, idx, i, r.Start+j)
+			}
+		}
 	}
 	return nil
 }
@@ -441,35 +486,75 @@ func validatePart(path string, m *Manifest, i int) error {
 // kill-and-resume end-to-end tests, which need a deterministic window in
 // which to SIGKILL a live worker; production runs leave it unset.
 func Worker(manifestPath string, shardIdx int, outPath string) error {
-	m, err := readManifest(manifestPath)
+	m, err := ReadManifest(manifestPath)
 	if err != nil {
 		return err
 	}
-	if ms, err := strconv.Atoi(os.Getenv("FAIRBENCH_WORKER_DELAY_MS")); err == nil && ms > 0 {
-		time.Sleep(time.Duration(ms) * time.Millisecond)
-	}
-	var cache *store.Store
-	if m.CacheDir != "" {
-		if cache, err = store.Open(m.CacheDir); err != nil {
-			return err
-		}
-	}
-	env, err := experiments.RunShardCached(m.Spec, shardIdx, m.Shards, cache)
-	if err != nil {
-		return err
-	}
-	if env.Fingerprint != m.Fingerprint {
-		return fmt.Errorf("dispatch: this build materializes fingerprint %.12s…, manifest has %.12s… — grid definition drift", env.Fingerprint, m.Fingerprint)
-	}
-	data, err := env.Encode()
+	data, err := workerEnvelope(m, shardIdx)
 	if err != nil {
 		return err
 	}
 	return store.WriteFileAtomic(outPath, data)
 }
 
-// selfExecSpawn launches the current executable's `worker` subcommand.
-func selfExecSpawn(manifestPath string, shard int, outPath string) (*exec.Cmd, error) {
+// WorkerIO is Worker over streams: the manifest is read from r and the
+// encoded envelope written to w. This is the remote-transport protocol
+// (`fairbench worker -manifest - -shard I -out -`): a scheduler can pipe
+// the manifest to a worker binary on another machine — over ssh or any
+// command runner — and collect the envelope from its stdout, with no
+// shared filesystem between them.
+func WorkerIO(r io.Reader, shardIdx int, w io.Writer) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("dispatch: reading streamed manifest: %w", err)
+	}
+	m, err := decodeManifest(data, "streamed manifest")
+	if err != nil {
+		return err
+	}
+	env, err := workerEnvelope(m, shardIdx)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(env)
+	return err
+}
+
+// workerEnvelope is the shared worker body: honor the test-hook delay,
+// open the manifest's cache, run the shard — through the manifest's
+// explicit range plan when it has one — and return the encoded envelope.
+func workerEnvelope(m *Manifest, shardIdx int) ([]byte, error) {
+	if ms, err := strconv.Atoi(os.Getenv("FAIRBENCH_WORKER_DELAY_MS")); err == nil && ms > 0 {
+		time.Sleep(time.Duration(ms) * time.Millisecond)
+	}
+	var cache *store.Store
+	if m.CacheDir != "" {
+		var err error
+		if cache, err = store.Open(m.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	var env *shard.Envelope
+	var err error
+	if len(m.Ranges) > 0 {
+		env, err = experiments.RunShardPlanned(m.Spec, m.Ranges, shardIdx, cache)
+	} else {
+		env, err = experiments.RunShardCached(m.Spec, shardIdx, m.Shards, cache)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if env.Fingerprint != m.Fingerprint {
+		return nil, fmt.Errorf("dispatch: this build materializes fingerprint %.12s…, manifest has %.12s… — grid definition drift", env.Fingerprint, m.Fingerprint)
+	}
+	return env.Encode()
+}
+
+// SelfExec is the default SpawnFunc: it launches the current
+// executable's `worker` subcommand, the protocol the fairbench CLI
+// implements. Exported so other coordinators (internal/sched's local
+// transport) spawn workers identically.
+func SelfExec(manifestPath string, shard int, outPath string) (*exec.Cmd, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, err

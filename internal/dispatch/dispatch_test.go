@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"fairbench/internal/experiments"
+	"fairbench/internal/shard"
 )
 
 // TestMain doubles as the worker subprocess body: dispatch tests re-exec
@@ -285,6 +286,56 @@ func TestDirCannotMixRuns(t *testing.T) {
 		Dir: dir, Shards: 2, Procs: 1, CacheDir: t.TempDir(), Spawn: helperSpawn("worker"),
 	}); err == nil || !strings.Contains(err.Error(), "cannot change") {
 		t.Fatalf("want cache-dir conflict refusal, got %v", err)
+	}
+}
+
+// TestValidatePartEnforcesPlanBoundaries: under an explicit range plan,
+// a same-grid envelope cut on different boundaries must be rejected —
+// otherwise a copied part from another run directory of the same grid
+// would be reused forever and poison every merge attempt.
+func TestValidatePartEnforcesPlanBoundaries(t *testing.T) {
+	spec, err := smallSpec().Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := experiments.Open(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := g.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Len()
+	planA := []shard.Range{{Start: 0, End: 1}, {Start: 1, End: n}}
+	planB := []shard.Range{{Start: 0, End: n - 1}, {Start: n - 1, End: n}}
+	m := &Manifest{Version: ManifestVersion, Spec: spec, Shards: 2, Fingerprint: fp, Ranges: planA}
+
+	dir := t.TempDir()
+	write := func(plan []shard.Range, i int) string {
+		env, err := experiments.RunShardPlanned(spec, plan, i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := env.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, PartName(i))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	// Same grid, same fingerprint, same plan position — wrong boundaries.
+	path := write(planB, 0)
+	if err := ValidatePart(path, m, 0); err == nil ||
+		!strings.Contains(err.Error(), "range") {
+		t.Fatalf("foreign-boundary envelope accepted: %v", err)
+	}
+	// The genuine cut validates.
+	if err := ValidatePart(write(planA, 0), m, 0); err != nil {
+		t.Fatal(err)
 	}
 }
 

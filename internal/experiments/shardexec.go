@@ -32,6 +32,102 @@ func PlanShards(spec Spec, k int) ([]shard.Range, error) {
 	return shard.PlanAligned(g.Len(), k, g.alignment())
 }
 
+// ShardPlan is a cache-aware split of one grid: a partition of the job
+// index space into contiguous aligned ranges, each annotated with how
+// many of its cells the result store could not serve at plan time. It is
+// what a scheduler places on hosts — fully-cached ranges (Uncached 0)
+// never leave the coordinator, which materializes them straight from the
+// store, and the remaining ranges are balanced by uncached cell count,
+// so hosts share the work still owed rather than the raw index space.
+type ShardPlan struct {
+	// Spec is the normalized spec the plan was computed over.
+	Spec Spec
+	// Fingerprint is the grid's shard/cache fingerprint.
+	Fingerprint string
+	// Total is the grid's job count; the Ranges partition [0, Total).
+	Total  int
+	Ranges []shard.Range
+	// Uncached[i] is how many of Ranges[i]'s cells had no verified cache
+	// entry at plan time.
+	Uncached []int
+}
+
+// Assigned returns the plan positions that still hold uncached work —
+// the ranges a scheduler must place on hosts. Positions absent here are
+// fully cached and are served by the coordinator without spawning
+// anything; over a fully-cached grid Assigned is empty.
+func (p *ShardPlan) Assigned() []int {
+	var idx []int
+	for i, u := range p.Uncached {
+		if u > 0 {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// TotalUncached sums the uncached cells across the plan.
+func (p *ShardPlan) TotalUncached() int {
+	total := 0
+	for _, u := range p.Uncached {
+		total += u
+	}
+	return total
+}
+
+// PlanShardsCacheAware plans a split of the spec's grid targeting k work
+// ranges, consulting the result store cell by cell at plan time: cells
+// with verified cache entries weigh nothing, so the plan skips
+// fully-cached stretches and balances the rest by work still owed (see
+// shard.PlanCacheAware). A nil store plans every cell as uncached, which
+// degrades to ordinary aligned planning. Probing verifies entries end to
+// end, so a corrupt entry is rejected (and removed) at plan time exactly
+// as it would be at run time.
+func PlanShardsCacheAware(spec Spec, k int, s *store.Store) (*ShardPlan, error) {
+	g, err := Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := g.Fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	align := g.alignment()
+	uncached := func(block int) int {
+		return UncachedInRange(fp, g.spec.Seed, shard.Range{Start: block * align, End: (block + 1) * align}, s)
+	}
+	ranges, counts, err := shard.PlanCacheAware(g.Len(), k, align, uncached)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardPlan{
+		Spec:        g.Spec(),
+		Fingerprint: fp,
+		Total:       g.Len(),
+		Ranges:      ranges,
+		Uncached:    counts,
+	}, nil
+}
+
+// UncachedInRange counts the cells of r the store cannot serve for the
+// given grid identity — fingerprint plus seed, on this process's GOARCH.
+// A nil store serves nothing, so every cell counts. This is the single
+// probe loop behind cache-aware planning and the scheduler's
+// adopted-manifest resume path; keeping both on one helper means a
+// change to the cache key shape can never make them drift.
+func UncachedInRange(fp string, seed int64, r shard.Range, s *store.Store) int {
+	if s == nil {
+		return r.Len()
+	}
+	n := 0
+	for i := r.Start; i < r.End; i++ {
+		if !s.Has(store.Key{Fingerprint: fp, Index: i, Seed: seed, Arch: runtime.GOARCH}) {
+			n++
+		}
+	}
+	return n
+}
+
 // RunShard executes shard i of a k-way split of the spec's grid and
 // returns the serializable partial-result envelope. Each shard
 // re-materializes the grid from the spec (datasets are synthesized from
@@ -59,6 +155,52 @@ func RunShardCached(spec Spec, i, k int, s *store.Store) (*shard.Envelope, error
 	return runShard(g, i, k)
 }
 
+// RunShardPlanned executes ranges[i] of an explicit plan of the spec's
+// grid — the execution half of cache-aware scheduling, where range
+// boundaries come from a recorded plan (e.g. a scheduler manifest)
+// rather than the uniform k-way split. The ranges must partition
+// [0, grid len) contiguously on aligned boundaries; the envelope records
+// plan position i of len(ranges), so a complete planned set merges
+// through MergeShards exactly like a uniform one. A nil store runs
+// every cell cold.
+func RunShardPlanned(spec Spec, ranges []shard.Range, i int, s *store.Store) (*shard.Envelope, error) {
+	g, err := Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	g.SetCache(s)
+	if err := validatePlan(g, ranges); err != nil {
+		return nil, err
+	}
+	if i < 0 || i >= len(ranges) {
+		return nil, fmt.Errorf("experiments: planned range %d of %d out of range", i, len(ranges))
+	}
+	return runPlanned(g, ranges, i)
+}
+
+// validatePlan checks that ranges is a contiguous, aligned partition of
+// the grid's job index space — the guard against running a drifted or
+// hand-edited plan whose envelopes could never merge.
+func validatePlan(g *Grid, ranges []shard.Range) error {
+	if len(ranges) == 0 {
+		return fmt.Errorf("experiments: empty shard plan for a %d-cell grid", g.Len())
+	}
+	align, prev := g.alignment(), 0
+	for i, r := range ranges {
+		if r.Start != prev || r.End < r.Start {
+			return fmt.Errorf("experiments: plan range %d is [%d,%d), want to start at %d", i, r.Start, r.End, prev)
+		}
+		if r.Start%align != 0 || r.End%align != 0 {
+			return fmt.Errorf("experiments: plan range %d [%d,%d) not aligned to %d", i, r.Start, r.End, align)
+		}
+		prev = r.End
+	}
+	if prev != g.Len() {
+		return fmt.Errorf("experiments: plan covers [0,%d) of a %d-cell grid", prev, g.Len())
+	}
+	return nil
+}
+
 func runShard(g *Grid, i, k int) (*shard.Envelope, error) {
 	ranges, err := shard.PlanAligned(g.Len(), k, g.alignment())
 	if err != nil {
@@ -67,6 +209,13 @@ func runShard(g *Grid, i, k int) (*shard.Envelope, error) {
 	if i < 0 || i >= k {
 		return nil, fmt.Errorf("experiments: shard %d of %d out of range", i, k)
 	}
+	return runPlanned(g, ranges, i)
+}
+
+// runPlanned executes ranges[i] into an envelope at plan position
+// i/len(ranges) — the shared body behind the uniform and cache-aware
+// shard paths.
+func runPlanned(g *Grid, ranges []shard.Range, i int) (*shard.Envelope, error) {
 	fp, err := g.Fingerprint()
 	if err != nil {
 		return nil, err
@@ -83,7 +232,7 @@ func runShard(g *Grid, i, k int) (*shard.Envelope, error) {
 		Arch:        runtime.GOARCH,
 		Seed:        g.spec.Seed,
 		Shard:       i,
-		Shards:      k,
+		Shards:      len(ranges),
 		Total:       g.Len(),
 	}
 	for _, c := range cells {

@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"os"
+	"testing"
+
+	"fairbench/internal/experiments"
+	"fairbench/internal/store"
+)
+
+// BenchmarkSchedPlanCacheAware measures the coordinator's plan-time cost
+// over a half-cached grid: materializing the grid from its spec plus one
+// verified store probe per cell. This is the fixed price every scheduled
+// run pays before the first assignment; scripts/bench.sh records it to
+// BENCH_sched.json.
+func BenchmarkSchedPlanCacheAware(b *testing.B) {
+	spec := experiments.Spec{Experiment: "fig7", Dataset: "german", N: 300, Seed: 1}
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Populate the first half of the grid so the plan sees a realistic
+	// mid-run cache: a cached prefix to skip and an uncached tail to
+	// balance.
+	if _, err := experiments.RunShardCached(spec, 0, 2, st); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := experiments.PlanShardsCacheAware(spec, 4, st)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.Uncached[0] != 0 || plan.TotalUncached() == 0 {
+			b.Fatalf("unexpected plan %+v", plan)
+		}
+	}
+}
+
+// BenchmarkSchedLocal is a whole scheduled run — plan, spawn workers on
+// two local hosts, validate parts, merge — over a small cold grid, the
+// end-to-end overhead of going multi-host on one machine.
+func BenchmarkSchedLocal(b *testing.B) {
+	spec := smallSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir, err := os.MkdirTemp(b.TempDir(), "run")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		_, rep, err := Run(spec, Options{
+			Dir:        dir,
+			Shards:     2,
+			Hosts:      []Host{{Name: "a"}, {Name: "b"}},
+			Transports: map[string]Transport{"local": workerTransport()},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Failed) != 0 {
+			b.Fatalf("failed ranges %v", rep.Failed)
+		}
+	}
+}

@@ -1,0 +1,476 @@
+package sched
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"fairbench/internal/dispatch"
+	"fairbench/internal/experiments"
+)
+
+// TestMain doubles as the worker subprocess body, the same re-exec
+// pattern internal/dispatch's tests use. "worker" runs a real shard via
+// dispatch.Worker; "workerio" is the remote-transport protocol (manifest
+// on stdin, envelope on stdout); "killself" SIGKILLs itself immediately —
+// a genuinely killed host process, with no killer goroutine to race.
+func TestMain(m *testing.M) {
+	switch os.Getenv("FAIRBENCH_TEST_HELPER") {
+	case "":
+		os.Exit(m.Run())
+	case "worker":
+		idx, err := strconv.Atoi(os.Getenv("HELPER_SHARD"))
+		if err == nil {
+			err = dispatch.Worker(os.Getenv("HELPER_MANIFEST"), idx, os.Getenv("HELPER_OUT"))
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	case "workerio":
+		idx, err := strconv.Atoi(os.Getenv("HELPER_SHARD"))
+		if err == nil {
+			err = dispatch.WorkerIO(os.Stdin, idx, os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	case "killself":
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		time.Sleep(time.Minute) // unreachable
+		os.Exit(0)
+	}
+	os.Exit(2)
+}
+
+// helperSpawn re-execs this test binary in the given helper mode; it has
+// dispatch.SpawnFunc's shape, so it drives both LocalExec and
+// dispatch.Resume.
+func helperSpawn(mode string) dispatch.SpawnFunc {
+	return func(manifestPath string, shard int, outPath string) (*exec.Cmd, error) {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(),
+			"FAIRBENCH_TEST_HELPER="+mode,
+			"HELPER_MANIFEST="+manifestPath,
+			"HELPER_SHARD="+strconv.Itoa(shard),
+			"HELPER_OUT="+outPath,
+		)
+		return cmd, nil
+	}
+}
+
+// workerTransport is a LocalExec whose subprocesses run real shards.
+func workerTransport() *LocalExec { return &LocalExec{Spawn: helperSpawn("worker")} }
+
+func smallSpec() experiments.Spec {
+	return experiments.Spec{Experiment: "fig23", Dataset: "compas", N: 300, Seed: 6,
+		Sizes: []int{60, 120}, Names: []string{"LR", "KamCal-DP"}}
+}
+
+// canonical marshals an output with its timing fields zeroed (the
+// scheduler only guarantees the metric payload).
+func canonical(t *testing.T, out *experiments.Output) []byte {
+	t.Helper()
+	for _, pts := range out.Efficiency {
+		for i := range pts {
+			pts[i].Row.Seconds, pts[i].Row.Overhead = 0, 0
+		}
+	}
+	for i := range out.Rows {
+		out.Rows[i].Seconds, out.Rows[i].Overhead = 0, 0
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func serialReference(t *testing.T, spec experiments.Spec) []byte {
+	t.Helper()
+	g, err := experiments.Open(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return canonical(t, out)
+}
+
+// TestSchedMatchesSerial: the happy path — two local hosts with uneven
+// slots, merged output byte-identical to a serial run.
+func TestSchedMatchesSerial(t *testing.T) {
+	spec := smallSpec()
+	want := serialReference(t, spec)
+	out, rep, err := Run(spec, Options{
+		Dir:        t.TempDir(),
+		Shards:     3,
+		Hosts:      []Host{{Name: "a", Slots: 2}, {Name: "b"}},
+		Transports: map[string]Transport{"local": workerTransport()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("scheduled output diverges from serial run")
+	}
+	if len(rep.Failed) != 0 || len(rep.Reused) != 0 || len(rep.Skipped) != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	delivered := 0
+	for _, idxs := range rep.Completed {
+		delivered += len(idxs)
+	}
+	if delivered != len(rep.Ranges) {
+		t.Fatalf("hosts delivered %d of %d ranges", delivered, len(rep.Ranges))
+	}
+	if rep.CellsComputed != 4 || rep.CellsCached != 0 {
+		t.Fatalf("cells computed=%d cached=%d", rep.CellsComputed, rep.CellsCached)
+	}
+}
+
+// TestSchedHostKillConvergesToSerial: chaos scenario 1 — every worker
+// process the "doomed" host starts is SIGKILLed. The scheduler must fail
+// those attempts, exclude the host, reassign its ranges to the survivor,
+// and still converge to the serial bytes.
+func TestSchedHostKillConvergesToSerial(t *testing.T) {
+	spec := experiments.Spec{Experiment: "fig7", Dataset: "german", N: 150, Seed: 5}
+	want := serialReference(t, spec)
+	out, rep, err := Run(spec, Options{
+		Dir:    t.TempDir(),
+		Shards: 3,
+		Hosts:  []Host{{Name: "doomed", Slots: 2, Transport: "kill"}, {Name: "ok"}},
+		Transports: map[string]Transport{
+			"kill":  &LocalExec{Spawn: helperSpawn("killself")},
+			"local": workerTransport(),
+		},
+		MaxHostFailures: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("output after a SIGKILLed host diverges from serial run")
+	}
+	if len(rep.Excluded) != 1 || rep.Excluded[0] != "doomed" {
+		t.Fatalf("excluded %v, want [doomed]", rep.Excluded)
+	}
+	if len(rep.Completed["doomed"]) != 0 {
+		t.Fatalf("the killed host completed %v", rep.Completed["doomed"])
+	}
+	if len(rep.Completed["ok"]) != len(rep.Ranges) {
+		t.Fatalf("survivor completed %v of %d ranges", rep.Completed["ok"], len(rep.Ranges))
+	}
+}
+
+// hangTransport accepts assignments and then goes silent: it never
+// beats, never writes a part, and returns only when the scheduler
+// cancels it — a wedged ssh session.
+type hangTransport struct{}
+
+func (hangTransport) Run(ctx context.Context, _ Host, _ Assignment, _ func()) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// TestSchedHangHeartbeatReassigns: chaos scenario 2 — the "stuck" host
+// hangs past the heartbeat deadline. The scheduler must declare it dead
+// on the FIRST lapse (the default MaxHostFailures budget is for ordinary
+// failures, not heartbeat death), cancel its assignments, reassign them,
+// and converge to serial bytes.
+func TestSchedHangHeartbeatReassigns(t *testing.T) {
+	spec := smallSpec()
+	want := serialReference(t, spec)
+	start := time.Now()
+	out, rep, err := Run(spec, Options{
+		Dir:    t.TempDir(),
+		Shards: 3,
+		Hosts:  []Host{{Name: "stuck", Slots: 2, Transport: "hang"}, {Name: "ok"}},
+		Transports: map[string]Transport{
+			"hang":  hangTransport{},
+			"local": workerTransport(),
+		},
+		HeartbeatTimeout: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("output after a hung host diverges from serial run")
+	}
+	if len(rep.Excluded) != 1 || rep.Excluded[0] != "stuck" {
+		t.Fatalf("excluded %v, want [stuck]", rep.Excluded)
+	}
+	if len(rep.Completed["ok"]) != len(rep.Ranges) {
+		t.Fatalf("survivor completed %v of %d ranges", rep.Completed["ok"], len(rep.Ranges))
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("hang detection took %s — the deadline did not fire", elapsed)
+	}
+}
+
+// corruptTransport reports success after writing garbage where the
+// envelope belongs — a host with a bad disk or a truncating network.
+type corruptTransport struct{}
+
+func (corruptTransport) Run(_ context.Context, _ Host, asn Assignment, beat func()) error {
+	beat()
+	return os.WriteFile(asn.OutPath, []byte(`{"version":1,"garbage":`), 0o644)
+}
+
+// TestSchedCorruptPartRejected: chaos scenario 3 — a host emits corrupt
+// parts and claims success. The shared validation gate must reject every
+// one of them (they never reach a part-NNN.json), the host must be
+// excluded, and the output must still match serial.
+func TestSchedCorruptPartRejected(t *testing.T) {
+	spec := smallSpec()
+	want := serialReference(t, spec)
+	dir := t.TempDir()
+	out, rep, err := Run(spec, Options{
+		Dir:    dir,
+		Shards: 2,
+		Hosts:  []Host{{Name: "liar", Slots: 2, Transport: "corrupt"}, {Name: "ok"}},
+		Transports: map[string]Transport{
+			"corrupt": corruptTransport{},
+			"local":   workerTransport(),
+		},
+		MaxHostFailures: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("output after corrupt parts diverges from serial run")
+	}
+	if len(rep.Excluded) != 1 || rep.Excluded[0] != "liar" {
+		t.Fatalf("excluded %v, want [liar]", rep.Excluded)
+	}
+	// No attempt-scoped debris may survive acceptance or rejection.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if name := e.Name(); filepath.Ext(name) != ".json" {
+			t.Fatalf("stray file %s left in the sched directory", name)
+		}
+	}
+}
+
+// flapTransport fails every odd call and delegates every even one — a
+// host flapping on and off.
+type flapTransport struct {
+	inner Transport
+	mu    sync.Mutex
+	calls int
+}
+
+func (f *flapTransport) Run(ctx context.Context, h Host, asn Assignment, beat func()) error {
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	f.mu.Unlock()
+	if n%2 == 1 {
+		return fmt.Errorf("injected flap (call %d)", n)
+	}
+	return f.inner.Run(ctx, h, asn, beat)
+}
+
+// TestSchedFlappingHostConverges: chaos scenario 4 — the only host flaps
+// on and off. Retry rounds must re-offer failed ranges until the flap
+// lets them through, and the output must match serial.
+func TestSchedFlappingHostConverges(t *testing.T) {
+	spec := smallSpec()
+	want := serialReference(t, spec)
+	flap := &flapTransport{inner: workerTransport()}
+	out, rep, err := Run(spec, Options{
+		Dir:             t.TempDir(),
+		Shards:          2,
+		Hosts:           []Host{{Name: "flappy", Transport: "flap"}},
+		Transports:      map[string]Transport{"flap": flap},
+		Retries:         4,
+		MaxHostFailures: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("output from a flapping host diverges from serial run")
+	}
+	retried := false
+	for _, attempts := range rep.Attempts {
+		if attempts > 1 {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Fatalf("flap never forced a retry: attempts %v (calls %d)", rep.Attempts, flap.calls)
+	}
+}
+
+// forbidTransport fails the test if the scheduler assigns anything —
+// warm-cache runs must never reach a host.
+type forbidTransport struct{ t *testing.T }
+
+func (f forbidTransport) Run(_ context.Context, h Host, asn Assignment, _ func()) error {
+	f.t.Errorf("transport invoked (host %s, range %d) on a fully-cached run", h.Name, asn.Range)
+	return fmt.Errorf("forbidden")
+}
+
+// TestSchedWarmCacheServesEverything: chaos scenario 5 — after a cold
+// scheduled run populates the cache, a fresh warm run must plan zero
+// assigned ranges, never invoke a transport, report computed=0, and
+// still produce the serial bytes.
+func TestSchedWarmCacheServesEverything(t *testing.T) {
+	spec := smallSpec()
+	want := serialReference(t, spec)
+	cacheDir := t.TempDir()
+	_, repCold, err := Run(spec, Options{
+		Dir:        t.TempDir(),
+		Shards:     2,
+		CacheDir:   cacheDir,
+		Hosts:      []Host{{Name: "a"}, {Name: "b"}},
+		Transports: map[string]Transport{"local": workerTransport()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repCold.CellsComputed != 4 {
+		t.Fatalf("cold run computed %d cells, want 4", repCold.CellsComputed)
+	}
+
+	out, rep, err := Run(spec, Options{
+		Dir:        t.TempDir(),
+		Shards:     2,
+		CacheDir:   cacheDir,
+		Hosts:      []Host{{Name: "a"}, {Name: "b"}},
+		Transports: map[string]Transport{"local": forbidTransport{t}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("warm scheduled run diverges from serial run")
+	}
+	if rep.CellsComputed != 0 {
+		t.Fatalf("warm run computed %d cells, want 0 (cached %d)", rep.CellsComputed, rep.CellsCached)
+	}
+	if len(rep.Skipped) != len(rep.Ranges) || len(rep.Ranges) != 1 {
+		t.Fatalf("warm plan: %d ranges, %d skipped — want one fully-cached range", len(rep.Ranges), len(rep.Skipped))
+	}
+}
+
+// TestSchedRemoteTransportRoundTrip drives the ssh-shaped path: the
+// manifest travels over stdin to a worker binary run through a command
+// runner, and the envelope comes back over stdout — no shared
+// filesystem. The fake runner re-execs this binary the way an ssh
+// session would exec a remote one.
+func TestSchedRemoteTransportRoundTrip(t *testing.T) {
+	spec := smallSpec()
+	want := serialReference(t, spec)
+	remote := &RemoteExec{Runner: func(_ context.Context, _ Host, args []string) (*exec.Cmd, error) {
+		idx := ""
+		for i, a := range args {
+			if a == "-shard" && i+1 < len(args) {
+				idx = args[i+1]
+			}
+		}
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), "FAIRBENCH_TEST_HELPER=workerio", "HELPER_SHARD="+idx)
+		return cmd, nil
+	}}
+	out, rep, err := Run(spec, Options{
+		Dir:        t.TempDir(),
+		Shards:     2,
+		Hosts:      []Host{{Name: "far", Slots: 2, Transport: "remote"}},
+		Transports: map[string]Transport{"remote": remote},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("remote-transport output diverges from serial run")
+	}
+	if len(rep.Completed["far"]) != len(rep.Ranges) {
+		t.Fatalf("remote host completed %v of %d ranges", rep.Completed["far"], len(rep.Ranges))
+	}
+}
+
+// failTransport always errors without touching anything.
+type failTransport struct{}
+
+func (failTransport) Run(_ context.Context, _ Host, _ Assignment, _ func()) error {
+	return fmt.Errorf("injected transport failure")
+}
+
+// TestSchedFailureResumableByDispatch: when the whole pool is dead the
+// run must fail naming the missing ranges and leave a directory that
+// internal/dispatch can finish — the two schedulers share one protocol.
+func TestSchedFailureResumableByDispatch(t *testing.T) {
+	spec := smallSpec()
+	want := serialReference(t, spec)
+	dir := t.TempDir()
+	_, rep, err := Run(spec, Options{
+		Dir:        dir,
+		Shards:     2,
+		Hosts:      []Host{{Name: "dead"}},
+		Transports: map[string]Transport{"local": failTransport{}},
+		Retries:    -1,
+	})
+	if err == nil {
+		t.Fatal("sched succeeded with a dead pool")
+	}
+	if len(rep.Failed) != 2 {
+		t.Fatalf("failed ranges %v, want both", rep.Failed)
+	}
+	for _, word := range []string{"still missing", "resume"} {
+		if !bytes.Contains([]byte(err.Error()), []byte(word)) {
+			t.Fatalf("error %q lacks %q", err, word)
+		}
+	}
+
+	// dispatch.Resume reads the sched manifest — including its explicit
+	// range plan — and completes the run.
+	out, drep, err := dispatch.Resume(dir, dispatch.Options{Procs: 2, Spawn: helperSpawn("worker")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("dispatch-resumed sched directory diverges from serial run")
+	}
+	if len(drep.Ran) != 2 {
+		t.Fatalf("dispatch resume ran %v, want both ranges", drep.Ran)
+	}
+
+	// And sched itself resumes a partially-completed directory: rerunning
+	// with a healthy pool reuses the dispatch-produced envelopes whole.
+	out2, rep2, err := Run(spec, Options{
+		Dir:        dir,
+		Shards:     2,
+		Hosts:      []Host{{Name: "ok"}},
+		Transports: map[string]Transport{"local": workerTransport()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, out2)) {
+		t.Fatal("resumed sched run diverges from serial run")
+	}
+	if len(rep2.Reused) != 2 || len(rep2.Completed) != 0 {
+		t.Fatalf("resume report %+v", rep2)
+	}
+}

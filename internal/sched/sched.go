@@ -1,0 +1,649 @@
+// Package sched schedules one experiment grid across a pool of hosts:
+// the multi-host layer above internal/dispatch's single-machine
+// coordinator. It reuses the dispatch directory protocol wholesale — the
+// same manifest.json (now carrying an explicit range plan), the same
+// fingerprinted part-NNN.json envelopes, the same acceptance gate
+// (dispatch.ValidatePart) — so a sched directory is resumable by either
+// scheduler and its merged output is byte-identical (timing aside) to a
+// serial run of the same spec.
+//
+// What sched adds over dispatch:
+//
+//   - pluggable transports: work reaches a host through the Transport
+//     interface — LocalExec re-execs this binary's worker subcommand,
+//     RemoteExec streams the manifest to a worker binary over any
+//     command runner (ssh-shaped), and tests inject chaos through the
+//     same seam;
+//   - per-host concurrency slots and a pool definition (hosts.json);
+//   - failure handling: heartbeat/deadline detection declares silent
+//     hosts dead, failed attempts retry on other hosts
+//     (retry-with-exclusion), repeatedly failing hosts are excluded and
+//     their ranges reassigned to survivors;
+//   - cache-aware planning: the shard plan consults the result store at
+//     plan time, so fully-cached ranges never reach a host (the
+//     coordinator materializes them from the store) and the remaining
+//     ranges are balanced by uncached cell count, not raw cell count.
+//
+// Failure semantics, in one table:
+//
+//	worker exits non-zero      attempt fails; range offered to another host
+//	worker killed (SIGKILL)    same — process death fails the attempt at once
+//	transport goes silent      heartbeat lapse: attempt cancelled, range reassigned
+//	corrupt/forged part        rejected by the shared validation gate; attempt fails
+//	host keeps failing         excluded after MaxHostFailures; its ranges move on
+//	every host failed a range  exclusions reset, next round (up to Retries rounds)
+//	ranges still missing       error names them; the directory stays resumable
+//
+// Every path converges to the same merged bytes or fails resumably;
+// nothing is ever merged around.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"fairbench/internal/dispatch"
+	"fairbench/internal/experiments"
+	"fairbench/internal/runner"
+	"fairbench/internal/shard"
+	"fairbench/internal/store"
+)
+
+// Options configures one scheduled run.
+type Options struct {
+	// Dir is the sched directory (created if missing): a dispatch-layer
+	// directory holding manifest.json and part files. Required.
+	Dir string
+	// Hosts is the execution pool. Empty defaults to one local host
+	// whose slot count is the runner parallelism.
+	Hosts []Host
+	// Shards targets how many work ranges the cache-aware plan produces
+	// (the actual count varies with cache fragmentation). Defaults to
+	// the pool's total slot count.
+	Shards int
+	// CacheDir, when set, is the result store consulted at plan time
+	// (to skip and balance) and by every worker at cell granularity.
+	CacheDir string
+	// HeartbeatTimeout is how long an in-flight assignment may go
+	// without a transport heartbeat before its host is declared dead
+	// and the range reassigned. Default 60s.
+	HeartbeatTimeout time.Duration
+	// Retries is how many times a range's per-host exclusions are reset
+	// after every live host has failed it — full extra rounds over the
+	// pool, not per-host attempts. Default 1; negative means no extra
+	// rounds (a range every live host has failed once fails for good).
+	Retries int
+	// MaxHostFailures is how many failed attempts a host may accumulate
+	// before it is excluded from the pool for the rest of the run.
+	// Default 3.
+	MaxHostFailures int
+	// Transports maps transport names to implementations, overlaying
+	// the built-ins ("local", "remote").
+	Transports map[string]Transport
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// Report describes what a scheduled run actually did.
+type Report struct {
+	Fingerprint string
+	// Ranges is the plan the run executed (from the manifest).
+	Ranges []shard.Range
+	// Uncached[i] is how many cells of Ranges[i] the result store could
+	// not serve when this invocation started. Ranges whose envelope was
+	// reused report 0 — their cells are already delivered, so nothing is
+	// owed and the store is not re-probed for them.
+	Uncached []int
+	// Reused lists plan positions whose envelope already existed in the
+	// directory and validated.
+	Reused []int
+	// Skipped lists fully-cached positions the coordinator materialized
+	// from the store without assigning any host.
+	Skipped []int
+	// Completed maps each host to the positions it delivered.
+	Completed map[string][]int
+	// Attempts maps each executed position to how many placements it
+	// took across the pool.
+	Attempts map[int]int
+	// Excluded lists hosts declared dead or repeatedly failing.
+	Excluded []string
+	// Failed lists positions still missing when the run gave up.
+	Failed []int
+	// CellsComputed and CellsCached split the grid's cells by who did
+	// the work, summed over all envelopes.
+	CellsComputed, CellsCached int
+}
+
+// Run schedules the spec's grid across the pool and merges the completed
+// envelope set into driver-native output, byte-identical (timing aside)
+// to a serial run. An existing directory for the same grid is resumed:
+// valid envelopes are reused and only missing ranges execute. On failure
+// the error names the ranges still missing and the directory remains
+// resumable — by Run, Resume, or dispatch.Resume.
+func Run(spec experiments.Spec, opts Options) (*experiments.Output, *Report, error) {
+	ns, err := spec.Normalize()
+	if err != nil {
+		return nil, nil, err
+	}
+	return run(ns, opts, false)
+}
+
+// Resume continues the run recorded in dir: the spec, plan, and cache
+// directory all come from the manifest.
+func Resume(dir string, opts Options) (*experiments.Output, *Report, error) {
+	m, err := dispatch.ReadManifest(filepath.Join(dir, dispatch.ManifestName))
+	if err != nil {
+		return nil, nil, fmt.Errorf("sched: %s: %w — nothing to resume (run sched first)", dir, err)
+	}
+	opts.Dir, opts.CacheDir = dir, m.CacheDir
+	return run(m.Spec, opts, true)
+}
+
+// run is the shared plan → scan → serve/schedule → merge loop.
+func run(ns experiments.Spec, opts Options, resuming bool) (*experiments.Output, *Report, error) {
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
+	pool, err := buildPool(&opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("sched: no sched directory")
+	}
+	var st *store.Store
+	if opts.CacheDir != "" {
+		if st, err = store.Open(opts.CacheDir); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	m, manifestPath, ranges, uncached, st, err := prepare(ns, &opts, st, resuming)
+	if err != nil {
+		return nil, nil, err
+	}
+	manifestBytes, err := os.ReadFile(manifestPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sched: %w", err)
+	}
+	rep := &Report{
+		Fingerprint: m.Fingerprint,
+		Ranges:      ranges,
+		Completed:   map[string][]int{},
+		Attempts:    map[int]int{},
+	}
+
+	// Scan: reuse every envelope that still validates; anything else is
+	// moved aside and its range re-enters the plan.
+	var pending []int
+	for i := range ranges {
+		path := filepath.Join(opts.Dir, dispatch.PartName(i))
+		switch err := dispatch.ValidatePart(path, m, i); {
+		case err == nil:
+			rep.Reused = append(rep.Reused, i)
+		case errors.Is(err, fs.ErrNotExist):
+			pending = append(pending, i)
+		default:
+			bad := path + ".invalid"
+			os.Rename(path, bad)
+			logf("sched: range %d: discarding invalid envelope (%v), moved to %s", i, err, bad)
+			pending = append(pending, i)
+		}
+	}
+	// An adopted manifest's uncached counts are computed only now, and
+	// only for pending ranges: re-entering a completed directory must
+	// not pay a verified store probe per cell of the whole grid. The
+	// cache may have grown since the manifest was written, so skip
+	// decisions always reflect the store's current state.
+	if uncached == nil {
+		uncached = make([]int, len(ranges))
+		for _, i := range pending {
+			uncached[i] = experiments.UncachedInRange(m.Fingerprint, m.Spec.Seed, ranges[i], st)
+		}
+	}
+	rep.Uncached = uncached
+	totalSlots, totalCells := 0, 0
+	for _, h := range pool {
+		totalSlots += h.Slots
+	}
+	if len(ranges) > 0 {
+		totalCells = ranges[len(ranges)-1].End
+	}
+	logf("sched: %d range(s) over %d cells (%d uncached) across %d host(s), %d slot(s)",
+		len(ranges), totalCells, sum(uncached), len(pool), totalSlots)
+
+	// Serve: fully-cached pending ranges never reach a host — the
+	// coordinator materializes them straight from the result store
+	// (every cell a verified hit, so the envelope reports computed=0).
+	var work []int
+	for _, i := range pending {
+		if uncached[i] > 0 {
+			work = append(work, i)
+			continue
+		}
+		env, err := experiments.RunShardPlanned(m.Spec, ranges, i, st)
+		if err != nil {
+			return nil, rep, err
+		}
+		data, err := env.Encode()
+		if err != nil {
+			return nil, rep, err
+		}
+		if err := store.WriteFileAtomic(filepath.Join(opts.Dir, dispatch.PartName(i)), data); err != nil {
+			return nil, rep, fmt.Errorf("sched: %w", err)
+		}
+		rep.Skipped = append(rep.Skipped, i)
+		logf("sched: range %d fully cached (%d cells) — served by the coordinator", i, len(env.Indices))
+	}
+	logf("sched: %d reused, %d served from cache, %d assigned to hosts",
+		len(rep.Reused), len(rep.Skipped), len(work))
+
+	// Schedule: place work ranges on hosts until everything is delivered
+	// or nothing eligible remains.
+	if len(work) > 0 {
+		schedule(pool, work, m, manifestPath, manifestBytes, opts, rep, logf)
+	}
+	for name := range rep.Completed {
+		sort.Ints(rep.Completed[name])
+	}
+	if len(rep.Failed) > 0 {
+		sort.Ints(rep.Failed)
+		var idxs []string
+		for _, i := range rep.Failed {
+			idxs = append(idxs, strconv.Itoa(i))
+		}
+		return nil, rep, fmt.Errorf("sched: range(s) %s still missing — %d of %d range(s) completed; re-run sched with the same -dir (or `fairbench resume -dir %s`) to pick up from them",
+			strings.Join(idxs, ", "), len(ranges)-len(rep.Failed), len(ranges), opts.Dir)
+	}
+
+	// Merge: every part re-reads through the named path so residual
+	// inconsistency is attributed to its file.
+	envs := make([]*shard.Envelope, len(ranges))
+	names := make([]string, len(ranges))
+	for i := range ranges {
+		path := filepath.Join(opts.Dir, dispatch.PartName(i))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, rep, fmt.Errorf("sched: %w", err)
+		}
+		if envs[i], err = shard.Decode(data); err != nil {
+			return nil, rep, fmt.Errorf("sched: %s: %w", path, err)
+		}
+		names[i] = path
+		rep.CellsCached += len(envs[i].Cached)
+		rep.CellsComputed += len(envs[i].Indices) - len(envs[i].Cached)
+	}
+	out, err := experiments.MergeShardsNamed(envs, names)
+	if err != nil {
+		return nil, rep, err
+	}
+	logf("sched: merged %d range(s) (cells computed=%d cached=%d)",
+		len(ranges), rep.CellsComputed, rep.CellsCached)
+	return out, rep, nil
+}
+
+// hostState is one pool member's scheduling state.
+type hostState struct {
+	Host
+	transport Transport
+	inflight  int
+	failures  int
+	excluded  bool
+}
+
+// buildPool fills option defaults and resolves each host's transport.
+func buildPool(opts *Options) ([]*hostState, error) {
+	if len(opts.Hosts) == 0 {
+		opts.Hosts = []Host{{Name: "local", Slots: runner.Parallelism()}}
+	}
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = 60 * time.Second
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	} else if opts.Retries == 0 {
+		opts.Retries = 1
+	}
+	if opts.MaxHostFailures <= 0 {
+		opts.MaxHostFailures = 3
+	}
+	transports := map[string]Transport{"local": &LocalExec{}, "remote": &RemoteExec{}}
+	for name, t := range opts.Transports {
+		transports[name] = t
+	}
+	seen := map[string]bool{}
+	pool := make([]*hostState, len(opts.Hosts))
+	for i, h := range opts.Hosts {
+		if h.Name == "" {
+			return nil, fmt.Errorf("sched: host %d has no name", i)
+		}
+		if seen[h.Name] {
+			return nil, fmt.Errorf("sched: duplicate host name %q", h.Name)
+		}
+		seen[h.Name] = true
+		if h.Slots <= 0 {
+			h.Slots = 1
+		}
+		key := h.Transport
+		if key == "" {
+			key = "local"
+		}
+		tr, ok := transports[key]
+		if !ok {
+			return nil, fmt.Errorf("sched: host %s names unknown transport %q", h.Name, key)
+		}
+		pool[i] = &hostState{Host: h, transport: tr}
+	}
+	if opts.Shards <= 0 {
+		for _, h := range pool {
+			opts.Shards += h.Slots
+		}
+	}
+	return pool, nil
+}
+
+// prepare creates the manifest for a fresh directory — planning
+// cache-aware against the store — or adopts an existing one, keeping its
+// recorded plan so resumes and late workers agree on the boundaries the
+// original run chose. Either way the current build must materialize the
+// manifest's fingerprint. The returned store is the run's effective
+// result cache: adopting a manifest adopts its cache directory too, so a
+// re-run that omitted the cache option still plans (and serves) against
+// the cache the directory was scheduled with.
+func prepare(ns experiments.Spec, opts *Options, st *store.Store, resuming bool) (*dispatch.Manifest, string, []shard.Range, []int, *store.Store, error) {
+	fail := func(err error) (*dispatch.Manifest, string, []shard.Range, []int, *store.Store, error) {
+		return nil, "", nil, nil, nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return fail(fmt.Errorf("sched: %w", err))
+	}
+	manifestPath := filepath.Join(opts.Dir, dispatch.ManifestName)
+	existing, err := dispatch.ReadManifest(manifestPath)
+	switch {
+	case err == nil:
+		g, err := experiments.Open(existing.Spec)
+		if err != nil {
+			return fail(err)
+		}
+		fp, err := g.Fingerprint()
+		if err != nil {
+			return fail(err)
+		}
+		if fp != existing.Fingerprint {
+			return fail(fmt.Errorf("sched: manifest fingerprint %.12s… but this build materializes %.12s… — grid definition drift; schedule into a fresh directory",
+				existing.Fingerprint, fp))
+		}
+		if !resuming {
+			want, err := experiments.Open(ns)
+			if err != nil {
+				return fail(err)
+			}
+			wfp, err := want.Fingerprint()
+			if err != nil {
+				return fail(err)
+			}
+			if wfp != existing.Fingerprint {
+				return fail(fmt.Errorf("sched: %s already holds a different run (fingerprint %.12s…); use a fresh directory or resume that run",
+					opts.Dir, existing.Fingerprint))
+			}
+			if opts.CacheDir != "" && opts.CacheDir != existing.CacheDir {
+				return fail(fmt.Errorf("sched: %s was scheduled with cache directory %q; re-scheduling cannot change it to %q — use a fresh directory",
+					opts.Dir, existing.CacheDir, opts.CacheDir))
+			}
+		}
+		opts.CacheDir = existing.CacheDir
+		if st == nil && existing.CacheDir != "" {
+			if st, err = store.Open(existing.CacheDir); err != nil {
+				return fail(err)
+			}
+		}
+		ranges := existing.Ranges
+		if len(ranges) == 0 {
+			// A plain dispatch manifest: its workers used the uniform
+			// aligned split, so the scheduler must too.
+			if ranges, err = experiments.PlanShards(existing.Spec, existing.Shards); err != nil {
+				return fail(err)
+			}
+		}
+		// Uncached counts are left nil: run() computes them after the
+		// part scan, for pending ranges only.
+		return existing, manifestPath, ranges, nil, st, nil
+	case errors.Is(err, fs.ErrNotExist):
+		if resuming {
+			return fail(fmt.Errorf("sched: %s: %w — nothing to resume", opts.Dir, err))
+		}
+		plan, err := experiments.PlanShardsCacheAware(ns, opts.Shards, st)
+		if err != nil {
+			return fail(err)
+		}
+		m := &dispatch.Manifest{
+			Version:     dispatch.ManifestVersion,
+			Spec:        plan.Spec,
+			Shards:      len(plan.Ranges),
+			Fingerprint: plan.Fingerprint,
+			CacheDir:    opts.CacheDir,
+			Ranges:      plan.Ranges,
+		}
+		if err := m.Write(manifestPath); err != nil {
+			return fail(err)
+		}
+		return m, manifestPath, plan.Ranges, plan.Uncached, st, nil
+	default:
+		return fail(err)
+	}
+}
+
+// rangeState is one work range's scheduling state.
+type rangeState struct {
+	idx      int
+	attempts int
+	rounds   int
+	excluded map[string]bool
+	lastErr  error
+}
+
+// flight is one in-flight assignment.
+type flight struct {
+	id       int
+	host     *hostState
+	rng      *rangeState
+	lastBeat atomic.Int64
+	cancel   context.CancelFunc
+}
+
+type doneEvent struct {
+	id  int
+	err error
+}
+
+// schedule places the work ranges on the pool and drives them to
+// completion, reassigning around failed attempts, dead heartbeats, and
+// excluded hosts. Failures that exhaust every option land in rep.Failed.
+func schedule(pool []*hostState, work []int, m *dispatch.Manifest, manifestPath string,
+	manifestBytes []byte, opts Options, rep *Report, logf func(string, ...any)) {
+	queue := make([]*rangeState, len(work))
+	for i, idx := range work {
+		queue[i] = &rangeState{idx: idx, excluded: map[string]bool{}}
+	}
+	// Every (round, host, range) triple launches at most once, so this
+	// bounds total events; zombie sends never block.
+	events := make(chan doneEvent, len(work)*len(pool)*(opts.Retries+1)+1)
+	inflight := map[int]*flight{}
+	nextID := 0
+
+	checkEvery := opts.HeartbeatTimeout / 4
+	if checkEvery < 5*time.Millisecond {
+		checkEvery = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(checkEvery)
+	defer ticker.Stop()
+
+	eligible := func(pr *rangeState) bool {
+		for _, hs := range pool {
+			if !hs.excluded && !pr.excluded[hs.Name] {
+				return true
+			}
+		}
+		return false
+	}
+	pickHost := func(pr *rangeState) *hostState {
+		var best *hostState
+		for _, hs := range pool {
+			if hs.excluded || pr.excluded[hs.Name] || hs.inflight >= hs.Slots {
+				continue
+			}
+			if best == nil || hs.Slots-hs.inflight > best.Slots-best.inflight {
+				best = hs
+			}
+		}
+		return best
+	}
+	fail := func(hs *hostState, pr *rangeState, err error) {
+		hs.failures++
+		pr.excluded[hs.Name] = true
+		pr.lastErr = err
+		logf("sched: host %s: range %d failed: %v", hs.Name, pr.idx, err)
+		if hs.failures >= opts.MaxHostFailures && !hs.excluded {
+			hs.excluded = true
+			rep.Excluded = append(rep.Excluded, hs.Name)
+			logf("sched: excluding host %s after %d failure(s); reassigning its work to survivors", hs.Name, hs.failures)
+		}
+		queue = append(queue, pr)
+	}
+	launch := func(hs *hostState, pr *rangeState) {
+		id := nextID
+		nextID++
+		ctx, cancel := context.WithCancel(context.Background())
+		fl := &flight{id: id, host: hs, rng: pr, cancel: cancel}
+		fl.lastBeat.Store(time.Now().UnixNano())
+		inflight[id] = fl
+		hs.inflight++
+		pr.attempts++
+		partPath := filepath.Join(opts.Dir, dispatch.PartName(pr.idx))
+		outTmp := fmt.Sprintf("%s.attempt-%d", partPath, id)
+		logf("sched: range %d → host %s (attempt %d)", pr.idx, hs.Name, pr.attempts)
+		go func() {
+			defer cancel()
+			err := hs.transport.Run(ctx, hs.Host, Assignment{
+				ManifestPath: manifestPath, Manifest: manifestBytes, Range: pr.idx, OutPath: outTmp,
+			}, func() { fl.lastBeat.Store(time.Now().UnixNano()) })
+			if err == nil && ctx.Err() != nil {
+				// The scheduler abandoned this attempt (heartbeat lapse)
+				// and may already have reassigned — or merged — the
+				// range; a zombie's late success must not touch the part.
+				err = ctx.Err()
+			}
+			if err == nil {
+				// The shared acceptance gate: an attempt only becomes the
+				// part when its envelope validates against the manifest.
+				if verr := dispatch.ValidatePart(outTmp, m, pr.idx); verr != nil {
+					err = fmt.Errorf("host %s produced an invalid part: %w", hs.Name, verr)
+				} else if rerr := os.Rename(outTmp, partPath); rerr != nil {
+					err = rerr
+				}
+			}
+			if err != nil {
+				os.Remove(outTmp)
+			}
+			events <- doneEvent{id: id, err: err}
+		}()
+	}
+
+	for {
+		// Assign every queued range an eligible host with a free slot;
+		// ranges every live host has failed get their exclusions reset
+		// (one round) until the retry budget runs out.
+		for progress := true; progress; {
+			progress = false
+			var still []*rangeState
+			for _, pr := range queue {
+				if hs := pickHost(pr); hs != nil {
+					launch(hs, pr)
+					progress = true
+					continue
+				}
+				if !eligible(pr) {
+					if pr.rounds < opts.Retries {
+						pr.rounds++
+						pr.excluded = map[string]bool{}
+						logf("sched: range %d: every live host has failed it; retry round %d/%d", pr.idx, pr.rounds, opts.Retries)
+						progress = true
+					} else {
+						rep.Failed = append(rep.Failed, pr.idx)
+						rep.Attempts[pr.idx] = pr.attempts
+						logf("sched: range %d failed for good after %d attempt(s): %v", pr.idx, pr.attempts, pr.lastErr)
+						continue
+					}
+				}
+				still = append(still, pr)
+			}
+			queue = still
+		}
+		if len(inflight) == 0 {
+			if len(queue) > 0 {
+				// Nothing running and nothing assignable: the pool is dead.
+				for _, pr := range queue {
+					rep.Failed = append(rep.Failed, pr.idx)
+					rep.Attempts[pr.idx] = pr.attempts
+				}
+				queue = nil
+			}
+			return
+		}
+		select {
+		case ev := <-events:
+			fl, ok := inflight[ev.id]
+			if !ok {
+				break // an abandoned attempt's late report
+			}
+			delete(inflight, ev.id)
+			fl.host.inflight--
+			if ev.err != nil {
+				fail(fl.host, fl.rng, ev.err)
+				break
+			}
+			rep.Completed[fl.host.Name] = append(rep.Completed[fl.host.Name], fl.rng.idx)
+			rep.Attempts[fl.rng.idx] = fl.rng.attempts
+		case <-ticker.C:
+			deadline := time.Now().Add(-opts.HeartbeatTimeout).UnixNano()
+			for id, fl := range inflight {
+				if fl.lastBeat.Load() >= deadline {
+					continue
+				}
+				fl.cancel()
+				delete(inflight, id)
+				fl.host.inflight--
+				// A heartbeat lapse is a death sentence, not a strike: the
+				// transport itself went unresponsive, so the host leaves
+				// the pool immediately instead of collecting further
+				// ranges until MaxHostFailures.
+				if !fl.host.excluded {
+					fl.host.excluded = true
+					rep.Excluded = append(rep.Excluded, fl.host.Name)
+					logf("sched: excluding host %s: no heartbeat for %s", fl.host.Name, opts.HeartbeatTimeout)
+				}
+				fail(fl.host, fl.rng, fmt.Errorf("no heartbeat from host %s for %s — declared dead", fl.host.Name, opts.HeartbeatTimeout))
+			}
+		}
+	}
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,250 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// blockWeights derives a deterministic uncached-count-per-block function
+// from fuzz bytes: block b gets bits[b%len]%(align+1) uncached cells.
+func blockWeights(bits []byte, align int) func(int) int {
+	return func(b int) int {
+		if len(bits) == 0 {
+			return align
+		}
+		return int(bits[b%len(bits)]) % (align + 1)
+	}
+}
+
+// checkPlanInvariants asserts everything a cache-aware plan promises:
+// the ranges partition [0, n) contiguously on aligned boundaries, every
+// uncached cell is covered exactly once (counts re-derive from the
+// weights), no range with work is fully cached, and a grid with no work
+// is a single skippable range.
+func checkPlanInvariants(t *testing.T, n, k, align int, w func(int) int, ranges []Range, counts []int) {
+	t.Helper()
+	if len(ranges) != len(counts) {
+		t.Fatalf("%d ranges but %d counts", len(ranges), len(counts))
+	}
+	if n == 0 {
+		if len(ranges) != 0 {
+			t.Fatalf("empty grid planned %v", ranges)
+		}
+		return
+	}
+	if align < 1 {
+		align = 1
+	}
+	prev, total := 0, 0
+	for i, r := range ranges {
+		if r.Start != prev || r.End < r.Start {
+			t.Fatalf("range %d = %+v breaks the partition at %d", i, r, prev)
+		}
+		if r.Start%align != 0 || r.End%align != 0 {
+			t.Fatalf("range %d = %+v not aligned to %d", i, r, align)
+		}
+		if r.Len() == 0 {
+			t.Fatalf("range %d is empty", i)
+		}
+		// counts[i] must equal the actual uncached weight of the range —
+		// that is what "covers every uncached cell exactly once" means at
+		// range granularity, given the partition.
+		uncached := 0
+		for b := r.Start / align; b < r.End/align; b++ {
+			uncached += w(b)
+		}
+		if uncached != counts[i] {
+			t.Fatalf("range %d reports %d uncached cells, has %d", i, counts[i], uncached)
+		}
+		// Never assign a fully-cached range: work ranges have work, and
+		// zero-work ranges are skippable by construction.
+		total += uncached
+		prev = r.End
+	}
+	if prev != n {
+		t.Fatalf("plan covers [0,%d) of [0,%d)", prev, n)
+	}
+	wantTotal := 0
+	for b := 0; b < n/align; b++ {
+		wantTotal += w(b)
+	}
+	if total != wantTotal {
+		t.Fatalf("plan accounts for %d uncached cells, grid has %d", total, wantTotal)
+	}
+	if wantTotal == 0 && len(ranges) != 1 {
+		t.Fatalf("fully-cached grid planned as %d ranges, want one skippable range", len(ranges))
+	}
+}
+
+func FuzzPlanCacheAware(f *testing.F) {
+	f.Add(uint8(10), uint8(3), uint8(1), []byte{0xff})
+	f.Add(uint8(0), uint8(1), uint8(1), []byte{})
+	f.Add(uint8(8), uint8(2), uint8(4), []byte{0x00})
+	f.Add(uint8(50), uint8(7), uint8(2), []byte{0x01, 0x00, 0x03})
+	f.Add(uint8(19), uint8(4), uint8(1), []byte{0x00, 0x01})
+	f.Fuzz(func(t *testing.T, blocks, k, align uint8, bits []byte) {
+		a := int(align)%8 + 1
+		n := (int(blocks) % 256) * a
+		kk := int(k)%16 + 1
+		w := blockWeights(bits, a)
+		ranges, counts, err := PlanCacheAware(n, kk, a, w)
+		if err != nil {
+			t.Fatalf("valid inputs rejected: %v", err)
+		}
+		checkPlanInvariants(t, n, kk, a, w, ranges, counts)
+	})
+}
+
+func TestPlanCacheAwareTable(t *testing.T) {
+	// No cache: degrades to ~k balanced contiguous ranges.
+	full := func(int) int { return 1 }
+	ranges, counts, err := PlanCacheAware(10, 3, 1, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlanInvariants(t, 10, 3, 1, full, ranges, counts)
+	if len(ranges) != 3 {
+		t.Fatalf("uncached plan has %d ranges: %v", len(ranges), ranges)
+	}
+
+	// Fully cached: one skippable range regardless of k.
+	none := func(int) int { return 0 }
+	ranges, counts, err = PlanCacheAware(12, 4, 1, none)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranges) != 1 || counts[0] != 0 || ranges[0] != (Range{0, 12}) {
+		t.Fatalf("fully-cached plan: %v %v", ranges, counts)
+	}
+
+	// A cached prefix becomes its own skippable range; the tail is split
+	// by its uncached weight.
+	prefix := func(b int) int {
+		if b < 6 {
+			return 0
+		}
+		return 1
+	}
+	ranges, counts, err = PlanCacheAware(12, 2, 1, prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlanInvariants(t, 12, 2, 1, prefix, ranges, counts)
+	if ranges[0] != (Range{0, 6}) || counts[0] != 0 {
+		t.Fatalf("cached prefix not isolated: %v %v", ranges, counts)
+	}
+	if len(ranges) != 3 || counts[1] != 3 || counts[2] != 3 {
+		t.Fatalf("tail not balanced by uncached weight: %v %v", ranges, counts)
+	}
+
+	// Aligned grids keep slice boundaries even when the cache fragments
+	// them (a block is half cached: its uncached weight is 2 of 4).
+	half := func(b int) int {
+		if b%2 == 0 {
+			return 2
+		}
+		return 0
+	}
+	ranges, counts, err = PlanCacheAware(16, 2, 4, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlanInvariants(t, 16, 2, 4, half, ranges, counts)
+
+	// Bad inputs are rejected.
+	if _, _, err := PlanCacheAware(-1, 2, 1, full); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, _, err := PlanCacheAware(4, 0, 1, full); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := PlanCacheAware(5, 2, 2, full); err == nil {
+		t.Fatal("unaligned n accepted")
+	}
+	if _, _, err := PlanCacheAware(4, 2, 2, func(int) int { return 3 }); err == nil {
+		t.Fatal("weight above align accepted")
+	}
+}
+
+// validFuzzEnvelope builds a small self-consistent envelope for the
+// decode fuzz corpus.
+func validFuzzEnvelope() []byte {
+	spec := json.RawMessage(`{"experiment":"fuzz"}`)
+	e := &Envelope{
+		Version: Version, Fingerprint: Fingerprint(spec, 2), Spec: spec,
+		Arch: "amd64", Seed: 1, Shard: 0, Shards: 1, Total: 2,
+		Indices: []int{0, 1},
+		Rows:    []json.RawMessage{json.RawMessage("1"), json.RawMessage("4")},
+	}
+	data, err := e.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// FuzzEnvelopeDecode: arbitrary bytes must never panic the decoder, and
+// whatever decodes must survive an encode/decode round trip and must not
+// merge unless its fingerprint is genuinely satisfied by its own spec —
+// forged envelopes are rejected by verification, not silently merged.
+func FuzzEnvelopeDecode(f *testing.F) {
+	f.Add(validFuzzEnvelope())
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"version":1,"fingerprint":"deadbeef","spec":{},"arch":"amd64","shards":1,"total":1,"indices":[0],"rows":[null]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(data)
+		if err != nil {
+			return // rejected: exactly what arbitrary bytes deserve
+		}
+		// Anything that decodes is internally consistent and must
+		// round-trip through the wire format.
+		enc, err := env.Encode()
+		if err != nil {
+			t.Fatalf("decoded envelope does not re-encode: %v", err)
+		}
+		env2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded envelope does not decode: %v", err)
+		}
+		if env2.Fingerprint != env.Fingerprint || env2.Total != env.Total ||
+			len(env2.Rows) != len(env.Rows) {
+			t.Fatal("round trip changed the envelope")
+		}
+		// Merging must never panic, and must reject any envelope whose
+		// fingerprint is not the hash of its own spec and total.
+		merged, err := Merge([]*Envelope{env})
+		if env.VerifyFingerprint() != nil && err == nil {
+			t.Fatalf("forged fingerprint %.12s… merged silently", env.Fingerprint)
+		}
+		if err == nil && merged.Total != env.Total {
+			t.Fatal("merge changed the grid size")
+		}
+	})
+}
+
+// TestForgedEnvelopeNeverMerges pins the non-fuzz form of the same
+// contract: an envelope set that is mutually consistent but carries a
+// fingerprint its spec does not hash to is rejected.
+func TestForgedEnvelopeNeverMerges(t *testing.T) {
+	spec := json.RawMessage(`{"experiment":"forged"}`)
+	forgedFP := Fingerprint([]byte(`{"experiment":"innocent"}`), 4)
+	envs := make([]*Envelope, 2)
+	for s := range envs {
+		e := &Envelope{
+			Version: Version, Fingerprint: forgedFP, Spec: spec,
+			Arch: "amd64", Seed: 9, Shard: s, Shards: 2, Total: 4,
+		}
+		for i := s * 2; i < s*2+2; i++ {
+			e.Indices = append(e.Indices, i)
+			e.Rows = append(e.Rows, json.RawMessage(fmt.Sprintf("%d", i)))
+		}
+		envs[s] = e
+	}
+	// Both envelopes agree with each other in every field, so only the
+	// self-fingerprint verification can catch the forgery.
+	if _, err := Merge(envs); err == nil {
+		t.Fatal("mutually-consistent forged envelopes merged")
+	}
+}

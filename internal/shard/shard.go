@@ -86,6 +86,83 @@ func PlanAligned(n, k, align int) ([]Range, error) {
 	return blocks, nil
 }
 
+// PlanCacheAware partitions [0, n) into contiguous aligned ranges for a
+// grid some of whose cells a result cache can already serve. uncached(b)
+// reports how many of block b's align cells are NOT cached (0..align).
+// The plan has two kinds of range:
+//
+//   - fully-cached ranges (uncached count 0): every maximal run of
+//     blocks with no uncached cells becomes its own range, so a
+//     scheduler can serve it straight from the cache instead of
+//     assigning it to a host;
+//   - work ranges: the remaining segments, split greedily so each range
+//     carries about ceil(totalUncached/k) uncached cells — balance by
+//     work still owed, not by raw cell count. A work range always starts
+//     on a block with uncached cells, so no assigned range is ever
+//     fully cached.
+//
+// The returned counts[i] is the uncached cell count of ranges[i]; the
+// ranges partition [0, n) in order, with boundaries on multiples of
+// align. With nothing cached the plan degrades to ~Plan(n, k); with
+// everything cached it is a single zero-work range. n == 0 yields an
+// empty plan.
+func PlanCacheAware(n, k, align int, uncached func(block int) int) (ranges []Range, counts []int, err error) {
+	if align <= 1 {
+		align = 1
+	}
+	if n < 0 {
+		return nil, nil, fmt.Errorf("shard: negative job count %d", n)
+	}
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("shard: shard count %d, want >= 1", k)
+	}
+	if n%align != 0 {
+		return nil, nil, fmt.Errorf("shard: job count %d not a multiple of alignment %d", n, align)
+	}
+	if n == 0 {
+		return nil, nil, nil
+	}
+	nb := n / align
+	w := make([]int, nb)
+	total := 0
+	for b := range w {
+		w[b] = uncached(b)
+		if w[b] < 0 || w[b] > align {
+			return nil, nil, fmt.Errorf("shard: block %d reports %d uncached cells of %d", b, w[b], align)
+		}
+		total += w[b]
+	}
+	if total == 0 {
+		return []Range{{Start: 0, End: n}}, []int{0}, nil
+	}
+	target := (total + k - 1) / k
+	emit := func(startBlock, endBlock, uncached int) {
+		ranges = append(ranges, Range{Start: startBlock * align, End: endBlock * align})
+		counts = append(counts, uncached)
+	}
+	for b := 0; b < nb; {
+		if w[b] == 0 {
+			start := b
+			for b < nb && w[b] == 0 {
+				b++
+			}
+			emit(start, b, 0)
+			continue
+		}
+		start, acc := b, 0
+		for b < nb && w[b] > 0 {
+			acc += w[b]
+			b++
+			if acc >= target && b < nb && w[b] > 0 {
+				emit(start, b, acc)
+				start, acc = b, 0
+			}
+		}
+		emit(start, b, acc)
+	}
+	return ranges, counts, nil
+}
+
 // Fingerprint hashes a grid's identity: its canonical spec encoding plus
 // its total job count. Two runs may only be merged when their
 // fingerprints match — equal fingerprints mean the same experiment,
@@ -167,6 +244,26 @@ func (e *Envelope) Validate() error {
 	return nil
 }
 
+// VerifyFingerprint recomputes the fingerprint from the envelope's own
+// spec bytes and job count and compares it to the recorded one. The spec
+// is compacted first, so an envelope that round-tripped through an
+// indenting encoder still verifies, while an envelope whose fingerprint
+// was forged — or whose spec or total was altered after signing — is
+// rejected. MergeNamed runs this check on every envelope, which is what
+// makes arbitrary decoded bytes unmergeable: a fingerprint can only be
+// satisfied by the spec that hashes to it.
+func (e *Envelope) VerifyFingerprint() error {
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, e.Spec); err != nil {
+		return fmt.Errorf("shard: envelope spec is not valid JSON: %w", err)
+	}
+	if got := Fingerprint(compact.Bytes(), e.Total); got != e.Fingerprint {
+		return fmt.Errorf("shard: fingerprint mismatch: envelope records %.12s… but its own spec materializes %.12s… — corrupt or forged envelope",
+			e.Fingerprint, got)
+	}
+	return nil
+}
+
 // Decode parses and validates a serialized envelope.
 func Decode(data []byte) (*Envelope, error) {
 	var e Envelope
@@ -229,6 +326,12 @@ func MergeNamed(envs []*Envelope, names []string) (*Merged, error) {
 	for i, e := range envs {
 		if err := e.Validate(); err != nil {
 			return nil, fmt.Errorf("shard: %s: %w", label(i), err)
+		}
+		// Each envelope's fingerprint must be satisfied by its own spec
+		// bytes, not merely agree with its neighbours': agreeing forged
+		// envelopes would otherwise merge.
+		if err := e.VerifyFingerprint(); err != nil {
+			return nil, fmt.Errorf("%s: %w", label(i), err)
 		}
 		switch {
 		case e.Fingerprint != first.Fingerprint:

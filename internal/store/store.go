@@ -167,6 +167,16 @@ func (s *Store) Get(k Key) ([]byte, bool) {
 	return e.Payload, true
 }
 
+// Has reports whether a verified entry exists under k, with Get's full
+// verification and counter semantics (a probe is an access, and a
+// corrupt entry is rejected and removed). Cache-aware shard planning
+// uses it to cost cells at plan time: a cell Has reports true for is one
+// the run's workers will be served, not recompute.
+func (s *Store) Has(k Key) bool {
+	_, ok := s.Get(k)
+	return ok
+}
+
 // Put caches payload under k, atomically: the entry is fully written to a
 // temp file in the destination directory and renamed into place, so
 // concurrent writers of the same cell (which, by the determinism

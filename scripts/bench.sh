@@ -6,8 +6,12 @@
 # fig7 grid cell set, dataset materialization) to BENCH_train.json, so all
 # four perf trajectories populate.
 #
+# Also runs the scheduler benchmarks in ./internal/sched (they need that
+# package's worker re-exec helper) and records the cache-aware plan +
+# two-host local run pair to BENCH_sched.json.
+#
 # Usage:
-#   scripts/bench.sh [output.json] [shard-output.json] [cache-output.json] [train-output.json]
+#   scripts/bench.sh [output.json] [shard-output.json] [cache-output.json] [train-output.json] [sched-output.json]
 #
 # Environment:
 #   BENCHTIME   go test -benchtime value (default 1x: one iteration per
@@ -24,6 +28,7 @@ out="${1:-BENCH_parallel.json}"
 shard_out="${2:-BENCH_shard.json}"
 cache_out="${3:-BENCH_cache.json}"
 train_out="${4:-BENCH_train.json}"
+sched_out="${5:-BENCH_sched.json}"
 benchtime="${BENCHTIME:-1x}"
 pattern="${BENCH_PAT:-.}"
 
@@ -151,4 +156,40 @@ else
 }
 EOF
     echo "bench.sh: wrote $train_out (cold grid ${cold_speedup}x vs seed, logreg allocs ÷${fit_alloc_ratio})"
+fi
+
+# Multi-host scheduler overhead: the coordinator's cache-aware plan over
+# a half-cached fig7 grid (one verified store probe per cell) and a whole
+# two-host local scheduled run of a small cold grid (plan + spawn +
+# validate + merge). These live in ./internal/sched because the worker
+# subprocesses re-exec that package's test binary; like the sections
+# above, a BENCH_PAT that excludes them skips the JSON with a warning.
+if ! sched_raw="$(go test -bench "$pattern" -benchtime "$benchtime" -run '^$' ./internal/sched 2>&1)"; then
+    echo "$sched_raw"
+    echo "bench.sh: go test -bench ./internal/sched failed" >&2
+    exit 1
+fi
+echo "$sched_raw"
+
+sched_col() { # sched_col <benchmark-name> <awk-field>
+    echo "$sched_raw" | awk -v b="$1" -v f="$2" '$1 ~ "^"b"(-[0-9]+)?$" {print $f}'
+}
+plan_ns="$(sched_col BenchmarkSchedPlanCacheAware 3)"
+plan_allocs="$(sched_col BenchmarkSchedPlanCacheAware 7)"
+local_ns="$(sched_col BenchmarkSchedLocal 3)"
+
+if [[ -z "$plan_ns" || -z "$plan_allocs" || -z "$local_ns" ]]; then
+    echo "bench.sh: SchedPlanCacheAware/SchedLocal not in output; skipping $sched_out" >&2
+else
+    cat > "$sched_out" <<EOF
+{
+  "benchmark": "sched: cache-aware plan (fig7 German n=300, half-cached, k=4) + two-host local run (fig23 COMPAS n=300, 4 cells, cold)",
+  "go": "$(go env GOVERSION)",
+  "cpus": $(nproc),
+  "benchtime": "$benchtime",
+  "plan_cache_aware": { "ns_per_op": $plan_ns, "allocs_per_op": $plan_allocs },
+  "sched_local": { "ns_per_op": $local_ns }
+}
+EOF
+    echo "bench.sh: wrote $sched_out (plan ${plan_ns} ns/op, local run ${local_ns} ns/op)"
 fi
