@@ -14,6 +14,7 @@
 //	fairbench dispatch -exp fig7 ... -dir DIR    run a grid as subprocesses
 //	fairbench resume   -dir DIR                  finish an interrupted dispatch
 //	fairbench sched  -exp fig7 ... -dir DIR -hosts hosts.json   multi-host run
+//	fairbench serve  -state DIR [-addr HOST:PORT]    benchmark-as-a-service daemon
 //	fairbench worker   -manifest M -shard I -out O   (spawned by dispatch/sched)
 //
 // -n caps the generated dataset size (0 = the paper's full size); smaller
@@ -99,15 +100,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"fairbench"
@@ -116,6 +121,7 @@ import (
 	"fairbench/internal/fair"
 	"fairbench/internal/registry"
 	"fairbench/internal/report"
+	"fairbench/internal/serve"
 )
 
 // shardableCommands maps figure commands to their grid experiment names
@@ -152,6 +158,9 @@ func main() {
 	hostsFlag := fs.String("hosts", "", "sched: hosts.json pool definition (default: one local host with -procs slots)")
 	heartbeatFlag := fs.Duration("heartbeat", 60*time.Second, "sched: declare a host dead after this long without a transport heartbeat")
 	maxHostFailFlag := fs.Int("max-host-failures", 3, "sched: exclude a host after this many failed attempts")
+	addrFlag := fs.String("addr", "127.0.0.1:8080", "serve: HTTP listen address")
+	stateFlag := fs.String("state", "", "serve: state directory (one resumable run directory per grid)")
+	maxRunsFlag := fs.Int("max-runs", 1, "serve: concurrently executing runs before submissions get 429")
 	cpuProfFlag := fs.String("cpuprofile", "", "write a CPU profile of this command to the file (inspect with go tool pprof)")
 	memProfFlag := fs.String("memprofile", "", "write an allocation profile of this command to the file (inspect with go tool pprof)")
 	fs.Parse(os.Args[2:])
@@ -175,6 +184,12 @@ func main() {
 		exit(cmdSched(*expFlag, *datasetFlag, *nFlag, *kFlag, *runsFlag, *seedFlag,
 			*dirFlag, *cacheFlag, *hostsFlag, *shardsFlag, *procsFlag, *retriesFlag,
 			*maxHostFailFlag, *heartbeatFlag, *outFlag))
+	}
+
+	if cmd == "serve" {
+		exit(cmdServe(*addrFlag, *stateFlag, *cacheFlag, *hostsFlag,
+			*shardsFlag, *procsFlag, *retriesFlag, *maxRunsFlag,
+			*maxHostFailFlag, *heartbeatFlag))
 	}
 
 	if *shardFlag != "" {
@@ -318,7 +333,10 @@ func usage() {
        fairbench resume -dir DIR [-procs N] [-retries R]                 finish an interrupted dispatch
        fairbench sched -exp <figN|cv|fig8rows|fig8attrs> [figure flags] -dir DIR
                  [-hosts hosts.json] [-shards K] [-cache DIR] [-retries R]
-                 [-heartbeat 60s] [-max-host-failures 3]                 multi-host run`)
+                 [-heartbeat 60s] [-max-host-failures 3]                 multi-host run
+       fairbench serve -state DIR [-addr 127.0.0.1:8080] [-cache DIR]
+                 [-hosts hosts.json] [-shards K] [-procs N] [-retries R]
+                 [-max-runs 1]                                           benchmark-as-a-service daemon`)
 }
 
 // gridSpecFor assembles the grid spec the dispatch-style commands
@@ -337,6 +355,13 @@ func gridSpecFor(exp, ds string, n, k, runs int, seed int64) fairbench.GridSpec 
 	return spec
 }
 
+// signalContext is the run context of the long-running commands:
+// SIGINT/SIGTERM cancel it, which stops the engine promptly and leaves
+// directory-backed runs resumable.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
 // cmdDispatch runs a grid as worker subprocesses and prints the merged
 // tables, exactly as the serial figure command would print them.
 func cmdDispatch(exp, ds string, n, k, runs int, seed int64,
@@ -347,50 +372,33 @@ func cmdDispatch(exp, ds string, n, k, runs int, seed int64,
 	if dir == "" {
 		return fmt.Errorf("dispatch requires -dir (the resumable dispatch directory)")
 	}
+	ctx, stop := signalContext()
+	defer stop()
 	spec := gridSpecFor(exp, ds, n, k, runs, seed)
-	merged, rep, err := fairbench.Dispatch(spec, fairbench.DispatchOptions{
-		Dir: dir, Shards: shards, Procs: procs, Retries: retries,
+	merged, rep, err := fairbench.Run(ctx, spec, fairbench.RunOptions{
+		Backend: fairbench.BackendDispatch,
+		Dir:     dir, Shards: shards, Procs: procs, Retries: retries,
 		CacheDir: cache, Log: os.Stderr,
 	})
 	if err != nil {
 		return err
 	}
-	return renderDispatched(merged, rep, out)
+	return renderRun(merged, rep, out)
 }
 
 func cmdResume(dir string, procs, retries int, out string) error {
 	if dir == "" {
 		return fmt.Errorf("resume requires -dir (the dispatch directory to finish)")
 	}
-	merged, rep, err := fairbench.Resume(dir, fairbench.DispatchOptions{
+	ctx, stop := signalContext()
+	defer stop()
+	merged, rep, err := fairbench.ResumeRun(ctx, dir, fairbench.RunOptions{
 		Procs: procs, Retries: retries, Log: os.Stderr,
 	})
 	if err != nil {
 		return err
 	}
-	return renderDispatched(merged, rep, out)
-}
-
-// renderDispatched prints the merged tables, a provenance summary line
-// (the e2e jobs assert on computed=0 for warm runs), and the optional
-// JSON dump.
-func renderDispatched(merged *fairbench.GridOutput, rep *fairbench.DispatchReport, out string) error {
-	if err := renderOutput(merged); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "fairbench: dispatch complete: %d shards (%d reused, %d ran), cells computed=%d cached=%d\n",
-		rep.Shards, len(rep.Reused), len(rep.Ran), rep.CellsComputed, rep.CellsCached)
-	if out != "" {
-		data, err := jsonIndent(merged)
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(out, data, 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "fairbench: wrote merged output to %s\n", out)
-	}
-	return nil
+	return renderRun(merged, rep, out)
 }
 
 // cmdSched runs a grid across a pool of hosts and prints the merged
@@ -412,26 +420,99 @@ func cmdSched(exp, ds string, n, k, runs int, seed int64, dir, cache, hostsPath 
 	} else if procs > 0 {
 		hosts = []fairbench.SchedHost{{Name: "local", Slots: procs}}
 	}
-	merged, rep, err := fairbench.Sched(gridSpecFor(exp, ds, n, k, runs, seed), fairbench.SchedOptions{
-		Dir: dir, Hosts: hosts, Shards: shards, CacheDir: cache,
+	ctx, stop := signalContext()
+	defer stop()
+	merged, rep, err := fairbench.Run(ctx, gridSpecFor(exp, ds, n, k, runs, seed), fairbench.RunOptions{
+		Backend: fairbench.BackendSched,
+		Dir:     dir, Hosts: hosts, Shards: shards, CacheDir: cache,
 		HeartbeatTimeout: heartbeat, Retries: retries, MaxHostFailures: maxHostFailures,
 		Log: os.Stderr,
 	})
 	if err != nil {
 		return err
 	}
-	return renderScheduled(merged, rep, out)
+	return renderRun(merged, rep, out)
 }
 
-// renderScheduled prints the merged tables, a provenance summary line
-// (the e2e jobs assert on computed=0 for warm runs), and the optional
-// JSON dump.
-func renderScheduled(merged *fairbench.GridOutput, rep *fairbench.SchedReport, out string) error {
+// cmdServe runs the benchmark-as-a-service daemon: grids submitted
+// over HTTP execute on the same engine the dispatch/sched commands
+// use, deduplicated by grid fingerprint and checkpointed under -state.
+// SIGTERM/SIGINT drain gracefully; interrupted runs resume on restart.
+func cmdServe(addr, stateDir, cache, hostsPath string,
+	shards, procs, retries, maxRuns, maxHostFailures int, heartbeat time.Duration) error {
+	if stateDir == "" {
+		return fmt.Errorf("serve requires -state (the daemon's run-state directory)")
+	}
+	var hosts []fairbench.SchedHost
+	if hostsPath != "" {
+		var err error
+		if hosts, err = fairbench.LoadHosts(hostsPath); err != nil {
+			return err
+		}
+	}
+	srv, err := serve.New(serve.Config{
+		StateDir: stateDir, CacheDir: cache, MaxConcurrent: maxRuns,
+		Shards: shards, Procs: procs, Retries: retries,
+		Hosts: hosts, HeartbeatTimeout: heartbeat, MaxHostFailures: maxHostFailures,
+		Log: os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+	if resumed, err := srv.ResumeInterrupted(); err != nil {
+		return err
+	} else if resumed > 0 {
+		fmt.Fprintf(os.Stderr, "fairbench: serve: resumed %d interrupted run(s)\n", resumed)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signalContext()
+	defer stop()
+	fmt.Fprintf(os.Stderr, "fairbench: serving on http://%s (state %s)\n", ln.Addr(), stateDir)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "fairbench: serve: draining — in-flight runs checkpoint and resume on the next start")
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	drainErr := srv.Drain(dctx)
+	if err := httpSrv.Shutdown(dctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr == nil {
+		fmt.Fprintln(os.Stderr, "fairbench: serve: drained cleanly")
+	}
+	return drainErr
+}
+
+// renderRun prints the merged tables, the backend's provenance summary
+// line (the e2e jobs assert on computed=0 and "fully cached" for warm
+// runs), and the optional JSON dump.
+func renderRun(merged *fairbench.GridOutput, rep *fairbench.RunReport, out string) error {
 	if err := renderOutput(merged); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "fairbench: sched complete: %d range(s) (%d reused, %d served from cache), %d host(s) excluded, cells computed=%d cached=%d\n",
-		len(rep.Ranges), len(rep.Reused), len(rep.Skipped), len(rep.Excluded), rep.CellsComputed, rep.CellsCached)
+	switch {
+	case rep.ServedFromCache:
+		fmt.Fprintf(os.Stderr, "fairbench: run complete: grid fully cached — served from the result store, cells computed=0 cached=%d\n",
+			rep.CellsCached)
+	case rep.Dispatch != nil:
+		d := rep.Dispatch
+		fmt.Fprintf(os.Stderr, "fairbench: dispatch complete: %d shards (%d reused, %d ran), cells computed=%d cached=%d\n",
+			d.Shards, len(d.Reused), len(d.Ran), d.CellsComputed, d.CellsCached)
+	case rep.Sched != nil:
+		s := rep.Sched
+		fmt.Fprintf(os.Stderr, "fairbench: sched complete: %d range(s) (%d reused, %d served from cache), %d host(s) excluded, cells computed=%d cached=%d\n",
+			len(s.Ranges), len(s.Reused), len(s.Skipped), len(s.Excluded), s.CellsComputed, s.CellsCached)
+	}
 	if out != "" {
 		data, err := jsonIndent(merged)
 		if err != nil {
@@ -579,36 +660,10 @@ func cmdMerge(files []string, out string) error {
 }
 
 // renderOutput prints a merged grid result with the same tables the
-// serial command would print (minus the serial-only extras, like fig9's
-// clean-training deltas, which need a second grid).
+// serial command would print; the renderer itself lives in
+// internal/report so the serve daemon shares it.
 func renderOutput(out *fairbench.GridOutput) error {
-	spec := out.Spec
-	switch out.Experiment {
-	case "fig7", "fig15", "cv":
-		title := fmt.Sprintf("%s — merged shards (%s, seed %d)", out.Experiment, spec.Dataset, spec.Seed)
-		return rowsTable(title, out.Rows).Render(os.Stdout)
-	case "fig9":
-		for _, res := range out.Robustness {
-			title := fmt.Sprintf("Figure 9 — robustness on %s + %s (merged shards)", spec.Dataset, res.Template)
-			if err := rowsTable(title, res.Rows).Render(os.Stdout); err != nil {
-				return err
-			}
-			fmt.Println()
-		}
-		return nil
-	case "fig10":
-		return renderSensitivity(out.Sensitivity, spec.Dataset)
-	case "fig22":
-		return renderStability(out.Stability, spec.Runs, spec.Dataset)
-	case "fig23":
-		return renderEfficiency(out.Efficiency, spec.Sizes, spec.Dataset)
-	case "fig8rows":
-		return scalabilityTable(fmt.Sprintf("Figure 8(a-c) — overhead vs #data points (%s, merged shards)", spec.Dataset), "points", out.Scalability).Render(os.Stdout)
-	case "fig8attrs":
-		return scalabilityTable(fmt.Sprintf("Figure 8(d-f) — overhead vs #attributes (%s, merged shards)", spec.Dataset), "attrs", out.Scalability).Render(os.Stdout)
-	default:
-		return fmt.Errorf("merge: unknown experiment %q", out.Experiment)
-	}
+	return report.RenderOutput(os.Stdout, out)
 }
 
 func sources(name string, n int, seed int64) ([]*fairbench.Source, error) {
@@ -652,20 +707,7 @@ func cmdList() error {
 }
 
 func rowsTable(title string, rows []fairbench.Row) *report.Table {
-	t := &report.Table{
-		Title: title,
-		Headers: []string{"approach", "stage", "acc", "prec", "rec", "f1",
-			"DI*", "1-|TPRB|", "1-|TNRB|", "1-ID", "1-|TE|", "1-|NDE|", "1-|NIE|", "overhead(s)"},
-	}
-	for _, r := range rows {
-		t.Add(r.Approach, r.Stage,
-			report.F(r.Correct.Accuracy), report.F(r.Correct.Precision),
-			report.F(r.Correct.Recall), report.F(r.Correct.F1),
-			report.F(r.Fair.DIStar), report.F(r.Fair.TPRB), report.F(r.Fair.TNRB),
-			report.F(r.Fair.ID), report.F(r.Fair.TE), report.F(r.Fair.NDE),
-			report.F(r.Fair.NIE), report.F(r.Overhead))
-	}
-	return t
+	return report.RowsTable(title, rows)
 }
 
 func cmdEval(ds, approach string, n int, seed int64) error {
@@ -756,30 +798,7 @@ func cmdFig8(n int, seed int64) error {
 }
 
 func scalabilityTable(title, xlabel string, series map[string][]experiments.ScalabilityPoint) *report.Table {
-	names := make([]string, 0, len(series))
-	for n := range series {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	var xs []int
-	if len(names) > 0 {
-		for _, p := range series[names[0]] {
-			xs = append(xs, p.X)
-		}
-	}
-	headers := []string{"approach"}
-	for _, x := range xs {
-		headers = append(headers, fmt.Sprintf("%s=%d", xlabel, x))
-	}
-	t := &report.Table{Title: title, Headers: headers}
-	for _, n := range names {
-		cells := []string{n}
-		for _, p := range series[n] {
-			cells = append(cells, fmt.Sprintf("%.3fs", p.Overhead))
-		}
-		t.Add(cells...)
-	}
-	return t
+	return report.ScalabilityTable(title, xlabel, series)
 }
 
 func cmdFig9(n int, seed int64) error {
@@ -822,26 +841,7 @@ func cmdFig10(n int, seed int64) error {
 }
 
 func renderSensitivity(rows []experiments.SensitivityRow, dataset string) error {
-	t := &report.Table{
-		Title:   fmt.Sprintf("Figure 10/21 — model sensitivity on %s", dataset),
-		Headers: []string{"approach", "model", "acc", "DI*", "1-|TE|"},
-	}
-	for _, r := range rows {
-		t.Add(r.Approach, r.Model, report.F(r.Row.Correct.Accuracy),
-			report.F(r.Row.Fair.DIStar), report.F(r.Row.Fair.TE))
-	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	st := &report.Table{
-		Title:   "Per-approach spread across models (pre varies, post stays flat)",
-		Headers: []string{"approach", "stage", "acc spread", "DI* spread"},
-	}
-	for _, s := range experiments.Spreads(rows) {
-		st.Add(s.Approach, s.Stage, report.F(s.AccSpread), report.F(s.DISpread))
-	}
-	fmt.Println()
-	return st.Render(os.Stdout)
+	return report.RenderSensitivity(os.Stdout, rows, dataset)
 }
 
 func cmdCV(ds string, n, k int, seed int64) error {
@@ -873,18 +873,7 @@ func cmdFig22(n, runs int, seed int64) error {
 }
 
 func renderStability(rows []experiments.StabilityRow, runs int, dataset string) error {
-	t := &report.Table{
-		Title:   fmt.Sprintf("Figure 22 — stability over %d random folds (%s)", runs, dataset),
-		Headers: []string{"approach", "stage", "acc mean±std", "DI* mean±std", "1-|TPRB| mean±std", "f1 mean±std"},
-	}
-	for _, r := range rows {
-		t.Add(r.Approach, r.Stage,
-			fmt.Sprintf("%.3f±%.3f", r.AccMean, r.AccStd),
-			fmt.Sprintf("%.3f±%.3f", r.DIMean, r.DIStd),
-			fmt.Sprintf("%.3f±%.3f", r.TPRBMean, r.TPRBStd),
-			fmt.Sprintf("%.3f±%.3f", r.F1Mean, r.F1Std))
-	}
-	return t.Render(os.Stdout)
+	return report.RenderStability(os.Stdout, rows, runs, dataset)
 }
 
 func cmdFig23(n int, seed int64) error {
@@ -898,36 +887,7 @@ func cmdFig23(n int, seed int64) error {
 }
 
 func renderEfficiency(series map[string][]experiments.EfficiencyPoint, sizes []int, dataset string) error {
-	names := make([]string, 0, len(series))
-	for name := range series {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	headers := []string{"approach"}
-	for _, s := range sizes {
-		headers = append(headers, fmt.Sprintf("acc@%d", s))
-	}
-	t := &report.Table{Title: fmt.Sprintf("Figure 23 — data efficiency on %s (accuracy by training size)", dataset), Headers: headers}
-	for _, name := range names {
-		cells := []string{name}
-		for _, p := range series[name] {
-			cells = append(cells, report.F(p.Row.Correct.Accuracy))
-		}
-		t.Add(cells...)
-	}
-	if err := t.Render(os.Stdout); err != nil {
-		return err
-	}
-	t2 := &report.Table{Title: "Figure 23 — DI* by training size", Headers: headers}
-	for _, name := range names {
-		cells := []string{name}
-		for _, p := range series[name] {
-			cells = append(cells, report.F(p.Row.Fair.DIStar))
-		}
-		t2.Add(cells...)
-	}
-	fmt.Println()
-	return t2.Render(os.Stdout)
+	return report.RenderEfficiency(os.Stdout, series, sizes, dataset)
 }
 
 // jsonIndent renders the merged output for -out.

@@ -114,10 +114,29 @@
 // The CLI exposes the same flow as `fairbench sched -exp fig7 -hosts
 // hosts.json -dir run -cache cache`.
 //
+// # Unified execution engine
+//
+// Run(ctx, spec, RunOptions) is the single entry point subsuming all
+// of the above: the execution backend (in-process pool, subprocess
+// dispatch, multi-host sched) is a RunOptions field, ctx cancels the
+// run promptly with directories left resumable by ResumeRun, and a
+// fully-cached grid is served without touching a worker or host:
+//
+//	out, rep, err := fairbench.Run(ctx, spec, fairbench.RunOptions{
+//		Dir: "run", Shards: 8, Procs: 4, CacheDir: "cache",
+//	})
+//	// ... interrupted ...
+//	out, rep, err = fairbench.ResumeRun(ctx, "run", fairbench.RunOptions{Procs: 4})
+//
+// Dispatch/Resume/Sched/SchedResume remain as deprecated thin wrappers.
+// The `fairbench serve` command exposes the same engine as a persistent
+// HTTP service (see the README's "Serving" section).
+//
 // See the examples/ directory for runnable programs.
 package fairbench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -126,6 +145,7 @@ import (
 	"fairbench/internal/corrupt"
 	"fairbench/internal/dataset"
 	"fairbench/internal/dispatch"
+	"fairbench/internal/engine"
 	"fairbench/internal/experiments"
 	"fairbench/internal/fair"
 	"fairbench/internal/metrics"
@@ -202,6 +222,31 @@ type (
 	// ShardPlan is a cache-aware split of one grid: contiguous ranges
 	// annotated with their uncached cell counts.
 	ShardPlan = experiments.ShardPlan
+	// RunOptions configures a Run/ResumeRun call: one struct unifying
+	// the knobs the three execution backends understand (see Backend).
+	RunOptions = engine.RunOptions
+	// RunReport describes what a Run did, normalized across backends;
+	// the backend-native report rides along in its Dispatch/Sched field.
+	RunReport = engine.Report
+	// Backend selects how Run executes the grid: in-process pool,
+	// subprocess dispatch, or multi-host sched.
+	Backend = engine.Backend
+	// Engine executes grids behind the unified API with pinned
+	// defaults; see NewEngine.
+	Engine = engine.Engine
+	// SchedEvent is one observed scheduling transition (heartbeat,
+	// completion, failure, exclusion); see RunOptions.OnEvent.
+	SchedEvent = sched.Event
+)
+
+// Execution backends for RunOptions.Backend. BackendAuto resolves from
+// the options: hosts given → sched, a directory given → dispatch,
+// otherwise in-process.
+const (
+	BackendAuto     = engine.BackendAuto
+	BackendInproc   = engine.BackendInproc
+	BackendDispatch = engine.BackendDispatch
+	BackendSched    = engine.BackendSched
 )
 
 // Pipeline stages.
@@ -403,12 +448,50 @@ func GridFingerprint(spec GridSpec) (string, error) {
 // without installing (or disturbing) the process-wide cache: cache-hit
 // cells are served from dir, misses are computed and written back, and
 // the envelope's Cached field records which cells were served.
+//
+// Deprecated: for whole-grid execution use Run with
+// RunOptions{CacheDir: dir}; RunShardCached remains only for callers
+// that need a single shard's envelope rather than merged output.
 func RunShardCached(spec GridSpec, i, k int, dir string) (*ShardEnvelope, error) {
 	s, err := store.Open(dir)
 	if err != nil {
 		return nil, err
 	}
 	return experiments.RunShardCached(spec, i, k, s)
+}
+
+// defaultEngine backs the package-level Run/ResumeRun entry points.
+var defaultEngine = engine.New(engine.RunOptions{})
+
+// NewEngine returns an execution engine whose Run/ResumeRun calls
+// default to the given options for fields they leave zero — how a
+// long-lived embedder (e.g. the serve daemon) pins its state
+// directory, host pool, cache, and spawn function once.
+func NewEngine(defaults RunOptions) *Engine { return engine.New(defaults) }
+
+// Run plans, executes, and merges the spec's experiment grid on the
+// backend opts selects (in-process pool, subprocess dispatch, or
+// multi-host sched), returning output byte-identical (timing fields
+// aside) to a serial run. A cancelled ctx stops the run promptly —
+// no new cells start, worker subprocesses are killed, in-flight host
+// attempts are cancelled — with the error wrapping ctx.Err() and
+// directory-backed runs left resumable via ResumeRun. With
+// opts.CacheDir set, a fully-cached grid is served entirely by the
+// calling process (RunReport.ServedFromCache: computed=0, no worker or
+// host touched). Run replaces the deprecated Dispatch, Sched, and
+// RunShardCached entry points.
+func Run(ctx context.Context, spec GridSpec, opts RunOptions) (*GridOutput, *RunReport, error) {
+	return defaultEngine.Run(ctx, spec, opts)
+}
+
+// ResumeRun continues the directory-backed run recorded in dir —
+// dispatch and sched directories share one manifest protocol, so either
+// resumes here. Completed envelopes are validated and reused, missing
+// work is executed (consulting the run's result cache at cell
+// granularity), and the completed set is merged. ResumeRun replaces the
+// deprecated Resume and SchedResume.
+func ResumeRun(ctx context.Context, dir string, opts RunOptions) (*GridOutput, *RunReport, error) {
+	return defaultEngine.ResumeRun(ctx, dir, opts)
 }
 
 // Dispatch runs the spec's grid as opts.Shards worker subprocesses (at
@@ -419,6 +502,10 @@ func RunShardCached(spec GridSpec, i, k int, dir string) (*ShardEnvelope, error)
 // the directory stays resumable. The default worker spawner re-execs
 // the current binary's `worker` subcommand, which the fairbench CLI
 // implements; other embedders must set opts.Spawn.
+//
+// Deprecated: use Run with RunOptions{Backend: BackendDispatch} (or
+// just a Dir, which resolves to the dispatch backend), which adds
+// cancellation and the fully-cached short-circuit.
 func Dispatch(spec GridSpec, opts DispatchOptions) (*GridOutput, *DispatchReport, error) {
 	return dispatch.Run(spec, opts)
 }
@@ -427,6 +514,9 @@ func Dispatch(spec GridSpec, opts DispatchOptions) (*GridOutput, *DispatchReport
 // envelopes are validated and reused, missing shards are executed
 // (consulting the run's result cache, so even a partially computed shard
 // resumes at cell granularity), and the completed set is merged.
+//
+// Deprecated: use ResumeRun, which resumes dispatch and sched
+// directories alike and adds cancellation.
 func Resume(dir string, opts DispatchOptions) (*GridOutput, *DispatchReport, error) {
 	return dispatch.Resume(dir, opts)
 }
@@ -457,12 +547,19 @@ func PlanShardsCacheAware(spec GridSpec, k int, cacheDir string) (*ShardPlan, er
 // repeatedly failing hosts are excluded with their ranges reassigned to
 // survivors. Load a pool definition with LoadHosts; an empty pool
 // defaults to one local host.
+//
+// Deprecated: use Run with RunOptions{Hosts: ...} (or Backend:
+// BackendSched), which adds cancellation and the fully-cached
+// short-circuit.
 func Sched(spec GridSpec, opts SchedOptions) (*GridOutput, *SchedReport, error) {
 	return sched.Run(spec, opts)
 }
 
 // SchedResume continues the scheduled run recorded in dir, taking the
 // spec, plan, and cache directory from its manifest.
+//
+// Deprecated: use ResumeRun, which resumes dispatch and sched
+// directories alike and adds cancellation.
 func SchedResume(dir string, opts SchedOptions) (*GridOutput, *SchedReport, error) {
 	return sched.Resume(dir, opts)
 }

@@ -23,6 +23,7 @@
 package dispatch
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -148,11 +149,20 @@ type Report struct {
 // resumes it. On failure the returned error names the shards still
 // missing; the directory remains resumable.
 func Run(spec experiments.Spec, opts Options) (*experiments.Output, *Report, error) {
+	return RunContext(context.Background(), spec, opts)
+}
+
+// RunContext is Run under a cancellation context. Once ctx is done no new
+// worker attempt starts, every live worker subprocess is killed, and the
+// call returns an error wrapping ctx.Err(). Completed envelopes stay on
+// disk and workers checkpoint through the result cache, so a cancelled
+// dispatch is indistinguishable from a crashed one: Resume picks it up.
+func RunContext(ctx context.Context, spec experiments.Spec, opts Options) (*experiments.Output, *Report, error) {
 	m, manifestPath, err := prepare(spec, &opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	return run(m, manifestPath, opts)
+	return run(ctx, m, manifestPath, opts)
 }
 
 // Resume continues the dispatched run recorded in dir: it loads the
@@ -162,6 +172,12 @@ func Run(spec experiments.Spec, opts Options) (*experiments.Output, *Report, err
 // come from opts; the spec, shard count, and cache directory always come
 // from the manifest.
 func Resume(dir string, opts Options) (*experiments.Output, *Report, error) {
+	return ResumeContext(context.Background(), dir, opts)
+}
+
+// ResumeContext is Resume under a cancellation context (see RunContext
+// for the cancellation semantics).
+func ResumeContext(ctx context.Context, dir string, opts Options) (*experiments.Output, *Report, error) {
 	manifestPath := filepath.Join(dir, ManifestName)
 	m, err := ReadManifest(manifestPath)
 	if err != nil {
@@ -171,7 +187,7 @@ func Resume(dir string, opts Options) (*experiments.Output, *Report, error) {
 	if err := verifyFingerprint(m); err != nil {
 		return nil, nil, err
 	}
-	return run(m, manifestPath, opts)
+	return run(ctx, m, manifestPath, opts)
 }
 
 // prepare normalizes the spec, fills option defaults, and creates or
@@ -282,7 +298,7 @@ func verifyFingerprint(m *Manifest) error {
 }
 
 // run is the shared scan → spawn → merge loop behind Run and Resume.
-func run(m *Manifest, manifestPath string, opts Options) (*experiments.Output, *Report, error) {
+func run(ctx context.Context, m *Manifest, manifestPath string, opts Options) (*experiments.Output, *Report, error) {
 	logf := func(format string, args ...any) {
 		if opts.Log != nil {
 			fmt.Fprintf(opts.Log, format+"\n", args...)
@@ -332,7 +348,7 @@ func run(m *Manifest, manifestPath string, opts Options) (*experiments.Output, *
 	var failures []shardErr
 	_, runErr := runner.Run(len(pending), runner.Options{Workers: opts.Procs}, func(j int) (struct{}, error) {
 		i := pending[j]
-		attempts, err := runWorker(spawn, manifestPath, m, opts.Dir, i, opts.Retries, logf)
+		attempts, err := runWorker(ctx, spawn, manifestPath, m, opts.Dir, i, opts.Retries, logf)
 		mu.Lock()
 		rep.Ran = append(rep.Ran, i)
 		rep.Attempts[i] = attempts
@@ -353,6 +369,12 @@ func run(m *Manifest, manifestPath string, opts Options) (*experiments.Output, *
 			rep.Failed = append(rep.Failed, f.shard)
 			idxs = append(idxs, strconv.Itoa(f.shard))
 			msgs = append(msgs, fmt.Sprintf("shard %d: %v", f.shard, f.err))
+		}
+		// A cancelled run reports the cancellation itself (errors.Is-able)
+		// rather than a retry exhaustion it never attempted.
+		if err := ctx.Err(); err != nil {
+			return nil, rep, fmt.Errorf("dispatch: cancelled with shard(s) %s still missing — `fairbench resume -dir %s` will pick up from the %d completed shard(s): %w",
+				strings.Join(idxs, ", "), opts.Dir, m.Shards-len(failures), err)
 		}
 		return nil, rep, fmt.Errorf("dispatch: shard(s) %s still missing after %d attempt(s) each — `fairbench resume -dir %s` will pick up from the %d completed shard(s)\n%s",
 			strings.Join(idxs, ", "), opts.Retries+1, opts.Dir, m.Shards-len(failures), strings.Join(msgs, "\n"))
@@ -385,23 +407,27 @@ func run(m *Manifest, manifestPath string, opts Options) (*experiments.Output, *
 }
 
 // runWorker executes one shard via subprocess, retrying up to retries
-// extra times, and returns how many attempts it took.
-func runWorker(spawn SpawnFunc, manifestPath string, m *Manifest, dir string, i, retries int,
+// extra times, and returns how many attempts it took. A done ctx stops
+// the retry loop: cancellation is not a worker failure to retry around.
+func runWorker(ctx context.Context, spawn SpawnFunc, manifestPath string, m *Manifest, dir string, i, retries int,
 	logf func(string, ...any)) (attempts int, err error) {
 	outPath := filepath.Join(dir, PartName(i))
 	for attempts = 1; ; attempts++ {
-		err = oneAttempt(spawn, manifestPath, m, outPath, i)
+		err = oneAttempt(ctx, spawn, manifestPath, m, outPath, i)
 		if err == nil {
 			return attempts, nil
 		}
-		if attempts > retries {
+		if attempts > retries || ctx.Err() != nil {
 			return attempts, err
 		}
 		logf("dispatch: shard %d attempt %d failed (%v), retrying", i, attempts, err)
 	}
 }
 
-func oneAttempt(spawn SpawnFunc, manifestPath string, m *Manifest, outPath string, i int) error {
+func oneAttempt(ctx context.Context, spawn SpawnFunc, manifestPath string, m *Manifest, outPath string, i int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	os.Remove(outPath) // stale/invalid leftovers must not mask a failure
 	cmd, err := spawn(manifestPath, i, outPath)
 	if err != nil {
@@ -411,7 +437,10 @@ func oneAttempt(spawn SpawnFunc, manifestPath string, m *Manifest, outPath strin
 	if cmd.Stderr == nil {
 		cmd.Stderr = &stderr
 	}
-	if err := cmd.Run(); err != nil {
+	if err := runCmd(ctx, cmd); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
 		return fmt.Errorf("worker: %w%s", err, StderrTail(stderr.String()))
 	}
 	// Trust nothing about the exit status alone: the envelope must exist
@@ -420,6 +449,28 @@ func oneAttempt(spawn SpawnFunc, manifestPath string, m *Manifest, outPath strin
 		return fmt.Errorf("worker exited 0 but %w", err)
 	}
 	return nil
+}
+
+// runCmd runs cmd to completion, killing the process (and waiting for it)
+// when ctx is cancelled first — the dispatcher must never return with live
+// worker subprocesses behind it.
+func runCmd(ctx context.Context, cmd *exec.Cmd) error {
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	if ctx.Done() == nil {
+		return cmd.Wait()
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		cmd.Process.Kill()
+		<-done
+		return ctx.Err()
+	}
 }
 
 // StderrTail formats the last few lines of a worker's stderr for

@@ -1,0 +1,380 @@
+// Package engine is the one entry point to grid execution: a single
+// Run(ctx, spec, RunOptions) call that plans, executes, and merges an
+// experiment grid on any of the three execution backends — the
+// in-process worker pool, the subprocess dispatcher, or the multi-host
+// scheduler — selected by an options field rather than by calling three
+// different APIs. It exists to collapse the facade's accreted
+// Dispatch/Sched/RunShardCached entry points (each with overlapping
+// option structs) into one coordinator that the CLI and the serve
+// daemon share.
+//
+// Unifying guarantees, regardless of backend:
+//
+//   - the merged output is byte-identical (timing fields aside) to a
+//     serial run of the same spec;
+//   - a done ctx stops the run promptly (no new cells, workers killed,
+//     in-flight host attempts cancelled) and the returned error wraps
+//     ctx.Err(); directory-backed runs stay resumable via ResumeRun;
+//   - with a result cache, a fully-cached grid is served entirely by
+//     the calling process — computed=0 and no worker subprocess or
+//     host is ever touched (Report.ServedFromCache).
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fairbench/internal/dispatch"
+	"fairbench/internal/experiments"
+	"fairbench/internal/sched"
+	"fairbench/internal/shard"
+	"fairbench/internal/store"
+)
+
+// Backend selects how a grid's cells are executed.
+type Backend string
+
+const (
+	// BackendAuto resolves from the options: hosts given → sched, a
+	// directory given → dispatch, otherwise in-process.
+	BackendAuto Backend = ""
+	// BackendInproc runs the grid on this process's worker pool.
+	BackendInproc Backend = "inproc"
+	// BackendDispatch runs the grid as worker subprocesses coordinated
+	// through a dispatch directory (resumable).
+	BackendDispatch Backend = "dispatch"
+	// BackendSched schedules the grid across a pool of hosts (resumable,
+	// cache-aware planning, failure handling).
+	BackendSched Backend = "sched"
+)
+
+// RunOptions configures one engine run: the union of the knobs the
+// three backends understand, deduplicated. Fields a backend does not
+// use are ignored by it (documented per field). The zero value runs
+// in-process with no cache.
+type RunOptions struct {
+	// Backend picks the execution backend; BackendAuto resolves from
+	// Hosts/Dir as documented on the constants.
+	Backend Backend
+	// Dir is the run directory holding the manifest and part files.
+	// Required for dispatch and sched; unused in-process.
+	Dir string
+	// Shards is the k of the k-way split (dispatch) or the targeted
+	// work-range count of the cache-aware plan (sched). Defaults to
+	// Procs (dispatch) or the pool's slot count (sched).
+	Shards int
+	// Procs caps concurrent worker subprocesses (dispatch) and sizes
+	// the default local host's slots (sched with no Hosts).
+	Procs int
+	// Retries is the per-shard re-spawn budget (dispatch) or the number
+	// of extra full rounds over the pool (sched).
+	Retries int
+	// CacheDir, when set, is the fingerprint-keyed result store: cells
+	// already computed are served from disk on every backend, and a
+	// fully-cached grid short-circuits to ServedFromCache.
+	CacheDir string
+	// Hosts is the sched execution pool. Setting it (with BackendAuto)
+	// selects the sched backend.
+	Hosts []sched.Host
+	// HeartbeatTimeout and MaxHostFailures tune sched failure handling.
+	HeartbeatTimeout time.Duration
+	MaxHostFailures  int
+	// Transports overlays sched's built-in transport registry.
+	Transports map[string]sched.Transport
+	// Spawn overrides how worker subprocesses are launched (dispatch
+	// workers and sched's local transport). Nil re-execs this binary's
+	// `worker` subcommand.
+	Spawn dispatch.SpawnFunc
+	// OnEvent observes sched scheduling events (heartbeats,
+	// completions, failures, exclusions); see sched.Options.OnEvent.
+	OnEvent func(sched.Event)
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// Report describes what a run did, normalized across backends; the
+// backend's native report rides along for callers that need the
+// details.
+type Report struct {
+	// Backend is the backend that actually executed the run.
+	Backend Backend
+	// Fingerprint identifies the grid (cache/merge identity).
+	Fingerprint string
+	// CellsComputed and CellsCached split the grid's cells by who did
+	// the work.
+	CellsComputed, CellsCached int
+	// ServedFromCache reports that the whole grid was materialized from
+	// the result store by the calling process: no worker subprocess was
+	// spawned and no host was touched.
+	ServedFromCache bool
+	// Dispatch and Sched carry the backend-native report when that
+	// backend ran.
+	Dispatch *dispatch.Report
+	Sched    *sched.Report
+}
+
+// Engine executes grids behind one API. The zero value is usable; New
+// attaches defaults that every Run/ResumeRun call inherits for fields
+// it leaves zero.
+type Engine struct {
+	defaults RunOptions
+}
+
+// New returns an Engine whose per-call options default to defaults:
+// any zero field of a Run/ResumeRun call's options is filled from
+// here. This is how a daemon pins its state dir, pool, cache, and
+// spawn function once while requests carry only per-run knobs.
+func New(defaults RunOptions) *Engine { return &Engine{defaults: defaults} }
+
+// merged overlays per-call options on the engine defaults.
+func (e *Engine) merged(opts RunOptions) RunOptions {
+	d := e.defaults
+	if opts.Backend == BackendAuto {
+		opts.Backend = d.Backend
+	}
+	if opts.Dir == "" {
+		opts.Dir = d.Dir
+	}
+	if opts.Shards == 0 {
+		opts.Shards = d.Shards
+	}
+	if opts.Procs == 0 {
+		opts.Procs = d.Procs
+	}
+	if opts.Retries == 0 {
+		opts.Retries = d.Retries
+	}
+	if opts.CacheDir == "" {
+		opts.CacheDir = d.CacheDir
+	}
+	if opts.Hosts == nil {
+		opts.Hosts = d.Hosts
+	}
+	if opts.HeartbeatTimeout == 0 {
+		opts.HeartbeatTimeout = d.HeartbeatTimeout
+	}
+	if opts.MaxHostFailures == 0 {
+		opts.MaxHostFailures = d.MaxHostFailures
+	}
+	if opts.Transports == nil {
+		opts.Transports = d.Transports
+	}
+	if opts.Spawn == nil {
+		opts.Spawn = d.Spawn
+	}
+	if opts.OnEvent == nil {
+		opts.OnEvent = d.OnEvent
+	}
+	if opts.Log == nil {
+		opts.Log = d.Log
+	}
+	return opts
+}
+
+// resolve picks the backend BackendAuto stands for.
+func resolve(opts RunOptions) Backend {
+	switch {
+	case opts.Backend != BackendAuto:
+		return opts.Backend
+	case len(opts.Hosts) > 0:
+		return BackendSched
+	case opts.Dir != "":
+		return BackendDispatch
+	default:
+		return BackendInproc
+	}
+}
+
+// Run executes the spec's grid on the resolved backend and merges the
+// result. See the package comment for the cross-backend guarantees.
+func (e *Engine) Run(ctx context.Context, spec experiments.Spec, opts RunOptions) (*experiments.Output, *Report, error) {
+	opts = e.merged(opts)
+	backend := resolve(opts)
+	switch backend {
+	case BackendInproc:
+		return runInproc(ctx, spec, opts)
+	case BackendDispatch, BackendSched:
+		if opts.Dir == "" {
+			return nil, nil, fmt.Errorf("engine: backend %q requires Dir", backend)
+		}
+		if out, rep, ok, err := serveFromCache(ctx, spec, opts, backend); ok || err != nil {
+			return out, rep, err
+		}
+		if backend == BackendDispatch {
+			out, drep, err := dispatch.RunContext(ctx, spec, dispatchOptions(opts))
+			return out, fromDispatch(drep), err
+		}
+		out, srep, err := sched.RunContext(ctx, spec, schedOptions(opts))
+		return out, fromSched(srep), err
+	default:
+		return nil, nil, fmt.Errorf("engine: unknown backend %q", backend)
+	}
+}
+
+// ResumeRun continues the directory-backed run recorded in dir
+// (dispatch or sched — they share the manifest protocol). The sched
+// backend is used when the resolved backend is sched; everything else
+// resumes through the dispatcher, which handles both directory layouts.
+func (e *Engine) ResumeRun(ctx context.Context, dir string, opts RunOptions) (*experiments.Output, *Report, error) {
+	opts = e.merged(opts)
+	opts.Dir = dir
+	if resolve(opts) == BackendSched {
+		out, srep, err := sched.ResumeContext(ctx, dir, schedOptions(opts))
+		return out, fromSched(srep), err
+	}
+	out, drep, err := dispatch.ResumeContext(ctx, dir, dispatchOptions(opts))
+	return out, fromDispatch(drep), err
+}
+
+// runInproc executes the whole grid as one in-process "shard" on the
+// runner pool — the path serial CLI commands and library callers take.
+func runInproc(ctx context.Context, spec experiments.Spec, opts RunOptions) (*experiments.Output, *Report, error) {
+	s, err := openStore(opts.CacheDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	env, err := experiments.RunShardContext(ctx, spec, 0, 1, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := experiments.MergeShards([]*shard.Envelope{env})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, &Report{
+		Backend:       BackendInproc,
+		Fingerprint:   env.Fingerprint,
+		CellsComputed: len(env.Indices) - len(env.Cached),
+		CellsCached:   len(env.Cached),
+	}, nil
+}
+
+// serveFromCache is the warm-grid short-circuit for the process-backed
+// backends: when a fresh run's grid is fully served by the result
+// store, the coordinator materializes it directly — computed=0, no
+// subprocess spawned, no host touched. Runs that already have a
+// manifest (interrupted, being resumed by Run) fall through so the
+// directory protocol stays in charge.
+func serveFromCache(ctx context.Context, spec experiments.Spec, opts RunOptions, backend Backend) (*experiments.Output, *Report, bool, error) {
+	if opts.CacheDir == "" {
+		return nil, nil, false, nil
+	}
+	if _, err := os.Stat(filepath.Join(opts.Dir, "manifest.json")); err == nil {
+		return nil, nil, false, nil
+	}
+	s, err := openStore(opts.CacheDir)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	plan, err := experiments.PlanShardsCacheAware(spec, 1, s)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if plan.TotalUncached() > 0 {
+		return nil, nil, false, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, false, fmt.Errorf("engine: cancelled before serving cached grid: %w", err)
+	}
+	envs := make([]*shard.Envelope, len(plan.Ranges))
+	for i := range plan.Ranges {
+		if envs[i], err = experiments.RunShardPlanned(spec, plan.Ranges, i, s); err != nil {
+			return nil, nil, false, err
+		}
+	}
+	out, err := experiments.MergeShards(envs)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	cached := 0
+	for _, env := range envs {
+		cached += len(env.Cached)
+	}
+	fp := ""
+	if len(envs) > 0 {
+		fp = envs[0].Fingerprint
+	}
+	if opts.Log != nil {
+		fmt.Fprintf(opts.Log, "engine: grid fully cached — served %d cell(s) from %s without touching a worker or host\n", cached, opts.CacheDir)
+	}
+	return out, &Report{
+		Backend:         backend,
+		Fingerprint:     fp,
+		CellsCached:     cached,
+		ServedFromCache: true,
+	}, true, nil
+}
+
+func openStore(dir string) (*store.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return store.Open(dir)
+}
+
+func dispatchOptions(opts RunOptions) dispatch.Options {
+	return dispatch.Options{
+		Dir:      opts.Dir,
+		Shards:   opts.Shards,
+		Procs:    opts.Procs,
+		Retries:  opts.Retries,
+		CacheDir: opts.CacheDir,
+		Spawn:    opts.Spawn,
+		Log:      opts.Log,
+	}
+}
+
+func schedOptions(opts RunOptions) sched.Options {
+	transports := opts.Transports
+	if opts.Spawn != nil && (transports == nil || transports["local"] == nil) {
+		// Route the spawn override through the local transport so one
+		// RunOptions field covers both process-backed backends.
+		merged := map[string]sched.Transport{"local": &sched.LocalExec{Spawn: opts.Spawn}}
+		for name, t := range transports {
+			merged[name] = t
+		}
+		transports = merged
+	}
+	return sched.Options{
+		Dir:              opts.Dir,
+		Hosts:            opts.Hosts,
+		Shards:           opts.Shards,
+		CacheDir:         opts.CacheDir,
+		HeartbeatTimeout: opts.HeartbeatTimeout,
+		Retries:          opts.Retries,
+		MaxHostFailures:  opts.MaxHostFailures,
+		Transports:       transports,
+		OnEvent:          opts.OnEvent,
+		Log:              opts.Log,
+	}
+}
+
+func fromDispatch(rep *dispatch.Report) *Report {
+	if rep == nil {
+		return nil
+	}
+	return &Report{
+		Backend:       BackendDispatch,
+		Fingerprint:   rep.Fingerprint,
+		CellsComputed: rep.CellsComputed,
+		CellsCached:   rep.CellsCached,
+		Dispatch:      rep,
+	}
+}
+
+func fromSched(rep *sched.Report) *Report {
+	if rep == nil {
+		return nil
+	}
+	return &Report{
+		Backend:       BackendSched,
+		Fingerprint:   rep.Fingerprint,
+		CellsComputed: rep.CellsComputed,
+		CellsCached:   rep.CellsCached,
+		Sched:         rep,
+	}
+}

@@ -1,0 +1,306 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fairbench/internal/dispatch"
+	"fairbench/internal/experiments"
+	"fairbench/internal/sched"
+)
+
+// TestMain doubles as the worker subprocess body — the re-exec pattern
+// internal/dispatch and internal/sched tests use. "worker" runs a real
+// shard via dispatch.Worker; with FAIRBENCH_WORKER_DELAY_MS in its
+// environment it pauses first, which is how cancellation tests hold a
+// genuinely live worker open.
+func TestMain(m *testing.M) {
+	switch os.Getenv("FAIRBENCH_TEST_HELPER") {
+	case "":
+		os.Exit(m.Run())
+	case "worker":
+		idx, err := strconv.Atoi(os.Getenv("HELPER_SHARD"))
+		if err == nil {
+			err = dispatch.Worker(os.Getenv("HELPER_MANIFEST"), idx, os.Getenv("HELPER_OUT"))
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(2)
+}
+
+// helperSpawn re-execs this test binary as a worker subprocess.
+func helperSpawn(extraEnv ...string) dispatch.SpawnFunc {
+	return func(manifestPath string, shard int, outPath string) (*exec.Cmd, error) {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(),
+			"FAIRBENCH_TEST_HELPER=worker",
+			"HELPER_MANIFEST="+manifestPath,
+			"HELPER_SHARD="+strconv.Itoa(shard),
+			"HELPER_OUT="+outPath,
+		)
+		cmd.Env = append(cmd.Env, extraEnv...)
+		return cmd, nil
+	}
+}
+
+// countingSpawn wraps helperSpawn and counts invocations — the probe
+// that proves a warm grid never reaches a worker subprocess.
+func countingSpawn(n *atomic.Int64, extraEnv ...string) dispatch.SpawnFunc {
+	inner := helperSpawn(extraEnv...)
+	return func(manifestPath string, shard int, outPath string) (*exec.Cmd, error) {
+		n.Add(1)
+		return inner(manifestPath, shard, outPath)
+	}
+}
+
+func smallSpec() experiments.Spec {
+	return experiments.Spec{Experiment: "fig23", Dataset: "compas", N: 300, Seed: 6,
+		Sizes: []int{60, 120}, Names: []string{"LR", "KamCal-DP"}}
+}
+
+// canonical marshals an output with its timing fields zeroed (the
+// byte-identical guarantee covers the metric payload).
+func canonical(t *testing.T, out *experiments.Output) []byte {
+	t.Helper()
+	for _, pts := range out.Efficiency {
+		for i := range pts {
+			pts[i].Row.Seconds, pts[i].Row.Overhead = 0, 0
+		}
+	}
+	for i := range out.Rows {
+		out.Rows[i].Seconds, out.Rows[i].Overhead = 0, 0
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func serialReference(t *testing.T, spec experiments.Spec) []byte {
+	t.Helper()
+	g, err := experiments.Open(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return canonical(t, out)
+}
+
+// TestResolveBackend pins the BackendAuto resolution rules: hosts win
+// over a directory, a directory selects dispatch, nothing selects
+// in-process, and an explicit backend always wins.
+func TestResolveBackend(t *testing.T) {
+	hosts := []sched.Host{{Name: "a"}}
+	cases := []struct {
+		opts RunOptions
+		want Backend
+	}{
+		{RunOptions{}, BackendInproc},
+		{RunOptions{Dir: "/tmp/x"}, BackendDispatch},
+		{RunOptions{Hosts: hosts}, BackendSched},
+		{RunOptions{Dir: "/tmp/x", Hosts: hosts}, BackendSched},
+		{RunOptions{Backend: BackendDispatch, Hosts: hosts}, BackendDispatch},
+		{RunOptions{Backend: BackendInproc, Dir: "/tmp/x", Hosts: hosts}, BackendInproc},
+	}
+	for _, c := range cases {
+		if got := resolve(c.opts); got != c.want {
+			t.Errorf("resolve(%+v) = %q, want %q", c.opts, got, c.want)
+		}
+	}
+}
+
+// TestBackendsMatchSerial is the engine's core guarantee: one Run call,
+// three backends, all byte-identical to the serial reference.
+func TestBackendsMatchSerial(t *testing.T) {
+	spec := smallSpec()
+	want := serialReference(t, spec)
+	ctx := context.Background()
+	eng := New(RunOptions{})
+
+	out, rep, err := eng.Run(ctx, spec, RunOptions{Backend: BackendInproc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("inproc output diverges from serial run")
+	}
+	if rep.Backend != BackendInproc || rep.CellsComputed != 4 || rep.Fingerprint == "" {
+		t.Fatalf("inproc report %+v", rep)
+	}
+
+	out, rep, err = eng.Run(ctx, spec, RunOptions{
+		Dir: t.TempDir(), Shards: 2, Procs: 2, Spawn: helperSpawn(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("dispatch output diverges from serial run")
+	}
+	if rep.Backend != BackendDispatch || rep.Dispatch == nil || rep.CellsComputed != 4 {
+		t.Fatalf("dispatch report %+v", rep)
+	}
+
+	out, rep, err = eng.Run(ctx, spec, RunOptions{
+		Dir:   t.TempDir(),
+		Hosts: []sched.Host{{Name: "h1", Slots: 2}},
+		Spawn: helperSpawn(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("sched output diverges from serial run")
+	}
+	if rep.Backend != BackendSched || rep.Sched == nil || rep.CellsComputed != 4 {
+		t.Fatalf("sched report %+v", rep)
+	}
+}
+
+// TestCancellationStopsWorkersPromptly: cancel a dispatch-backed run
+// while delayed workers are genuinely executing; Run must return quickly
+// with an error wrapping context.Canceled, and the directory must resume
+// to the serial answer afterwards.
+func TestCancellationStopsWorkersPromptly(t *testing.T) {
+	spec := smallSpec()
+	dir := t.TempDir()
+	eng := New(RunOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := eng.Run(ctx, spec, RunOptions{
+		Dir: dir, Shards: 2, Procs: 2,
+		Spawn: helperSpawn("FAIRBENCH_WORKER_DELAY_MS=20000"),
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Workers were told to sleep 20s; a prompt stop returns in well
+	// under that, even on a loaded machine.
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; workers were not stopped promptly", elapsed)
+	}
+
+	out, rep, err := eng.ResumeRun(context.Background(), dir, RunOptions{
+		Procs: 2, Spawn: helperSpawn(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialReference(t, spec), canonical(t, out)) {
+		t.Fatal("resumed output diverges from serial run")
+	}
+	if rep.Backend != BackendDispatch {
+		t.Fatalf("resume report %+v", rep)
+	}
+}
+
+// TestInprocCancelledBeforeStart: an already-cancelled ctx fails fast on
+// the in-process backend too.
+func TestInprocCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := New(RunOptions{}).Run(ctx, smallSpec(), RunOptions{Backend: BackendInproc})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestWarmGridSpawnsNothing: once the store holds every cell, a
+// dispatch- or sched-backed Run is answered by the calling process —
+// ServedFromCache set, computed=0, and the spawn counter still zero.
+func TestWarmGridSpawnsNothing(t *testing.T) {
+	spec := smallSpec()
+	cache := t.TempDir()
+	eng := New(RunOptions{CacheDir: cache})
+
+	// Warm the store with an in-process run.
+	_, rep, err := eng.Run(context.Background(), spec, RunOptions{Backend: BackendInproc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CellsComputed != 4 || rep.CellsCached != 0 {
+		t.Fatalf("cold report %+v", rep)
+	}
+
+	var spawns atomic.Int64
+	out, rep, err := eng.Run(context.Background(), spec, RunOptions{
+		Dir: t.TempDir(), Spawn: countingSpawn(&spawns),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ServedFromCache || rep.CellsComputed != 0 || rep.CellsCached != 4 {
+		t.Fatalf("warm dispatch report %+v", rep)
+	}
+	if !bytes.Equal(serialReference(t, spec), canonical(t, out)) {
+		t.Fatal("warm output diverges from serial run")
+	}
+	if n := spawns.Load(); n != 0 {
+		t.Fatalf("warm run spawned %d worker subprocess(es), want 0", n)
+	}
+
+	out, rep, err = eng.Run(context.Background(), spec, RunOptions{
+		Dir:   t.TempDir(),
+		Hosts: []sched.Host{{Name: "h1"}},
+		Spawn: countingSpawn(&spawns),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ServedFromCache || rep.Backend != BackendSched || rep.CellsComputed != 0 {
+		t.Fatalf("warm sched report %+v", rep)
+	}
+	if !bytes.Equal(serialReference(t, spec), canonical(t, out)) {
+		t.Fatal("warm sched output diverges from serial run")
+	}
+	if n := spawns.Load(); n != 0 {
+		t.Fatalf("warm sched run spawned %d worker subprocess(es), want 0", n)
+	}
+}
+
+// TestDefaultsInherit: fields left zero on a call inherit the engine's
+// defaults — the daemon's usage pattern (pin cache + spawn once, pass
+// only the per-run directory).
+func TestDefaultsInherit(t *testing.T) {
+	spec := smallSpec()
+	var spawns atomic.Int64
+	eng := New(RunOptions{
+		CacheDir: t.TempDir(), Procs: 2, Shards: 2,
+		Spawn: countingSpawn(&spawns),
+	})
+	out, rep, err := eng.Run(context.Background(), spec, RunOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backend != BackendDispatch || rep.CellsComputed != 4 {
+		t.Fatalf("report %+v", rep)
+	}
+	if spawns.Load() == 0 {
+		t.Fatal("default Spawn was not used")
+	}
+	if !bytes.Equal(serialReference(t, spec), canonical(t, out)) {
+		t.Fatal("output diverges from serial run")
+	}
+}

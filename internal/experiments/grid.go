@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -524,6 +525,16 @@ func (g *Grid) Cell(i int) (Cell, error) {
 // overhead; sharding is the sanctioned way to parallelize them, across
 // isolated processes or hosts.
 func (g *Grid) RunRange(start, end int) ([]Cell, error) {
+	return g.RunRangeContext(context.Background(), start, end)
+}
+
+// RunRangeContext is RunRange under a cancellation context: once ctx is
+// done, no further cell starts and the call fails fast with an error
+// wrapping ctx.Err(). Cells already executing finish (a cell is pure
+// computation with nothing to roll back); with the result cache installed
+// their payloads are still written back, so a cancelled run checkpoints
+// at cell granularity and a later run resumes from what completed.
+func (g *Grid) RunRangeContext(ctx context.Context, start, end int) ([]Cell, error) {
 	if start < 0 || end > g.Len() || start > end {
 		return nil, fmt.Errorf("experiments: range [%d,%d) outside grid [0,%d)", start, end, g.Len())
 	}
@@ -537,6 +548,15 @@ func (g *Grid) RunRange(start, end int) ([]Cell, error) {
 	if c := g.cache; c != nil && g.specJSON != nil {
 		fp := shard.Fingerprint(g.specJSON, g.Len())
 		job = func(i int) (Cell, error) { return g.cachedCell(c, fp, i) }
+	}
+	if ctx.Done() != nil {
+		inner := job
+		job = func(i int) (Cell, error) {
+			if err := ctx.Err(); err != nil {
+				return Cell{}, err
+			}
+			return inner(i)
+		}
 	}
 	return runner.Run(end-start, opts, job)
 }

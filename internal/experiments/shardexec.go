@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -140,7 +141,21 @@ func RunShard(spec Spec, i, k int) (*shard.Envelope, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runShard(g, i, k)
+	return runShard(context.Background(), g, i, k)
+}
+
+// RunShardContext is RunShard with an explicit result store and a
+// cancellation context: a done ctx stops the worker pool promptly (no
+// new cells start; in-flight cells finish) and the error wraps
+// ctx.Err(). A nil store runs every cell cold, matching the worker
+// subprocess contract rather than inheriting the process default.
+func RunShardContext(ctx context.Context, spec Spec, i, k int, s *store.Store) (*shard.Envelope, error) {
+	g, err := Open(spec)
+	if err != nil {
+		return nil, err
+	}
+	g.SetCache(s)
+	return runShard(ctx, g, i, k)
 }
 
 // RunShardCached is RunShard against an explicit result store, leaving
@@ -152,7 +167,7 @@ func RunShardCached(spec Spec, i, k int, s *store.Store) (*shard.Envelope, error
 		return nil, err
 	}
 	g.SetCache(s)
-	return runShard(g, i, k)
+	return runShard(context.Background(), g, i, k)
 }
 
 // RunShardPlanned executes ranges[i] of an explicit plan of the spec's
@@ -175,7 +190,7 @@ func RunShardPlanned(spec Spec, ranges []shard.Range, i int, s *store.Store) (*s
 	if i < 0 || i >= len(ranges) {
 		return nil, fmt.Errorf("experiments: planned range %d of %d out of range", i, len(ranges))
 	}
-	return runPlanned(g, ranges, i)
+	return runPlanned(context.Background(), g, ranges, i)
 }
 
 // validatePlan checks that ranges is a contiguous, aligned partition of
@@ -201,7 +216,7 @@ func validatePlan(g *Grid, ranges []shard.Range) error {
 	return nil
 }
 
-func runShard(g *Grid, i, k int) (*shard.Envelope, error) {
+func runShard(ctx context.Context, g *Grid, i, k int) (*shard.Envelope, error) {
 	ranges, err := shard.PlanAligned(g.Len(), k, g.alignment())
 	if err != nil {
 		return nil, err
@@ -209,19 +224,19 @@ func runShard(g *Grid, i, k int) (*shard.Envelope, error) {
 	if i < 0 || i >= k {
 		return nil, fmt.Errorf("experiments: shard %d of %d out of range", i, k)
 	}
-	return runPlanned(g, ranges, i)
+	return runPlanned(ctx, g, ranges, i)
 }
 
 // runPlanned executes ranges[i] into an envelope at plan position
 // i/len(ranges) — the shared body behind the uniform and cache-aware
 // shard paths.
-func runPlanned(g *Grid, ranges []shard.Range, i int) (*shard.Envelope, error) {
+func runPlanned(ctx context.Context, g *Grid, ranges []shard.Range, i int) (*shard.Envelope, error) {
 	fp, err := g.Fingerprint()
 	if err != nil {
 		return nil, err
 	}
 	r := ranges[i]
-	cells, err := g.RunRange(r.Start, r.End)
+	cells, err := g.RunRangeContext(ctx, r.Start, r.End)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,171 @@
+// output.go renders merged grid results (experiments.Output) into the
+// same tables the serial CLI commands print. Extracted from
+// cmd/fairbench so the serve daemon's /runs/{id}/table endpoint and the
+// CLI's merge/dispatch/sched paths share one renderer — the
+// byte-identical-to-serial guarantee then covers HTTP responses too.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"fairbench/internal/experiments"
+)
+
+// RenderOutput writes a merged grid result as the tables the serial
+// command would print (minus the serial-only extras, like fig9's
+// clean-training deltas, which need a second grid).
+func RenderOutput(w io.Writer, out *experiments.Output) error {
+	spec := out.Spec
+	switch out.Experiment {
+	case "fig7", "fig15", "cv":
+		title := fmt.Sprintf("%s — merged shards (%s, seed %d)", out.Experiment, spec.Dataset, spec.Seed)
+		return RowsTable(title, out.Rows).Render(w)
+	case "fig9":
+		for _, res := range out.Robustness {
+			title := fmt.Sprintf("Figure 9 — robustness on %s + %s (merged shards)", spec.Dataset, res.Template)
+			if err := RowsTable(title, res.Rows).Render(w); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	case "fig10":
+		return RenderSensitivity(w, out.Sensitivity, spec.Dataset)
+	case "fig22":
+		return RenderStability(w, out.Stability, spec.Runs, spec.Dataset)
+	case "fig23":
+		return RenderEfficiency(w, out.Efficiency, spec.Sizes, spec.Dataset)
+	case "fig8rows":
+		return ScalabilityTable(fmt.Sprintf("Figure 8(a-c) — overhead vs #data points (%s, merged shards)", spec.Dataset), "points", out.Scalability).Render(w)
+	case "fig8attrs":
+		return ScalabilityTable(fmt.Sprintf("Figure 8(d-f) — overhead vs #attributes (%s, merged shards)", spec.Dataset), "attrs", out.Scalability).Render(w)
+	default:
+		return fmt.Errorf("render: unknown experiment %q", out.Experiment)
+	}
+}
+
+// RowsTable lays out per-approach correctness/fairness rows — the
+// paper's core table shape (Figures 7, 15-18).
+func RowsTable(title string, rows []experiments.Row) *Table {
+	t := &Table{
+		Title: title,
+		Headers: []string{"approach", "stage", "acc", "prec", "rec", "f1",
+			"DI*", "1-|TPRB|", "1-|TNRB|", "1-ID", "1-|TE|", "1-|NDE|", "1-|NIE|", "overhead(s)"},
+	}
+	for _, r := range rows {
+		t.Add(r.Approach, r.Stage,
+			F(r.Correct.Accuracy), F(r.Correct.Precision),
+			F(r.Correct.Recall), F(r.Correct.F1),
+			F(r.Fair.DIStar), F(r.Fair.TPRB), F(r.Fair.TNRB),
+			F(r.Fair.ID), F(r.Fair.TE), F(r.Fair.NDE),
+			F(r.Fair.NIE), F(r.Overhead))
+	}
+	return t
+}
+
+// ScalabilityTable lays out Figure 8's overhead-vs-x series, one row
+// per approach, one column per x value.
+func ScalabilityTable(title, xlabel string, series map[string][]experiments.ScalabilityPoint) *Table {
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var xs []int
+	if len(names) > 0 {
+		for _, p := range series[names[0]] {
+			xs = append(xs, p.X)
+		}
+	}
+	headers := []string{"approach"}
+	for _, x := range xs {
+		headers = append(headers, fmt.Sprintf("%s=%d", xlabel, x))
+	}
+	t := &Table{Title: title, Headers: headers}
+	for _, n := range names {
+		cells := []string{n}
+		for _, p := range series[n] {
+			cells = append(cells, fmt.Sprintf("%.3fs", p.Overhead))
+		}
+		t.Add(cells...)
+	}
+	return t
+}
+
+// RenderSensitivity writes Figure 10/21's model-sensitivity table plus
+// the per-approach spread summary.
+func RenderSensitivity(w io.Writer, rows []experiments.SensitivityRow, dataset string) error {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 10/21 — model sensitivity on %s", dataset),
+		Headers: []string{"approach", "model", "acc", "DI*", "1-|TE|"},
+	}
+	for _, r := range rows {
+		t.Add(r.Approach, r.Model, F(r.Row.Correct.Accuracy),
+			F(r.Row.Fair.DIStar), F(r.Row.Fair.TE))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	st := &Table{
+		Title:   "Per-approach spread across models (pre varies, post stays flat)",
+		Headers: []string{"approach", "stage", "acc spread", "DI* spread"},
+	}
+	for _, s := range experiments.Spreads(rows) {
+		st.Add(s.Approach, s.Stage, F(s.AccSpread), F(s.DISpread))
+	}
+	fmt.Fprintln(w)
+	return st.Render(w)
+}
+
+// RenderStability writes Figure 22's mean±std stability table.
+func RenderStability(w io.Writer, rows []experiments.StabilityRow, runs int, dataset string) error {
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 22 — stability over %d random folds (%s)", runs, dataset),
+		Headers: []string{"approach", "stage", "acc mean±std", "DI* mean±std", "1-|TPRB| mean±std", "f1 mean±std"},
+	}
+	for _, r := range rows {
+		t.Add(r.Approach, r.Stage,
+			fmt.Sprintf("%.3f±%.3f", r.AccMean, r.AccStd),
+			fmt.Sprintf("%.3f±%.3f", r.DIMean, r.DIStd),
+			fmt.Sprintf("%.3f±%.3f", r.TPRBMean, r.TPRBStd),
+			fmt.Sprintf("%.3f±%.3f", r.F1Mean, r.F1Std))
+	}
+	return t.Render(w)
+}
+
+// RenderEfficiency writes Figure 23's accuracy-by-training-size and
+// DI*-by-training-size tables.
+func RenderEfficiency(w io.Writer, series map[string][]experiments.EfficiencyPoint, sizes []int, dataset string) error {
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	headers := []string{"approach"}
+	for _, s := range sizes {
+		headers = append(headers, fmt.Sprintf("acc@%d", s))
+	}
+	t := &Table{Title: fmt.Sprintf("Figure 23 — data efficiency on %s (accuracy by training size)", dataset), Headers: headers}
+	for _, name := range names {
+		cells := []string{name}
+		for _, p := range series[name] {
+			cells = append(cells, F(p.Row.Correct.Accuracy))
+		}
+		t.Add(cells...)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	t2 := &Table{Title: "Figure 23 — DI* by training size", Headers: headers}
+	for _, name := range names {
+		cells := []string{name}
+		for _, p := range series[name] {
+			cells = append(cells, F(p.Row.Fair.DIStar))
+		}
+		t2.Add(cells...)
+	}
+	fmt.Fprintln(w)
+	return t2.Render(w)
+}

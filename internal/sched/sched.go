@@ -90,8 +90,43 @@ type Options struct {
 	// Transports maps transport names to implementations, overlaying
 	// the built-ins ("local", "remote").
 	Transports map[string]Transport
+	// OnEvent, when non-nil, observes scheduling events as they happen:
+	// transport heartbeats, range completions and failures, and host
+	// exclusions. It is the seam a serving layer uses to export live
+	// per-host health without polling. Callbacks may arrive concurrently
+	// (heartbeats come from transport goroutines) and must return
+	// quickly — they run on the scheduler's hot paths.
+	OnEvent func(Event)
 	// Log receives progress lines; nil discards them.
 	Log io.Writer
+}
+
+// EventType classifies one scheduling event.
+type EventType string
+
+// The scheduling event kinds OnEvent observes.
+const (
+	// EventHeartbeat: the host's transport reported liveness evidence.
+	EventHeartbeat EventType = "heartbeat"
+	// EventCompleted: the host delivered a validated part for the range.
+	EventCompleted EventType = "completed"
+	// EventFailed: the host's attempt at the range failed (Err says why).
+	EventFailed EventType = "failed"
+	// EventExcluded: the host left the pool (repeated failures or a
+	// heartbeat lapse); its ranges move to survivors.
+	EventExcluded EventType = "excluded"
+)
+
+// Event is one observed scheduling transition (see Options.OnEvent).
+type Event struct {
+	Type EventType
+	// Host names the pool member the event concerns.
+	Host string
+	// Range is the plan position concerned (-1 when not range-scoped,
+	// e.g. exclusions).
+	Range int
+	// Err carries the failure message for EventFailed/EventExcluded.
+	Err string
 }
 
 // Report describes what a scheduled run actually did.
@@ -131,26 +166,41 @@ type Report struct {
 // the error names the ranges still missing and the directory remains
 // resumable — by Run, Resume, or dispatch.Resume.
 func Run(spec experiments.Spec, opts Options) (*experiments.Output, *Report, error) {
+	return RunContext(context.Background(), spec, opts)
+}
+
+// RunContext is Run under a cancellation context. Once ctx is done no new
+// assignment is placed, every in-flight attempt is cancelled (transports
+// kill their workers), and the call returns an error wrapping ctx.Err().
+// Delivered parts stay on disk and workers checkpoint through the result
+// cache, so a cancelled run resumes exactly like a crashed one.
+func RunContext(ctx context.Context, spec experiments.Spec, opts Options) (*experiments.Output, *Report, error) {
 	ns, err := spec.Normalize()
 	if err != nil {
 		return nil, nil, err
 	}
-	return run(ns, opts, false)
+	return run(ctx, ns, opts, false)
 }
 
 // Resume continues the run recorded in dir: the spec, plan, and cache
 // directory all come from the manifest.
 func Resume(dir string, opts Options) (*experiments.Output, *Report, error) {
+	return ResumeContext(context.Background(), dir, opts)
+}
+
+// ResumeContext is Resume under a cancellation context (see RunContext
+// for the cancellation semantics).
+func ResumeContext(ctx context.Context, dir string, opts Options) (*experiments.Output, *Report, error) {
 	m, err := dispatch.ReadManifest(filepath.Join(dir, dispatch.ManifestName))
 	if err != nil {
 		return nil, nil, fmt.Errorf("sched: %s: %w — nothing to resume (run sched first)", dir, err)
 	}
 	opts.Dir, opts.CacheDir = dir, m.CacheDir
-	return run(m.Spec, opts, true)
+	return run(ctx, m.Spec, opts, true)
 }
 
 // run is the shared plan → scan → serve/schedule → merge loop.
-func run(ns experiments.Spec, opts Options, resuming bool) (*experiments.Output, *Report, error) {
+func run(ctx context.Context, ns experiments.Spec, opts Options, resuming bool) (*experiments.Output, *Report, error) {
 	logf := func(format string, args ...any) {
 		if opts.Log != nil {
 			fmt.Fprintf(opts.Log, format+"\n", args...)
@@ -229,6 +279,9 @@ func run(ns experiments.Spec, opts Options, resuming bool) (*experiments.Output,
 	// (every cell a verified hit, so the envelope reports computed=0).
 	var work []int
 	for _, i := range pending {
+		if err := ctx.Err(); err != nil {
+			return nil, rep, fmt.Errorf("sched: cancelled — re-run sched with the same -dir to pick up: %w", err)
+		}
 		if uncached[i] > 0 {
 			work = append(work, i)
 			continue
@@ -253,7 +306,7 @@ func run(ns experiments.Spec, opts Options, resuming bool) (*experiments.Output,
 	// Schedule: place work ranges on hosts until everything is delivered
 	// or nothing eligible remains.
 	if len(work) > 0 {
-		schedule(pool, work, m, manifestPath, manifestBytes, opts, rep, logf)
+		schedule(ctx, pool, work, m, manifestPath, manifestBytes, opts, rep, logf)
 	}
 	for name := range rep.Completed {
 		sort.Ints(rep.Completed[name])
@@ -263,6 +316,12 @@ func run(ns experiments.Spec, opts Options, resuming bool) (*experiments.Output,
 		var idxs []string
 		for _, i := range rep.Failed {
 			idxs = append(idxs, strconv.Itoa(i))
+		}
+		// A cancelled run reports the cancellation itself (errors.Is-able)
+		// rather than a scheduling failure it never had.
+		if err := ctx.Err(); err != nil {
+			return nil, rep, fmt.Errorf("sched: cancelled with range(s) %s still missing — %d of %d range(s) completed; re-run sched with the same -dir to pick up: %w",
+				strings.Join(idxs, ", "), len(ranges)-len(rep.Failed), len(ranges), err)
 		}
 		return nil, rep, fmt.Errorf("sched: range(s) %s still missing — %d of %d range(s) completed; re-run sched with the same -dir (or `fairbench resume -dir %s`) to pick up from them",
 			strings.Join(idxs, ", "), len(ranges)-len(rep.Failed), len(ranges), opts.Dir)
@@ -471,7 +530,10 @@ type doneEvent struct {
 // schedule places the work ranges on the pool and drives them to
 // completion, reassigning around failed attempts, dead heartbeats, and
 // excluded hosts. Failures that exhaust every option land in rep.Failed.
-func schedule(pool []*hostState, work []int, m *dispatch.Manifest, manifestPath string,
+// A done ctx drains the loop: queued ranges fail immediately (resumable),
+// in-flight attempts are cancelled, and the loop returns once every
+// flight has reported.
+func schedule(ctx context.Context, pool []*hostState, work []int, m *dispatch.Manifest, manifestPath string,
 	manifestBytes []byte, opts Options, rep *Report, logf func(string, ...any)) {
 	queue := make([]*rangeState, len(work))
 	for i, idx := range work {
@@ -482,6 +544,11 @@ func schedule(pool []*hostState, work []int, m *dispatch.Manifest, manifestPath 
 	events := make(chan doneEvent, len(work)*len(pool)*(opts.Retries+1)+1)
 	inflight := map[int]*flight{}
 	nextID := 0
+	emit := func(ev Event) {
+		if opts.OnEvent != nil {
+			opts.OnEvent(ev)
+		}
+	}
 
 	checkEvery := opts.HeartbeatTimeout / 4
 	if checkEvery < 5*time.Millisecond {
@@ -515,17 +582,20 @@ func schedule(pool []*hostState, work []int, m *dispatch.Manifest, manifestPath 
 		pr.excluded[hs.Name] = true
 		pr.lastErr = err
 		logf("sched: host %s: range %d failed: %v", hs.Name, pr.idx, err)
+		emit(Event{Type: EventFailed, Host: hs.Name, Range: pr.idx, Err: err.Error()})
 		if hs.failures >= opts.MaxHostFailures && !hs.excluded {
 			hs.excluded = true
 			rep.Excluded = append(rep.Excluded, hs.Name)
 			logf("sched: excluding host %s after %d failure(s); reassigning its work to survivors", hs.Name, hs.failures)
+			emit(Event{Type: EventExcluded, Host: hs.Name, Range: -1,
+				Err: fmt.Sprintf("%d failed attempt(s)", hs.failures)})
 		}
 		queue = append(queue, pr)
 	}
 	launch := func(hs *hostState, pr *rangeState) {
 		id := nextID
 		nextID++
-		ctx, cancel := context.WithCancel(context.Background())
+		flctx, cancel := context.WithCancel(ctx)
 		fl := &flight{id: id, host: hs, rng: pr, cancel: cancel}
 		fl.lastBeat.Store(time.Now().UnixNano())
 		inflight[id] = fl
@@ -535,10 +605,14 @@ func schedule(pool []*hostState, work []int, m *dispatch.Manifest, manifestPath 
 		outTmp := fmt.Sprintf("%s.attempt-%d", partPath, id)
 		logf("sched: range %d → host %s (attempt %d)", pr.idx, hs.Name, pr.attempts)
 		go func() {
+			ctx := flctx
 			defer cancel()
 			err := hs.transport.Run(ctx, hs.Host, Assignment{
 				ManifestPath: manifestPath, Manifest: manifestBytes, Range: pr.idx, OutPath: outTmp,
-			}, func() { fl.lastBeat.Store(time.Now().UnixNano()) })
+			}, func() {
+				fl.lastBeat.Store(time.Now().UnixNano())
+				emit(Event{Type: EventHeartbeat, Host: hs.Name, Range: pr.idx})
+			})
 			if err == nil && ctx.Err() != nil {
 				// The scheduler abandoned this attempt (heartbeat lapse)
 				// and may already have reassigned — or merged — the
@@ -561,14 +635,22 @@ func schedule(pool []*hostState, work []int, m *dispatch.Manifest, manifestPath 
 		}()
 	}
 
+	ctxDone := ctx.Done()
 	for {
 		// Assign every queued range an eligible host with a free slot;
 		// ranges every live host has failed get their exclusions reset
-		// (one round) until the retry budget runs out.
+		// (one round) until the retry budget runs out. A done ctx stops
+		// launching: queued ranges drain straight to Failed (the
+		// directory stays resumable) while in-flight attempts wind down.
 		for progress := true; progress; {
 			progress = false
 			var still []*rangeState
 			for _, pr := range queue {
+				if ctx.Err() != nil {
+					rep.Failed = append(rep.Failed, pr.idx)
+					rep.Attempts[pr.idx] = pr.attempts
+					continue
+				}
 				if hs := pickHost(pr); hs != nil {
 					launch(hs, pr)
 					progress = true
@@ -611,11 +693,25 @@ func schedule(pool []*hostState, work []int, m *dispatch.Manifest, manifestPath 
 			delete(inflight, ev.id)
 			fl.host.inflight--
 			if ev.err != nil {
+				if ctx.Err() != nil {
+					// Cancelled, not a host's fault: no strike, no
+					// exclusion — record the range as missing and drain.
+					fl.rng.lastErr = ev.err
+					rep.Failed = append(rep.Failed, fl.rng.idx)
+					rep.Attempts[fl.rng.idx] = fl.rng.attempts
+					break
+				}
 				fail(fl.host, fl.rng, ev.err)
 				break
 			}
 			rep.Completed[fl.host.Name] = append(rep.Completed[fl.host.Name], fl.rng.idx)
 			rep.Attempts[fl.rng.idx] = fl.rng.attempts
+			emit(Event{Type: EventCompleted, Host: fl.host.Name, Range: fl.rng.idx})
+		case <-ctxDone:
+			ctxDone = nil
+			for _, fl := range inflight {
+				fl.cancel()
+			}
 		case <-ticker.C:
 			deadline := time.Now().Add(-opts.HeartbeatTimeout).UnixNano()
 			for id, fl := range inflight {
@@ -633,6 +729,8 @@ func schedule(pool []*hostState, work []int, m *dispatch.Manifest, manifestPath 
 					fl.host.excluded = true
 					rep.Excluded = append(rep.Excluded, fl.host.Name)
 					logf("sched: excluding host %s: no heartbeat for %s", fl.host.Name, opts.HeartbeatTimeout)
+					emit(Event{Type: EventExcluded, Host: fl.host.Name, Range: fl.rng.idx,
+						Err: fmt.Sprintf("no heartbeat for %s", opts.HeartbeatTimeout)})
 				}
 				fail(fl.host, fl.rng, fmt.Errorf("no heartbeat from host %s for %s — declared dead", fl.host.Name, opts.HeartbeatTimeout))
 			}

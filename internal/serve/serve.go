@@ -1,0 +1,815 @@
+// Package serve turns the execution engine into benchmark-as-a-service:
+// a persistent HTTP/JSON daemon that accepts grid specs, executes them
+// on the engine's backends, and serves results to many concurrent
+// clients. It is the layer that makes the stack's guarantees —
+// byte-identical merges, fingerprint-keyed caching, resumable
+// directories — hold for traffic instead of one-shot CLI invocations.
+//
+// The HTTP surface:
+//
+//	POST /runs              submit a GridSpec; returns a run handle
+//	GET  /runs              list known runs
+//	GET  /runs/{id}         status snapshot (state, progress, cell split)
+//	GET  /runs/{id}/stream  chunked JSON: partial rows as shards land
+//	GET  /runs/{id}/table   the rendered tables (byte-identical to CLI)
+//	GET  /metrics           Prometheus text: runs, cells, store, hosts
+//	GET  /healthz           liveness
+//
+// Server-side semantics:
+//
+//   - one computation per grid: a run's id is a prefix of its grid
+//     fingerprint, so concurrent submissions of the same grid dedupe
+//     onto one executing run with many waiters;
+//   - warm serving: a fully-cached grid is materialized from the
+//     result store by the daemon itself — computed=0, no worker
+//     subprocess, no host;
+//   - admission control: when MaxConcurrent runs are executing, new
+//     grids are rejected with 429 and a Retry-After hint rather than
+//     queued without bound;
+//   - graceful drain: Drain stops admission and cancels in-flight runs;
+//     because every run lives in a manifest-backed directory under
+//     StateDir, a drained (or killed) daemon's runs resume on restart
+//     via ResumeInterrupted and still merge byte-identical to serial.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fairbench/internal/dispatch"
+	"fairbench/internal/engine"
+	"fairbench/internal/experiments"
+	"fairbench/internal/report"
+	"fairbench/internal/sched"
+	"fairbench/internal/shard"
+	"fairbench/internal/store"
+)
+
+// Config configures a Server. StateDir is required; everything else
+// has serviceable defaults.
+type Config struct {
+	// StateDir is the daemon's root: each run gets a resumable
+	// manifest-backed subdirectory StateDir/<id>. Created if missing.
+	StateDir string
+	// CacheDir, when set, is the shared result store: runs serve
+	// already-computed cells from it and fully-cached grids never
+	// reach a worker.
+	CacheDir string
+	// MaxConcurrent caps concurrently executing runs; submissions
+	// beyond it are rejected with 429. Default 1 (each run already
+	// parallelizes across the worker pool).
+	MaxConcurrent int
+	// Shards, Procs, Retries configure the engine per run (see
+	// engine.RunOptions).
+	Shards, Procs, Retries int
+	// Hosts, when non-empty, makes runs execute on the sched backend
+	// across this pool; otherwise runs use subprocess dispatch.
+	Hosts []sched.Host
+	// HeartbeatTimeout and MaxHostFailures tune sched failure handling.
+	HeartbeatTimeout time.Duration
+	MaxHostFailures  int
+	// Transports overlays sched's transport registry (tests).
+	Transports map[string]sched.Transport
+	// Spawn overrides worker subprocess creation (tests).
+	Spawn dispatch.SpawnFunc
+	// StreamInterval is how often /runs/{id}/stream polls for newly
+	// landed shards. Default 100ms.
+	StreamInterval time.Duration
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// runState is the lifecycle of one run.
+type runState string
+
+const (
+	stateRunning runState = "running"
+	stateDone    runState = "done"
+	stateFailed  runState = "failed"
+)
+
+// run is one deduplicated grid computation and its result.
+type run struct {
+	id   string
+	dir  string
+	spec experiments.Spec
+
+	mu       sync.Mutex
+	state    runState
+	errMsg   string
+	output   *experiments.Output
+	report   *engine.Report
+	started  time.Time
+	finished time.Time
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// hostHealth aggregates sched events for one pool member.
+type hostHealth struct {
+	lastBeat  time.Time
+	completed int64
+	failed    int64
+	excluded  bool
+}
+
+// Server is the benchmark-as-a-service daemon state. Create with New,
+// mount Handler on an http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg Config
+	eng *engine.Engine
+
+	mu       sync.Mutex
+	runs     map[string]*run
+	active   int
+	draining bool
+	hosts    map[string]*hostHealth
+	counters struct {
+		submitted, deduped, completed, failed, resumed int64
+		cellsComputed, cellsCached                     int64
+	}
+
+	wg         sync.WaitGroup
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+// New builds a Server over cfg, creating StateDir if needed. Call
+// ResumeInterrupted afterwards to pick up runs a previous daemon left
+// unfinished.
+func New(cfg Config) (*Server, error) {
+	if cfg.StateDir == "" {
+		return nil, fmt.Errorf("serve: Config.StateDir is required")
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, err
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 1
+	}
+	if cfg.StreamInterval <= 0 {
+		cfg.StreamInterval = 100 * time.Millisecond
+	}
+	s := &Server{
+		cfg:  cfg,
+		runs: map[string]*run{},
+	}
+	s.hosts = map[string]*hostHealth{}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.eng = engine.New(engine.RunOptions{
+		Shards:           cfg.Shards,
+		Procs:            cfg.Procs,
+		Retries:          cfg.Retries,
+		CacheDir:         cfg.CacheDir,
+		Hosts:            cfg.Hosts,
+		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		MaxHostFailures:  cfg.MaxHostFailures,
+		Transports:       cfg.Transports,
+		Spawn:            cfg.Spawn,
+		OnEvent:          s.onSchedEvent,
+		Log:              cfg.Log,
+	})
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, format+"\n", args...)
+	}
+}
+
+// onSchedEvent feeds /metrics per-host health from the scheduler's
+// event stream. Called concurrently from scheduler goroutines.
+func (s *Server) onSchedEvent(ev sched.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.hosts[ev.Host]
+	if h == nil {
+		h = &hostHealth{}
+		s.hosts[ev.Host] = h
+	}
+	switch ev.Type {
+	case sched.EventHeartbeat:
+		h.lastBeat = time.Now()
+	case sched.EventCompleted:
+		h.completed++
+	case sched.EventFailed:
+		h.failed++
+	case sched.EventExcluded:
+		h.excluded = true
+	}
+}
+
+// RunID returns the run id the spec's grid dedupes onto: a prefix of
+// the grid fingerprint, so identical grids collide by construction.
+func RunID(spec experiments.Spec) (string, error) {
+	g, err := experiments.Open(spec)
+	if err != nil {
+		return "", err
+	}
+	fp, err := g.Fingerprint()
+	if err != nil {
+		return "", err
+	}
+	return fp[:16], nil
+}
+
+const (
+	specFileName   = "spec.json"
+	outputFileName = "output.json"
+	reportFileName = "report.json"
+)
+
+// ResumeInterrupted scans StateDir for runs a previous daemon left
+// behind: completed runs (an output.json) are registered as done, and
+// unfinished manifest-backed runs are relaunched through the engine's
+// resume path. Returns how many runs were relaunched.
+func (s *Server) ResumeInterrupted() (int, error) {
+	entries, err := os.ReadDir(s.cfg.StateDir)
+	if err != nil {
+		return 0, err
+	}
+	resumed := 0
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		id := ent.Name()
+		dir := filepath.Join(s.cfg.StateDir, id)
+		spec, err := readSpec(dir)
+		if err != nil {
+			s.logf("serve: skipping %s: %v", dir, err)
+			continue
+		}
+		r := &run{id: id, dir: dir, spec: spec, done: make(chan struct{}), started: time.Now()}
+		if data, err := os.ReadFile(filepath.Join(dir, outputFileName)); err == nil {
+			var out experiments.Output
+			if json.Unmarshal(data, &out) == nil {
+				r.state = stateDone
+				r.output = &out
+				r.report = readReport(dir)
+				r.finished = time.Now()
+				close(r.done)
+				s.mu.Lock()
+				s.runs[id] = r
+				s.mu.Unlock()
+				continue
+			}
+		}
+		if _, err := os.Stat(filepath.Join(dir, dispatch.ManifestName)); err != nil {
+			// Admitted but never planned (killed pre-manifest): run fresh.
+			s.launch(r, false)
+		} else {
+			s.launch(r, true)
+		}
+		resumed++
+		s.counters.resumed++
+		s.logf("serve: resuming interrupted run %s (%s/%s)", id, spec.Experiment, spec.Dataset)
+	}
+	return resumed, nil
+}
+
+// readSpec recovers a run's grid spec from its directory: the
+// spec.json the server wrote at admission, else the manifest.
+func readSpec(dir string) (experiments.Spec, error) {
+	if data, err := os.ReadFile(filepath.Join(dir, specFileName)); err == nil {
+		var spec experiments.Spec
+		if err := json.Unmarshal(data, &spec); err == nil {
+			return spec, nil
+		}
+	}
+	m, err := dispatch.ReadManifest(filepath.Join(dir, dispatch.ManifestName))
+	if err != nil {
+		return experiments.Spec{}, fmt.Errorf("no readable spec.json or manifest")
+	}
+	return m.Spec, nil
+}
+
+func readReport(dir string) *engine.Report {
+	data, err := os.ReadFile(filepath.Join(dir, reportFileName))
+	if err != nil {
+		return nil
+	}
+	var rep engine.Report
+	if json.Unmarshal(data, &rep) != nil {
+		return nil
+	}
+	return &rep
+}
+
+// launch registers and starts (or resumes) a run's computation on the
+// engine. Caller must not hold s.mu.
+func (s *Server) launch(r *run, resume bool) {
+	s.mu.Lock()
+	s.registerLocked(r)
+	s.mu.Unlock()
+	s.start(r, resume)
+}
+
+// registerLocked publishes a run as executing and takes its admission
+// slot; s.mu must be held. Registering under the same lock hold as the
+// admitLocked check keeps a burst of distinct grids from over-admitting
+// past MaxConcurrent.
+func (s *Server) registerLocked(r *run) {
+	r.state = stateRunning
+	s.runs[r.id] = r
+	s.active++
+}
+
+// start runs a registered run's computation; pair with registerLocked.
+func (s *Server) start(r *run, resume bool) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	r.cancel = cancel
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		var (
+			out *experiments.Output
+			rep *engine.Report
+			err error
+		)
+		if resume {
+			out, rep, err = s.eng.ResumeRun(ctx, r.dir, engine.RunOptions{})
+		} else {
+			out, rep, err = s.eng.Run(ctx, r.spec, engine.RunOptions{Dir: r.dir})
+		}
+		s.finish(r, out, rep, err)
+	}()
+}
+
+// finish records a run's outcome and persists the output so a restart
+// serves it without recomputation.
+func (s *Server) finish(r *run, out *experiments.Output, rep *engine.Report, err error) {
+	r.mu.Lock()
+	r.finished = time.Now()
+	r.report = rep
+	if err != nil {
+		r.state = stateFailed
+		r.errMsg = err.Error()
+	} else {
+		r.state = stateDone
+		r.output = out
+		if data, merr := json.Marshal(out); merr == nil {
+			if werr := store.WriteFileAtomic(filepath.Join(r.dir, outputFileName), data); werr != nil {
+				s.logf("serve: run %s: persisting output: %v", r.id, werr)
+			}
+		}
+		if rep != nil {
+			if data, merr := json.Marshal(rep); merr == nil {
+				if werr := store.WriteFileAtomic(filepath.Join(r.dir, reportFileName), data); werr != nil {
+					s.logf("serve: run %s: persisting report: %v", r.id, werr)
+				}
+			}
+		}
+	}
+	r.mu.Unlock()
+	s.mu.Lock()
+	s.active--
+	if err != nil {
+		s.counters.failed++
+	} else {
+		s.counters.completed++
+		if rep != nil {
+			s.counters.cellsComputed += int64(rep.CellsComputed)
+			s.counters.cellsCached += int64(rep.CellsCached)
+		}
+	}
+	s.mu.Unlock()
+	close(r.done)
+	if err != nil {
+		s.logf("serve: run %s failed: %v", r.id, err)
+	} else if rep != nil && rep.ServedFromCache {
+		s.logf("serve: run %s done: fully cached, computed=0 cached=%d", r.id, rep.CellsCached)
+	} else if rep != nil {
+		s.logf("serve: run %s done: computed=%d cached=%d", r.id, rep.CellsComputed, rep.CellsCached)
+	}
+}
+
+// Drain stops admitting new runs and cancels in-flight ones; their
+// directories checkpoint (completed parts and cached cells survive),
+// so they resume on the next daemon start. Blocks until every run
+// goroutine has wound down or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.baseCancel()
+	finished := make(chan struct{})
+	go func() { s.wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain timed out: %w", ctx.Err())
+	}
+}
+
+// Handler mounts the HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /runs", s.handleSubmit)
+	mux.HandleFunc("GET /runs", s.handleList)
+	mux.HandleFunc("GET /runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /runs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /runs/{id}/table", s.handleTable)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// runStatus is the wire shape of one run's status.
+type runStatus struct {
+	ID          string `json:"id"`
+	Status      string `json:"status"`
+	Error       string `json:"error,omitempty"`
+	Experiment  string `json:"experiment"`
+	Dataset     string `json:"dataset,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Backend     string `json:"backend,omitempty"`
+	// Deduped marks a submission that attached to an existing run
+	// instead of starting a computation.
+	Deduped bool `json:"deduped,omitempty"`
+	// PartsDone/PartsTotal track shard envelopes landed in the run
+	// directory (0/0 until the plan is written, and for cache-served
+	// runs, which never materialize parts).
+	PartsDone  int `json:"partsDone"`
+	PartsTotal int `json:"partsTotal"`
+	// CellsComputed/CellsCached split the grid by who did the work;
+	// ServedFromCache marks a run the store answered entirely.
+	CellsComputed   int  `json:"cellsComputed"`
+	CellsCached     int  `json:"cellsCached"`
+	ServedFromCache bool `json:"servedFromCache,omitempty"`
+}
+
+func (s *Server) statusOf(r *run, deduped bool) runStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := runStatus{
+		ID:         r.id,
+		Status:     string(r.state),
+		Error:      r.errMsg,
+		Experiment: r.spec.Experiment,
+		Dataset:    r.spec.Dataset,
+		Deduped:    deduped,
+	}
+	if r.report != nil {
+		st.Fingerprint = r.report.Fingerprint
+		st.Backend = string(r.report.Backend)
+		st.CellsComputed = r.report.CellsComputed
+		st.CellsCached = r.report.CellsCached
+		st.ServedFromCache = r.report.ServedFromCache
+	}
+	if m, err := dispatch.ReadManifest(filepath.Join(r.dir, dispatch.ManifestName)); err == nil {
+		st.PartsTotal = m.Shards
+		for i := 0; i < m.Shards; i++ {
+			if _, err := os.Stat(filepath.Join(r.dir, dispatch.PartName(i))); err == nil {
+				st.PartsDone++
+			}
+		}
+	}
+	return st
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit admits a grid: dedupe onto an executing or completed
+// run, reject when saturated or draining, otherwise start a fresh
+// computation in its own resumable directory.
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var spec experiments.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding grid spec: %v", err)
+		return
+	}
+	id, err := RunID(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid grid spec: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.counters.submitted++
+	if r, ok := s.runs[id]; ok {
+		r.mu.Lock()
+		state := r.state
+		r.mu.Unlock()
+		if state == stateRunning || state == stateDone {
+			// The dedupe path: same fingerprint, one computation,
+			// this client becomes another waiter.
+			s.counters.deduped++
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, s.statusOf(r, true))
+			return
+		}
+		// A failed run: admit a retry through the resume path so
+		// completed parts and cached cells are reused.
+		if code, retryAfter, msg := s.admitLocked(); code != 0 {
+			s.mu.Unlock()
+			w.Header().Set("Retry-After", retryAfter)
+			writeError(w, code, "%s", msg)
+			return
+		}
+		fresh := &run{id: id, dir: r.dir, spec: spec, done: make(chan struct{}), started: time.Now()}
+		s.registerLocked(fresh)
+		s.mu.Unlock()
+		s.start(fresh, true)
+		s.logf("serve: run %s resubmitted after failure (%s/%s)", id, spec.Experiment, spec.Dataset)
+		writeJSON(w, http.StatusAccepted, s.statusOf(fresh, false))
+		return
+	}
+	if code, retryAfter, msg := s.admitLocked(); code != 0 {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", retryAfter)
+		writeError(w, code, "%s", msg)
+		return
+	}
+	// Reserve the id and the admission slot before releasing the lock:
+	// a concurrent identical submission dedupes onto this run instead of
+	// racing it, and a concurrent distinct grid sees the slot taken.
+	r := &run{id: id, dir: filepath.Join(s.cfg.StateDir, id), spec: spec,
+		done: make(chan struct{}), started: time.Now()}
+	s.registerLocked(r)
+	s.mu.Unlock()
+
+	if err := os.MkdirAll(r.dir, 0o755); err != nil {
+		s.mu.Lock()
+		delete(s.runs, id)
+		s.active--
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, "creating run dir: %v", err)
+		return
+	}
+	if data, err := json.Marshal(spec); err == nil {
+		if werr := store.WriteFileAtomic(filepath.Join(r.dir, specFileName), data); werr != nil {
+			s.logf("serve: run %s: persisting spec: %v", id, werr)
+		}
+	}
+	s.start(r, false)
+	s.logf("serve: run %s admitted (%s/%s)", id, spec.Experiment, spec.Dataset)
+	writeJSON(w, http.StatusAccepted, s.statusOf(r, false))
+}
+
+// admitLocked applies admission control; s.mu must be held. A zero
+// code admits; otherwise reply with the code and Retry-After hint.
+func (s *Server) admitLocked() (code int, retryAfter, msg string) {
+	if s.draining {
+		return http.StatusServiceUnavailable, "10", "draining: not admitting new runs"
+	}
+	if s.active >= s.cfg.MaxConcurrent {
+		return http.StatusTooManyRequests, "1",
+			fmt.Sprintf("worker pool saturated: %d of %d run slots busy", s.active, s.cfg.MaxConcurrent)
+	}
+	return 0, "", ""
+}
+
+func (s *Server) lookup(req *http.Request) (*run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[req.PathValue("id")]
+	return r, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	runs := make([]*run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	sort.Slice(runs, func(i, j int) bool { return runs[i].started.Before(runs[j].started) })
+	statuses := make([]runStatus, len(runs))
+	for i, r := range runs {
+		statuses[i] = s.statusOf(r, false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": statuses})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookup(req)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q", req.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statusOf(r, false))
+}
+
+// streamEvent is one line of the /runs/{id}/stream chunked response.
+type streamEvent struct {
+	Type string `json:"type"` // "shard" | "done" | "failed"
+	// Shard fields (Type "shard"): plan position and its validated rows.
+	Shard  int               `json:"shard,omitempty"`
+	Shards int               `json:"shards,omitempty"`
+	Cells  []int             `json:"cells,omitempty"`
+	Rows   []json.RawMessage `json:"rows,omitempty"`
+	// Terminal fields: the final status snapshot.
+	Status *runStatus `json:"status,omitempty"`
+}
+
+// handleStream writes chunked JSON lines: one "shard" event per part
+// envelope as it lands (validated against the manifest — forged or
+// torn parts are never streamed), then a terminal "done"/"failed"
+// event. Clients consuming partial rows see exactly the rows the merge
+// will contain, as shards complete.
+func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookup(req)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q", req.PathValue("id"))
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+
+	seen := map[int]bool{}
+	emitLanded := func() {
+		m, err := dispatch.ReadManifest(filepath.Join(r.dir, dispatch.ManifestName))
+		if err != nil {
+			return
+		}
+		for i := 0; i < m.Shards; i++ {
+			if seen[i] {
+				continue
+			}
+			path := filepath.Join(r.dir, dispatch.PartName(i))
+			if dispatch.ValidatePart(path, m, i) != nil {
+				continue
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				continue
+			}
+			env, err := shard.Decode(data)
+			if err != nil {
+				continue
+			}
+			seen[i] = true
+			enc.Encode(streamEvent{Type: "shard", Shard: i, Shards: m.Shards,
+				Cells: env.Indices, Rows: env.Rows})
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+
+	ticker := time.NewTicker(s.cfg.StreamInterval)
+	defer ticker.Stop()
+	for {
+		emitLanded()
+		select {
+		case <-r.done:
+			emitLanded()
+			st := s.statusOf(r, false)
+			typ := "done"
+			if st.Status == string(stateFailed) {
+				typ = "failed"
+			}
+			enc.Encode(streamEvent{Type: typ, Status: &st})
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		case <-req.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// handleTable renders the completed run's tables — the exact bytes the
+// CLI's renderer prints for the same merged output.
+func (s *Server) handleTable(w http.ResponseWriter, req *http.Request) {
+	r, ok := s.lookup(req)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q", req.PathValue("id"))
+		return
+	}
+	r.mu.Lock()
+	state, out, errMsg := r.state, r.output, r.errMsg
+	r.mu.Unlock()
+	switch state {
+	case stateRunning:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "run %s still executing", r.id)
+	case stateFailed:
+		writeError(w, http.StatusConflict, "run %s failed: %s", r.id, errMsg)
+	default:
+		var buf strings.Builder
+		if err := report.RenderOutput(&buf, out); err != nil {
+			writeError(w, http.StatusInternalServerError, "rendering: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, buf.String())
+	}
+}
+
+// handleMetrics hand-rolls the Prometheus text exposition format: run
+// counters and queue state, the grid-cell cache split (the store's
+// effective hit rate over served work), on-disk store usage, and
+// per-host health from the scheduler's event stream.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	c := s.counters
+	active, slots := s.active, s.cfg.MaxConcurrent
+	draining := 0
+	if s.draining {
+		draining = 1
+	}
+	type hostRow struct {
+		name string
+		h    hostHealth
+	}
+	hostRows := make([]hostRow, 0, len(s.hosts))
+	for name, h := range s.hosts {
+		hostRows = append(hostRows, hostRow{name, *h})
+	}
+	s.mu.Unlock()
+	sort.Slice(hostRows, func(i, j int) bool { return hostRows[i].name < hostRows[j].name })
+
+	var b strings.Builder
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("fairbench_runs_submitted_total", "Grid submissions accepted for consideration.", c.submitted)
+	counter("fairbench_runs_deduped_total", "Submissions answered by an existing run of the same grid fingerprint.", c.deduped)
+	counter("fairbench_runs_resumed_total", "Interrupted runs relaunched at daemon start.", c.resumed)
+	counter("fairbench_runs_completed_total", "Runs finished successfully.", c.completed)
+	counter("fairbench_runs_failed_total", "Runs that ended in error (resubmittable).", c.failed)
+	counter("fairbench_cells_computed_total", "Grid cells computed by workers across completed runs.", c.cellsComputed)
+	counter("fairbench_cells_cached_total", "Grid cells served from the result store across completed runs.", c.cellsCached)
+	gauge("fairbench_runs_active", "Runs currently executing.", active)
+	gauge("fairbench_run_slots", "Admission limit on concurrently executing runs.", slots)
+	gauge("fairbench_queue_depth", "Submissions executing or waiting (admission rejects beyond the slots, so this equals active runs).", active)
+	gauge("fairbench_draining", "1 while the daemon is draining for shutdown.", draining)
+	if s.cfg.CacheDir != "" {
+		if st, err := store.Open(s.cfg.CacheDir); err == nil {
+			if stats, err := st.Stats(); err == nil {
+				gauge("fairbench_store_entries", "Result-store entries on disk.", stats.Entries)
+				gauge("fairbench_store_bytes", "Result-store bytes on disk.", stats.Bytes)
+				gauge("fairbench_store_grids", "Distinct grid fingerprints in the result store.", stats.Fingerprints)
+			}
+		}
+	}
+	for _, hr := range hostRows {
+		up := 1
+		if hr.h.excluded {
+			up = 0
+		}
+		fmt.Fprintf(&b, "fairbench_host_up{host=%q} %d\n", hr.name, up)
+		fmt.Fprintf(&b, "fairbench_host_ranges_completed_total{host=%q} %d\n", hr.name, hr.h.completed)
+		fmt.Fprintf(&b, "fairbench_host_attempts_failed_total{host=%q} %d\n", hr.name, hr.h.failed)
+		if !hr.h.lastBeat.IsZero() {
+			fmt.Fprintf(&b, "fairbench_host_heartbeat_age_seconds{host=%q} %.3f\n", hr.name, time.Since(hr.h.lastBeat).Seconds())
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, b.String())
+}
+
+// WaitRun blocks until the run with id reaches a terminal state or ctx
+// expires — a convenience for embedders and tests; HTTP clients poll
+// GET /runs/{id} or consume /stream instead.
+func (s *Server) WaitRun(ctx context.Context, id string) error {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("serve: no run %q", id)
+	}
+	select {
+	case <-r.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

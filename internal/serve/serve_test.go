@@ -1,0 +1,540 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fairbench/internal/dispatch"
+	"fairbench/internal/experiments"
+	"fairbench/internal/report"
+)
+
+// TestMain doubles as the worker subprocess body — the re-exec pattern
+// the dispatch/sched/engine tests share. With FAIRBENCH_WORKER_DELAY_MS
+// in its environment the worker pauses first, which is how tests hold a
+// run open to observe saturation, streaming, and drain mid-run.
+func TestMain(m *testing.M) {
+	switch os.Getenv("FAIRBENCH_TEST_HELPER") {
+	case "":
+		os.Exit(m.Run())
+	case "worker":
+		idx, err := strconv.Atoi(os.Getenv("HELPER_SHARD"))
+		if err == nil {
+			err = dispatch.Worker(os.Getenv("HELPER_MANIFEST"), idx, os.Getenv("HELPER_OUT"))
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(2)
+}
+
+func helperSpawn(extraEnv ...string) dispatch.SpawnFunc {
+	return func(manifestPath string, shard int, outPath string) (*exec.Cmd, error) {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(),
+			"FAIRBENCH_TEST_HELPER=worker",
+			"HELPER_MANIFEST="+manifestPath,
+			"HELPER_SHARD="+strconv.Itoa(shard),
+			"HELPER_OUT="+outPath,
+		)
+		cmd.Env = append(cmd.Env, extraEnv...)
+		return cmd, nil
+	}
+}
+
+func countingSpawn(n *atomic.Int64, extraEnv ...string) dispatch.SpawnFunc {
+	inner := helperSpawn(extraEnv...)
+	return func(manifestPath string, shard int, outPath string) (*exec.Cmd, error) {
+		n.Add(1)
+		return inner(manifestPath, shard, outPath)
+	}
+}
+
+// smallSpec's fig23 grid has 4 cells and renders with no timing
+// columns, so the served table is comparable byte-for-byte to a serial
+// rendering of the same spec.
+func smallSpec() experiments.Spec {
+	return experiments.Spec{Experiment: "fig23", Dataset: "compas", N: 300, Seed: 6,
+		Sizes: []int{60, 120}, Names: []string{"LR", "KamCal-DP"}}
+}
+
+// serialTable renders the spec's grid the way the serial CLI would —
+// the reference the daemon's /table output must reproduce exactly.
+func serialTable(t *testing.T, spec experiments.Spec) string {
+	t.Helper()
+	g, err := experiments.Open(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := g.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := report.RenderOutput(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// newServer builds a Server with test defaults and mounts it on an
+// httptest listener.
+func newServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.StateDir == "" {
+		cfg.StateDir = t.TempDir()
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 2
+	}
+	if cfg.Procs == 0 {
+		cfg.Procs = 2
+	}
+	if cfg.StreamInterval == 0 {
+		cfg.StreamInterval = 20 * time.Millisecond
+	}
+	if cfg.Spawn == nil {
+		cfg.Spawn = helperSpawn()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postSpec(t *testing.T, ts *httptest.Server, spec experiments.Spec) (int, runStatus, http.Header) {
+	t.Helper()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/runs", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st runStatus
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, st, resp.Header
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func waitDone(t *testing.T, s *Server, id string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.WaitRun(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubmitPollTable is the service's happy path: submit a grid, poll
+// it to completion, and require the rendered table to be byte-identical
+// to the serial CLI rendering of the same spec.
+func TestSubmitPollTable(t *testing.T) {
+	spec := smallSpec()
+	want := serialTable(t, spec)
+	s, ts := newServer(t, Config{CacheDir: t.TempDir()})
+
+	code, st, _ := postSpec(t, ts, spec)
+	if code != http.StatusAccepted || st.Status != string(stateRunning) || st.Deduped {
+		t.Fatalf("submit: code %d status %+v", code, st)
+	}
+	waitDone(t, s, st.ID)
+
+	code, body, _ := get(t, ts.URL+"/runs/"+st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("status: code %d body %s", code, body)
+	}
+	var done runStatus
+	if err := json.Unmarshal([]byte(body), &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != string(stateDone) || done.CellsComputed != 4 ||
+		done.PartsDone != 2 || done.PartsTotal != 2 ||
+		done.Backend != "dispatch" || done.Fingerprint == "" {
+		t.Fatalf("final status %+v", done)
+	}
+
+	code, table, hdr := get(t, ts.URL+"/runs/"+st.ID+"/table")
+	if code != http.StatusOK || !strings.HasPrefix(hdr.Get("Content-Type"), "text/plain") {
+		t.Fatalf("table: code %d type %q", code, hdr.Get("Content-Type"))
+	}
+	if table != want {
+		t.Fatalf("served table diverges from serial rendering:\n--- served ---\n%s--- serial ---\n%s", table, want)
+	}
+}
+
+// TestConcurrentDuplicateSubmitsOneComputation: many clients submit the
+// same grid at once; exactly one submission starts a computation, the
+// rest dedupe onto it, and the worker spawn count proves the grid was
+// executed once.
+func TestConcurrentDuplicateSubmitsOneComputation(t *testing.T) {
+	spec := smallSpec()
+	var spawns atomic.Int64
+	s, ts := newServer(t, Config{Spawn: countingSpawn(&spawns)})
+
+	const clients = 8
+	codes := make([]int, clients)
+	statuses := make([]runStatus, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], statuses[i], _ = postSpec(t, ts, spec)
+		}(i)
+	}
+	wg.Wait()
+
+	accepted, deduped := 0, 0
+	id := ""
+	for i, code := range codes {
+		switch code {
+		case http.StatusAccepted:
+			accepted++
+			id = statuses[i].ID
+		case http.StatusOK:
+			deduped++
+			if !statuses[i].Deduped {
+				t.Fatalf("200 response without deduped flag: %+v", statuses[i])
+			}
+		default:
+			t.Fatalf("unexpected submit code %d", code)
+		}
+	}
+	if accepted != 1 || deduped != clients-1 {
+		t.Fatalf("accepted %d deduped %d, want 1 and %d", accepted, deduped, clients-1)
+	}
+	waitDone(t, s, id)
+	if n := spawns.Load(); n != 2 {
+		t.Fatalf("%d worker spawns for %d duplicate submissions, want 2 (one per shard, one computation)", n, clients)
+	}
+
+	_, table, _ := get(t, ts.URL+"/runs/"+id+"/table")
+	if table != serialTable(t, spec) {
+		t.Fatal("deduped run's table diverges from serial rendering")
+	}
+	_, metrics, _ := get(t, ts.URL+"/metrics")
+	if !strings.Contains(metrics, fmt.Sprintf("fairbench_runs_deduped_total %d", clients-1)) {
+		t.Fatalf("metrics missing dedupe count:\n%s", metrics)
+	}
+}
+
+// TestSaturationReturns429: with one run slot held by delayed workers, a
+// distinct grid is rejected with 429 + Retry-After instead of queueing;
+// after drain begins, submissions get 503.
+func TestSaturationReturns429(t *testing.T) {
+	s, ts := newServer(t, Config{
+		MaxConcurrent: 1,
+		Spawn:         helperSpawn("FAIRBENCH_WORKER_DELAY_MS=20000"),
+	})
+	code, st, _ := postSpec(t, ts, smallSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: code %d", code)
+	}
+
+	other := smallSpec()
+	other.Seed = 7 // distinct grid: no dedupe, needs its own slot
+	code, _, hdr := postSpec(t, ts, other)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: code %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	code, _, hdr = postSpec(t, ts, other)
+	if code != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("draining submit: code %d Retry-After %q, want 503 with hint", code, hdr.Get("Retry-After"))
+	}
+	// The interrupted run is failed but resubmittable once slots free;
+	// here we only assert its terminal state is visible.
+	_, body, _ := get(t, ts.URL+"/runs/"+st.ID)
+	if !strings.Contains(body, string(stateFailed)) {
+		t.Fatalf("drained run status: %s", body)
+	}
+}
+
+// TestDrainResumeMatchesSerial is the graceful-shutdown guarantee end to
+// end: drain a daemon mid-run, start a new one over the same state dir,
+// let ResumeInterrupted pick the run up, and require the final table to
+// be byte-identical to serial.
+func TestDrainResumeMatchesSerial(t *testing.T) {
+	spec := smallSpec()
+	state := t.TempDir()
+	s1, ts1 := newServer(t, Config{
+		StateDir: state,
+		Spawn:    helperSpawn("FAIRBENCH_WORKER_DELAY_MS=20000"),
+	})
+	code, st, _ := postSpec(t, ts1, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code %d", code)
+	}
+	// Wait for the run's plan to exist so the drain interrupts genuinely
+	// started work (workers are holding the run open for 20s).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, body, _ := get(t, ts1.URL+"/runs/"+st.ID)
+		var cur runStatus
+		if err := json.Unmarshal([]byte(body), &cur); err == nil && cur.PartsTotal > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("manifest never appeared")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	s2, ts2 := newServer(t, Config{StateDir: state})
+	resumed, err := s2.ResumeInterrupted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 1 {
+		t.Fatalf("resumed %d runs, want 1", resumed)
+	}
+	waitDone(t, s2, st.ID)
+	code, table, _ := get(t, ts2.URL+"/runs/"+st.ID+"/table")
+	if code != http.StatusOK {
+		t.Fatalf("table after resume: code %d body %s", code, table)
+	}
+	if table != serialTable(t, spec) {
+		t.Fatal("resumed run's table diverges from serial rendering")
+	}
+	_, metrics, _ := get(t, ts2.URL+"/metrics")
+	if !strings.Contains(metrics, "fairbench_runs_resumed_total 1") {
+		t.Fatalf("metrics missing resume count:\n%s", metrics)
+	}
+}
+
+// TestRestartServesCompletedRunWithoutRecompute: a completed run's
+// output survives a daemon restart — the new daemon registers it done
+// and serves its table with no computation at all.
+func TestRestartServesCompletedRunWithoutRecompute(t *testing.T) {
+	spec := smallSpec()
+	state := t.TempDir()
+	s1, ts1 := newServer(t, Config{StateDir: state})
+	_, st, _ := postSpec(t, ts1, spec)
+	waitDone(t, s1, st.ID)
+	ts1.Close()
+
+	var spawns atomic.Int64
+	s2, ts2 := newServer(t, Config{StateDir: state, Spawn: countingSpawn(&spawns)})
+	resumed, err := s2.ResumeInterrupted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed != 0 {
+		t.Fatalf("resumed %d, want 0 (run was complete)", resumed)
+	}
+	code, table, _ := get(t, ts2.URL+"/runs/"+st.ID+"/table")
+	if code != http.StatusOK || table != serialTable(t, spec) {
+		t.Fatalf("restarted daemon did not serve the completed run (code %d)", code)
+	}
+	if n := spawns.Load(); n != 0 {
+		t.Fatalf("restart spawned %d workers serving a completed run, want 0", n)
+	}
+}
+
+// TestWarmSubmitServedFromCache: with a shared result store already
+// holding every cell, a fresh daemon answers the grid itself —
+// servedFromCache, computed=0, zero worker spawns.
+func TestWarmSubmitServedFromCache(t *testing.T) {
+	spec := smallSpec()
+	cache := t.TempDir()
+	s1, ts1 := newServer(t, Config{CacheDir: cache})
+	_, st, _ := postSpec(t, ts1, spec)
+	waitDone(t, s1, st.ID)
+	ts1.Close()
+
+	var spawns atomic.Int64
+	s2, ts2 := newServer(t, Config{CacheDir: cache, Spawn: countingSpawn(&spawns)})
+	code, st2, _ := postSpec(t, ts2, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("warm submit: code %d", code)
+	}
+	waitDone(t, s2, st2.ID)
+	_, body, _ := get(t, ts2.URL+"/runs/"+st2.ID)
+	var done runStatus
+	if err := json.Unmarshal([]byte(body), &done); err != nil {
+		t.Fatal(err)
+	}
+	if !done.ServedFromCache || done.CellsComputed != 0 || done.CellsCached != 4 {
+		t.Fatalf("warm status %+v", done)
+	}
+	if n := spawns.Load(); n != 0 {
+		t.Fatalf("warm run spawned %d workers, want 0", n)
+	}
+	_, table, _ := get(t, ts2.URL+"/runs/"+st2.ID+"/table")
+	if table != serialTable(t, spec) {
+		t.Fatal("cache-served table diverges from serial rendering")
+	}
+	_, metrics, _ := get(t, ts2.URL+"/metrics")
+	if !strings.Contains(metrics, "fairbench_cells_cached_total 4") ||
+		!strings.Contains(metrics, "fairbench_store_entries 4") {
+		t.Fatalf("metrics missing store stats:\n%s", metrics)
+	}
+}
+
+// TestStreamDeliversEveryRow: the chunked stream's shard events carry
+// exactly the validated rows the merge will contain, and the stream
+// terminates with a done event holding the final status.
+func TestStreamDeliversEveryRow(t *testing.T) {
+	spec := smallSpec()
+	// One proc and a short delay stagger the two shards so the stream
+	// observes them landing separately.
+	s, ts := newServer(t, Config{
+		Procs: 1,
+		Spawn: helperSpawn("FAIRBENCH_WORKER_DELAY_MS=200"),
+	})
+	_, st, _ := postSpec(t, ts, spec)
+
+	resp, err := http.Get(ts.URL + "/runs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	cells := map[int]bool{}
+	rows := 0
+	sawDone := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev streamEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("stream line %q: %v", sc.Text(), err)
+		}
+		switch ev.Type {
+		case "shard":
+			for _, c := range ev.Cells {
+				cells[c] = true
+			}
+			rows += len(ev.Rows)
+		case "done":
+			sawDone = true
+			if ev.Status == nil || ev.Status.Status != string(stateDone) {
+				t.Fatalf("done event status %+v", ev.Status)
+			}
+		case "failed":
+			t.Fatalf("run failed: %+v", ev.Status)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawDone {
+		t.Fatal("stream ended without a done event")
+	}
+	if len(cells) != 4 || rows != 4 {
+		t.Fatalf("streamed %d distinct cells over %d rows, want 4 over 4", len(cells), rows)
+	}
+	waitDone(t, s, st.ID)
+}
+
+// TestRequestValidation: malformed submissions and unknown runs get the
+// right error codes.
+func TestRequestValidation(t *testing.T) {
+	_, ts := newServer(t, Config{})
+
+	resp, err := http.Post(ts.URL+"/runs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: code %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/runs", "application/json",
+		strings.NewReader(`{"experiment":"fig23","mystery":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: code %d", resp.StatusCode)
+	}
+
+	code, _, _ := get(t, ts.URL+"/runs/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown run status: code %d", code)
+	}
+	code, _, _ = get(t, ts.URL+"/runs/nope/table")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown run table: code %d", code)
+	}
+
+	code, body, _ := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+}
+
+// TestTableWhileRunningConflicts: /table on an executing run answers
+// 409 with a Retry-After hint instead of blocking or serving partial
+// output.
+func TestTableWhileRunningConflicts(t *testing.T) {
+	s, ts := newServer(t, Config{
+		Spawn: helperSpawn("FAIRBENCH_WORKER_DELAY_MS=20000"),
+	})
+	_, st, _ := postSpec(t, ts, smallSpec())
+	code, _, hdr := get(t, ts.URL+"/runs/"+st.ID+"/table")
+	if code != http.StatusConflict || hdr.Get("Retry-After") == "" {
+		t.Fatalf("running table: code %d Retry-After %q", code, hdr.Get("Retry-After"))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

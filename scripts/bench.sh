@@ -17,12 +17,23 @@
 #   BENCHTIME   go test -benchtime value (default 1x: one iteration per
 #               benchmark — a smoke run; use e.g. 3x or 2s for stabler
 #               numbers)
-#   BENCH_PAT   benchmark regexp (default '.': the full suite). When the
-#               pattern excludes the Shard or RunShard benchmarks, the
-#               corresponding JSON is skipped with a warning rather than
-#               failing the run.
+#   BENCH_PAT   benchmark regexp (default '.': the full suite). A
+#               narrowed pattern may exclude benchmark sections; their
+#               JSON outputs are then skipped with a warning. Under the
+#               default full-suite pattern every declared output MUST be
+#               produced — a missing one fails the run, so a silently
+#               vanished benchmark can never masquerade as a green run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# skip <file> <reason> — record a declared output that was not produced.
+# The trailing check turns these into a hard failure under the default
+# full-suite pattern.
+skipped=()
+skip() {
+    skipped+=("$1")
+    echo "bench.sh: $2; skipping $1" >&2
+}
 
 out="${1:-BENCH_parallel.json}"
 shard_out="${2:-BENCH_shard.json}"
@@ -70,7 +81,7 @@ plan="$(echo "$raw" | awk '$1 ~ /^BenchmarkShardPlan(-[0-9]+)?$/ {print $3}')"
 merge="$(echo "$raw" | awk '$1 ~ /^BenchmarkShardMerge(-[0-9]+)?$/ {print $3}')"
 
 if [[ -z "$plan" || -z "$merge" ]]; then
-    echo "bench.sh: ShardPlan/ShardMerge not in output; skipping $shard_out" >&2
+    skip "$shard_out" "ShardPlan/ShardMerge not in output"
 else
     cat > "$shard_out" <<EOF
 {
@@ -92,7 +103,7 @@ cold="$(echo "$raw" | awk '$1 ~ /^BenchmarkRunShardCold(-[0-9]+)?$/ {print $3}')
 warm="$(echo "$raw" | awk '$1 ~ /^BenchmarkRunShardWarm(-[0-9]+)?$/ {print $3}')"
 
 if [[ -z "$cold" || -z "$warm" ]]; then
-    echo "bench.sh: RunShardCold/Warm not in output; skipping $cache_out" >&2
+    skip "$cache_out" "RunShardCold/Warm not in output"
 else
     cache_speedup="$(awk -v c="$cold" -v w="$warm" 'BEGIN { if (w > 0) printf "%.1f", c / w; else printf "0" }')"
     cat > "$cache_out" <<EOF
@@ -137,7 +148,7 @@ synth_ns="$(bench_col BenchmarkSynthMaterialize 3)"
 synth_allocs="$(bench_col BenchmarkSynthMaterialize 7)"
 
 if [[ -z "$fit_ns" || -z "$adam_ns" || -z "$cold_cell_ns" || -z "$synth_ns" ]]; then
-    echo "bench.sh: FitLogreg/GridCellCold/SynthMaterialize not in output; skipping $train_out" >&2
+    skip "$train_out" "FitLogreg/GridCellCold/SynthMaterialize not in output"
 else
     cold_speedup="$(awk -v a="$seed_cold_ns" -v b="$cold_cell_ns" 'BEGIN { if (b > 0) printf "%.2f", a / b; else printf "0" }')"
     fit_alloc_ratio="$(awk -v a="$seed_fit_allocs" -v b="$fit_allocs" 'BEGIN { if (b > 0) printf "%.1f", a / b; else printf "0" }')"
@@ -163,7 +174,7 @@ fi
 # two-host local scheduled run of a small cold grid (plan + spawn +
 # validate + merge). These live in ./internal/sched because the worker
 # subprocesses re-exec that package's test binary; like the sections
-# above, a BENCH_PAT that excludes them skips the JSON with a warning.
+# above, only a narrowed BENCH_PAT may skip the JSON.
 if ! sched_raw="$(go test -bench "$pattern" -benchtime "$benchtime" -run '^$' ./internal/sched 2>&1)"; then
     echo "$sched_raw"
     echo "bench.sh: go test -bench ./internal/sched failed" >&2
@@ -179,7 +190,7 @@ plan_allocs="$(sched_col BenchmarkSchedPlanCacheAware 7)"
 local_ns="$(sched_col BenchmarkSchedLocal 3)"
 
 if [[ -z "$plan_ns" || -z "$plan_allocs" || -z "$local_ns" ]]; then
-    echo "bench.sh: SchedPlanCacheAware/SchedLocal not in output; skipping $sched_out" >&2
+    skip "$sched_out" "SchedPlanCacheAware/SchedLocal not in output"
 else
     cat > "$sched_out" <<EOF
 {
@@ -192,4 +203,16 @@ else
 }
 EOF
     echo "bench.sh: wrote $sched_out (plan ${plan_ns} ns/op, local run ${local_ns} ns/op)"
+fi
+
+# Declared-output contract: the full suite must produce every BENCH
+# file this script's header declares. A narrowed BENCH_PAT is the only
+# legitimate reason to skip one.
+if (( ${#skipped[@]} > 0 )); then
+    if [[ "$pattern" == "." ]]; then
+        echo "bench.sh: FAIL: full suite (BENCH_PAT='.') did not produce declared output(s): ${skipped[*]}" >&2
+        echo "bench.sh: a benchmark this script records has been renamed or removed — fix the suite or this script" >&2
+        exit 1
+    fi
+    echo "bench.sh: ${#skipped[@]} output(s) skipped under BENCH_PAT='$pattern': ${skipped[*]}" >&2
 fi
