@@ -31,6 +31,15 @@
 // only compute what is missing while printing byte-identical metric
 // columns.
 //
+// -bias MODEL -bias-rate R [-bias-rate-neg R] (any figure command,
+// dispatch, or sched) inject parameterized data bias into the training
+// distribution before the grid runs: `-bias under` drops unprivileged
+// tuples stratified by label (β⁺ = -bias-rate, β⁻ = -bias-rate-neg),
+// `-bias label` flips unprivileged labels at rate ν = -bias-rate.
+// Injection is seeded and deterministic, and the bias setting is part of
+// the grid fingerprint, so shards, caches, and merges never mix bias
+// settings. See the README's "Scenario axis" section.
+//
 // -cpuprofile FILE / -memprofile FILE (any command) record a pprof
 // CPU or allocation profile of the run, so performance work on the
 // figure commands starts from a measured profile rather than a guess:
@@ -149,6 +158,9 @@ func main() {
 	outFlag := fs.String("out", "", "file for the -shard envelope or the merged-output JSON (default: envelope to stdout; merge prints tables only)")
 	gridFlag := fs.String("grid", "rows", "which fig8 grid to shard: rows|attrs")
 	cacheFlag := fs.String("cache", "", "result-cache directory: serve already-computed cells from disk, write fresh ones back")
+	biasFlag := fs.String("bias", "", "bias-injection model applied to the training data: under|label (default: clean data)")
+	biasRateFlag := fs.Float64("bias-rate", 0, "bias rate: under-representation's positive-label drop rate β⁺, or label bias's flip rate ν")
+	biasRateNegFlag := fs.Float64("bias-rate-neg", 0, "under-representation's negative-label drop rate β⁻")
 	expFlag := fs.String("exp", "", "dispatch: grid experiment name (fig7|fig9|fig10|fig15|cv|fig22|fig23|fig8rows|fig8attrs)")
 	dirFlag := fs.String("dir", "", "dispatch/resume: dispatch directory holding the manifest and part files")
 	shardsFlag := fs.Int("shards", 0, "dispatch: k-way shard split (default: -procs)")
@@ -169,6 +181,7 @@ func main() {
 		exitIf(fairbench.CacheDir(*cacheFlag))
 	}
 	exitIf(startProfiles(*cpuProfFlag, *memProfFlag))
+	bias := biasSpec{model: *biasFlag, rate: *biasRateFlag, rateNeg: *biasRateNegFlag}
 
 	if cmd == "worker" {
 		// dispatch spawns `worker -shard I`: here -shard is the bare shard
@@ -181,7 +194,7 @@ func main() {
 	}
 
 	if cmd == "sched" {
-		exit(cmdSched(*expFlag, *datasetFlag, *nFlag, *kFlag, *runsFlag, *seedFlag,
+		exit(cmdSched(*expFlag, *datasetFlag, *nFlag, *kFlag, *runsFlag, *seedFlag, bias,
 			*dirFlag, *cacheFlag, *hostsFlag, *shardsFlag, *procsFlag, *retriesFlag,
 			*maxHostFailFlag, *heartbeatFlag, *outFlag))
 	}
@@ -193,13 +206,27 @@ func main() {
 	}
 
 	if *shardFlag != "" {
-		spec, err := specFor(cmd, *datasetFlag, *nFlag, *kFlag, *runsFlag, *gridFlag, *seedFlag)
+		spec, err := specFor(cmd, *datasetFlag, *nFlag, *kFlag, *runsFlag, *gridFlag, *seedFlag, bias)
 		if err == nil {
 			// A -cache directory, if given, is already installed process-wide,
 			// so RunShard serves verified hits and records provenance.
 			err = cmdShard(spec, *shardFlag, *outFlag)
 		}
 		exit(err)
+	}
+
+	if bias.set() {
+		// Bias injection is a grid dimension, so a biased serial figure run
+		// routes through the same spec→engine path the dispatch/sched/serve
+		// backends use — its tables (titles included) are then byte-identical
+		// to the merged shards of the same spec.
+		if _, ok := shardableCommands[cmd]; ok || cmd == "fig8" {
+			exit(cmdBiasedFigure(cmd, *datasetFlag, *nFlag, *kFlag, *runsFlag, *gridFlag,
+				*seedFlag, bias, *outFlag))
+		}
+		if cmd != "dispatch" {
+			exit(fmt.Errorf("-bias/-bias-rate/-bias-rate-neg apply to figure, dispatch, and sched commands, not %q", cmd))
+		}
 	}
 
 	var err error
@@ -227,7 +254,7 @@ func main() {
 	case "merge":
 		err = cmdMerge(fs.Args(), *outFlag)
 	case "dispatch":
-		err = cmdDispatch(*expFlag, *datasetFlag, *nFlag, *kFlag, *runsFlag, *seedFlag,
+		err = cmdDispatch(*expFlag, *datasetFlag, *nFlag, *kFlag, *runsFlag, *seedFlag, bias,
 			*dirFlag, *cacheFlag, *shardsFlag, *procsFlag, *retriesFlag, *outFlag)
 	case "resume":
 		err = cmdResume(*dirFlag, *procsFlag, *retriesFlag, *outFlag)
@@ -326,6 +353,8 @@ func startProfiles(cpuPath, memPath string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: fairbench <list|eval|fig7|fig8|fig9|fig10|fig15|cv|fig22|fig23|merge|all> [flags]
+       fairbench <figN|cv> ... [-bias under|label -bias-rate R [-bias-rate-neg R]]
+                 inject parameterized data bias (grid commands only)
        fairbench <figN|cv> ... -shard i/K [-out part.json] [-cache DIR]  run one grid shard
        fairbench merge part0.json part1.json ...                         combine shards
        fairbench dispatch -exp <figN|cv|fig8rows|fig8attrs> [figure flags]
@@ -339,9 +368,28 @@ func usage() {
                  [-max-runs 1]                                           benchmark-as-a-service daemon`)
 }
 
+// biasSpec collects the bias-injection flags shared by every grid
+// command; zero value = clean data.
+type biasSpec struct {
+	model         string
+	rate, rateNeg float64
+}
+
+// set marks whether any bias flag was given (spec validation then
+// decides whether the combination is coherent).
+func (b biasSpec) set() bool { return b.model != "" || b.rate != 0 || b.rateNeg != 0 }
+
+// apply copies the flags onto a grid spec.
+func (b biasSpec) apply(spec fairbench.GridSpec) fairbench.GridSpec {
+	spec.Bias = b.model
+	spec.BiasRate = b.rate
+	spec.BiasRateNeg = b.rateNeg
+	return spec
+}
+
 // gridSpecFor assembles the grid spec the dispatch-style commands
 // (dispatch, sched) describe with their flags.
-func gridSpecFor(exp, ds string, n, k, runs int, seed int64) fairbench.GridSpec {
+func gridSpecFor(exp, ds string, n, k, runs int, seed int64, bias biasSpec) fairbench.GridSpec {
 	spec := fairbench.GridSpec{Experiment: exp, N: n, Seed: seed}
 	if ds != "" && !strings.EqualFold(ds, "all") {
 		spec.Dataset = ds
@@ -352,7 +400,7 @@ func gridSpecFor(exp, ds string, n, k, runs int, seed int64) fairbench.GridSpec 
 	case "fig22":
 		spec.Runs = runs
 	}
-	return spec
+	return bias.apply(spec)
 }
 
 // signalContext is the run context of the long-running commands:
@@ -364,7 +412,7 @@ func signalContext() (context.Context, context.CancelFunc) {
 
 // cmdDispatch runs a grid as worker subprocesses and prints the merged
 // tables, exactly as the serial figure command would print them.
-func cmdDispatch(exp, ds string, n, k, runs int, seed int64,
+func cmdDispatch(exp, ds string, n, k, runs int, seed int64, bias biasSpec,
 	dir, cache string, shards, procs, retries int, out string) error {
 	if exp == "" {
 		return fmt.Errorf("dispatch requires -exp (fig7|fig9|fig10|fig15|cv|fig22|fig23|fig8rows|fig8attrs)")
@@ -374,7 +422,7 @@ func cmdDispatch(exp, ds string, n, k, runs int, seed int64,
 	}
 	ctx, stop := signalContext()
 	defer stop()
-	spec := gridSpecFor(exp, ds, n, k, runs, seed)
+	spec := gridSpecFor(exp, ds, n, k, runs, seed, bias)
 	merged, rep, err := fairbench.Run(ctx, spec, fairbench.RunOptions{
 		Backend: fairbench.BackendDispatch,
 		Dir:     dir, Shards: shards, Procs: procs, Retries: retries,
@@ -403,7 +451,7 @@ func cmdResume(dir string, procs, retries int, out string) error {
 
 // cmdSched runs a grid across a pool of hosts and prints the merged
 // tables — the serial figure command's output, fault-tolerantly.
-func cmdSched(exp, ds string, n, k, runs int, seed int64, dir, cache, hostsPath string,
+func cmdSched(exp, ds string, n, k, runs int, seed int64, bias biasSpec, dir, cache, hostsPath string,
 	shards, procs, retries, maxHostFailures int, heartbeat time.Duration, out string) error {
 	if exp == "" {
 		return fmt.Errorf("sched requires -exp (fig7|fig9|fig10|fig15|cv|fig22|fig23|fig8rows|fig8attrs)")
@@ -422,7 +470,7 @@ func cmdSched(exp, ds string, n, k, runs int, seed int64, dir, cache, hostsPath 
 	}
 	ctx, stop := signalContext()
 	defer stop()
-	merged, rep, err := fairbench.Run(ctx, gridSpecFor(exp, ds, n, k, runs, seed), fairbench.RunOptions{
+	merged, rep, err := fairbench.Run(ctx, gridSpecFor(exp, ds, n, k, runs, seed, bias), fairbench.RunOptions{
 		Backend: fairbench.BackendSched,
 		Dir:     dir, Hosts: hosts, Shards: shards, CacheDir: cache,
 		HeartbeatTimeout: heartbeat, Retries: retries, MaxHostFailures: maxHostFailures,
@@ -549,7 +597,7 @@ func cmdWorker(manifest string, shard int, out string) error {
 // specFor builds the grid spec a sharded run of cmd describes, resolving
 // the same defaults the serial command would use so a sharded run and a
 // serial run with identical flags materialize identical grids.
-func specFor(cmd, ds string, n, k, runs int, grid string, seed int64) (fairbench.GridSpec, error) {
+func specFor(cmd, ds string, n, k, runs int, grid string, seed int64, bias biasSpec) (fairbench.GridSpec, error) {
 	experiment, ok := shardableCommands[cmd]
 	if cmd == "fig8" {
 		switch grid {
@@ -576,7 +624,49 @@ func specFor(cmd, ds string, n, k, runs int, grid string, seed int64) (fairbench
 	case "fig22":
 		spec.Runs = runs
 	}
-	return spec, nil
+	return bias.apply(spec), nil
+}
+
+// cmdBiasedFigure runs a figure command whose flags request bias
+// injection. It resolves each grid the command spans (datasets for
+// fig7/fig15/cv with -dataset all, both fig8 grids) to a spec and
+// executes it on the in-process engine backend — exactly the path a
+// dispatched or served run of the same spec merges into.
+func cmdBiasedFigure(cmd, ds string, n, k, runs int, grid string, seed int64,
+	bias biasSpec, out string) error {
+	datasets, grids := []string{ds}, []string{grid}
+	switch cmd {
+	case "fig7", "fig15", "cv":
+		if ds == "" || strings.EqualFold(ds, "all") {
+			datasets = []string{"adult", "compas", "german"}
+		}
+	case "fig8":
+		grids = []string{"rows", "attrs"}
+	}
+	if out != "" && len(datasets)*len(grids) > 1 {
+		return fmt.Errorf("-out holds one grid's merged output: pick a single -dataset")
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	for _, d := range datasets {
+		for _, g := range grids {
+			spec, err := specFor(cmd, d, n, k, runs, g, seed, bias)
+			if err != nil {
+				return err
+			}
+			merged, rep, err := fairbench.Run(ctx, spec, fairbench.RunOptions{
+				Backend: fairbench.BackendInproc,
+			})
+			if err != nil {
+				return err
+			}
+			if err := renderRun(merged, rep, out); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	}
+	return nil
 }
 
 // parseShard parses "i/K", rejecting any trailing input (Sscanf would

@@ -1,0 +1,131 @@
+// bias.go implements the parameterized bias-injection models of "On
+// Comparing Fair Classifiers under Data Bias": controlled distortions of
+// a clean training distribution, as opposed to the fixed COMPAS error
+// templates of corrupt.go. Two models are provided:
+//
+//	under-representation: tuples of the unprivileged group are dropped
+//	    from the dataset stratified by label — a positive-label tuple
+//	    (S=0, Y=1) with probability β⁺, a negative-label one (S=0, Y=0)
+//	    with probability β⁻ — shrinking the group's sample without
+//	    touching any surviving tuple;
+//	label bias: the label of an unprivileged-group tuple is flipped with
+//	    probability ν, modeling historically prejudiced annotations.
+//
+// Both are pure functions of (dataset, rates, seed): each tuple's fate is
+// drawn from a private generator derived via rng.Derive(seed, i) from the
+// tuple's index, so injection is deterministic and independent of how the
+// downstream grid is parallelized or sharded — two processes that inject
+// the same spec see bit-identical data. Group-conditional decisions route
+// through the same validated {0,1} code mapping as the error templates
+// (GroupProb); a dataset with an unexpected sensitive code is rejected,
+// never silently mis-binned.
+package corrupt
+
+import (
+	"fmt"
+
+	"fairbench/internal/dataset"
+	"fairbench/internal/rng"
+)
+
+// Per-generator stream salts: the under-representation and label-bias
+// models must draw independent per-tuple decisions even when invoked with
+// the same experiment seed on the same dataset. The salt is mixed into
+// the seed before the per-tuple Derive, so the two models never share a
+// decision stream.
+const (
+	underStreamSalt int64 = 0x75_6e_64_65 // "unde"
+	labelStreamSalt int64 = 0x6c_61_62_65 // "labe"
+)
+
+// tupleHit draws tuple i's injection decision from its own derived
+// generator — a pure function of (seed, salt, i), consuming nothing from
+// any shared stream. This is what makes injection insensitive to
+// iteration order, parallelism, and sharding.
+func tupleHit(seed, salt int64, i int, p float64) bool {
+	return rng.Derive(seed^salt, int64(i)).Float64() < p
+}
+
+// validRate checks one bias rate is a probability; max bounds the open
+// or closed upper end (1 excludes certainty for drop rates — dropping an
+// entire stratum degenerates the learning task — while flips tolerate it).
+func validRate(name string, r, max float64) error {
+	if r < 0 || r > max {
+		return fmt.Errorf("corrupt: %s rate %v outside [0,%v]", name, r, max)
+	}
+	return nil
+}
+
+// UnderRepresent returns a view of d with unprivileged-group tuples
+// dropped by label stratum: a (S=0, Y=1) tuple survives with probability
+// 1-betaPos, a (S=0, Y=0) tuple with probability 1-betaNeg, and every
+// privileged tuple survives. Surviving tuples are bit-identical views of
+// the input (zero-copy; see the dataset view contract). Rates live in
+// [0,1) — β=1 would delete a whole stratum — and at least one must be
+// positive, since an identity injection should be requested as no
+// injection at all.
+func UnderRepresent(d *dataset.Dataset, betaPos, betaNeg float64, seed int64) (*dataset.Dataset, error) {
+	if err := validRate("under-representation β⁺", betaPos, 0.999); err != nil {
+		return nil, err
+	}
+	if err := validRate("under-representation β⁻", betaNeg, 0.999); err != nil {
+		return nil, err
+	}
+	if betaPos == 0 && betaNeg == 0 {
+		return nil, fmt.Errorf("corrupt: under-representation needs a positive β⁺ or β⁻")
+	}
+	keep := make([]int, 0, d.Len())
+	for i := range d.S {
+		// GroupProb centralizes the code check; the drop probability is 0
+		// for the privileged group and the tuple's stratum rate otherwise.
+		beta := betaNeg
+		if d.Y[i] == 1 {
+			beta = betaPos
+		}
+		p, err := GroupProb(d.S[i], beta, 0)
+		if err != nil {
+			return nil, err
+		}
+		if !tupleHit(seed, underStreamSalt, i, p) {
+			keep = append(keep, i)
+		}
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("corrupt: under-representation dropped every tuple of %s", d.Name)
+	}
+	out := d.Subset(keep)
+	out.Name = fmt.Sprintf("%s+under(β⁺=%g,β⁻=%g)", d.Name, betaPos, betaNeg)
+	return out, nil
+}
+
+// FlipLabels returns a copy of d where each unprivileged-group tuple's
+// label is flipped (Y → 1-Y) with probability nu; privileged tuples are
+// untouched. The copy severs label storage from the input (features stay
+// zero-copy views), so the clean dataset is never mutated.
+func FlipLabels(d *dataset.Dataset, nu float64, seed int64) (*dataset.Dataset, error) {
+	if err := validRate("label-bias ν", nu, 1); err != nil {
+		return nil, err
+	}
+	if nu == 0 {
+		return nil, fmt.Errorf("corrupt: label bias needs a positive ν")
+	}
+	// Subset over all indices yields a view with freshly allocated S/Y
+	// slices — exactly the isolation label flipping needs, without
+	// cloning the feature matrix.
+	all := make([]int, d.Len())
+	for i := range all {
+		all[i] = i
+	}
+	out := d.Subset(all)
+	out.Name = fmt.Sprintf("%s+label(ν=%g)", d.Name, nu)
+	for i := range out.S {
+		p, err := GroupProb(out.S[i], nu, 0)
+		if err != nil {
+			return nil, err
+		}
+		if tupleHit(seed, labelStreamSalt, i, p) {
+			out.Y[i] = 1 - out.Y[i]
+		}
+	}
+	return out, nil
+}

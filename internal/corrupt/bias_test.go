@@ -1,0 +1,223 @@
+package corrupt
+
+import (
+	"math"
+	"testing"
+
+	"fairbench/internal/dataset"
+	"fairbench/internal/synth"
+)
+
+// strataCounts tallies the (S, Y) strata of a dataset.
+func strataCounts(d *dataset.Dataset) (n [2][2]int) {
+	for i := range d.S {
+		n[d.S[i]][d.Y[i]]++
+	}
+	return n
+}
+
+func TestUnderRepresentStrata(t *testing.T) {
+	src := synth.COMPAS(6000, 1)
+	before := strataCounts(src.Data)
+	out, err := UnderRepresent(src.Data, 0.5, 0.2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := strataCounts(out)
+	// Every privileged tuple survives.
+	if after[1][0] != before[1][0] || after[1][1] != before[1][1] {
+		t.Fatalf("privileged strata changed: %v -> %v", before[1], after[1])
+	}
+	// Unprivileged strata shrink at roughly their nominal rates.
+	dropPos := 1 - float64(after[0][1])/float64(before[0][1])
+	dropNeg := 1 - float64(after[0][0])/float64(before[0][0])
+	if math.Abs(dropPos-0.5) > 0.07 {
+		t.Fatalf("positive-label drop rate %v, want ~0.5", dropPos)
+	}
+	if math.Abs(dropNeg-0.2) > 0.07 {
+		t.Fatalf("negative-label drop rate %v, want ~0.2", dropNeg)
+	}
+	if out.Name == src.Data.Name {
+		t.Fatal("biased dataset should be renamed")
+	}
+	// Surviving tuples are untouched and appear in input order.
+	j := 0
+	for i := range src.Data.S {
+		if j < out.Len() && &out.X[j][0] == &src.Data.X[i][0] {
+			if out.S[j] != src.Data.S[i] || out.Y[j] != src.Data.Y[i] {
+				t.Fatalf("tuple %d mutated by under-representation", i)
+			}
+			j++
+		}
+	}
+	if j != out.Len() {
+		t.Fatalf("%d of %d surviving rows alias the input in order", j, out.Len())
+	}
+}
+
+func TestFlipLabelsRate(t *testing.T) {
+	src := synth.COMPAS(6000, 2)
+	out, err := FlipLabels(src.Data, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != src.Data.Len() {
+		t.Fatal("label bias must preserve size")
+	}
+	flipped, nU := 0, 0
+	for i := range out.Y {
+		if &out.X[i][0] != &src.Data.X[i][0] {
+			t.Fatal("features must stay zero-copy views")
+		}
+		if src.Data.S[i] == PrivilegedCode {
+			if out.Y[i] != src.Data.Y[i] {
+				t.Fatalf("privileged tuple %d label flipped", i)
+			}
+			continue
+		}
+		nU++
+		if out.Y[i] != src.Data.Y[i] {
+			flipped++
+		}
+	}
+	rate := float64(flipped) / float64(nU)
+	if math.Abs(rate-0.3) > 0.05 {
+		t.Fatalf("flip rate %v, want ~0.3", rate)
+	}
+}
+
+func TestBiasDeterministicAndSeedSensitive(t *testing.T) {
+	src := synth.COMPAS(1500, 3)
+	a, err := UnderRepresent(src.Data, 0.4, 0.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := UnderRepresent(src.Data, 0.4, 0.1, 7)
+	if a.Len() != b.Len() {
+		t.Fatal("same seed must drop identically")
+	}
+	for i := range a.S {
+		if a.S[i] != b.S[i] || a.Y[i] != b.Y[i] {
+			t.Fatal("same seed must keep the same tuples")
+		}
+	}
+	c, _ := UnderRepresent(src.Data, 0.4, 0.1, 8)
+	if c.Len() == a.Len() {
+		sameKeep := true
+		for i := 0; i < a.Len(); i++ {
+			if &a.X[i][0] != &c.X[i][0] {
+				sameKeep = false
+				break
+			}
+		}
+		if sameKeep {
+			t.Fatal("different seeds kept an identical tuple set")
+		}
+	}
+
+	f1, err := FlipLabels(src.Data, 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := FlipLabels(src.Data, 0.25, 7)
+	f3, _ := FlipLabels(src.Data, 0.25, 8)
+	sameAs1 := func(o *dataset.Dataset) bool {
+		for i := range o.Y {
+			if o.Y[i] != f1.Y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !sameAs1(f2) {
+		t.Fatal("same seed must flip identically")
+	}
+	if sameAs1(f3) {
+		t.Fatal("different seeds flipped identically")
+	}
+}
+
+func TestBiasLeavesInputUnchanged(t *testing.T) {
+	src := synth.COMPAS(800, 4)
+	clean := src.Data.Clone()
+	if _, err := UnderRepresent(src.Data, 0.5, 0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FlipLabels(src.Data, 0.5, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean.S {
+		if src.Data.S[i] != clean.S[i] || src.Data.Y[i] != clean.Y[i] {
+			t.Fatalf("tuple %d of the clean input was mutated", i)
+		}
+		for j := range clean.X[i] {
+			if src.Data.X[i][j] != clean.X[i][j] {
+				t.Fatalf("feature (%d,%d) of the clean input was mutated", i, j)
+			}
+		}
+	}
+}
+
+// toyDataset hand-builds a dataset that never passes dataset.Validate —
+// the case the centralized group-code check exists for.
+func toyDataset(s []int) *dataset.Dataset {
+	d := &dataset.Dataset{
+		Name:  "toy",
+		Attrs: []dataset.Attr{{Name: "a", Kind: dataset.Numeric}},
+		S:     s,
+	}
+	for i := range s {
+		d.X = append(d.X, []float64{float64(i)})
+		d.Y = append(d.Y, i%2)
+	}
+	return d
+}
+
+func TestBiasRejectsBadGroupCode(t *testing.T) {
+	bad := toyDataset([]int{0, 1, 2, 0})
+	if _, err := UnderRepresent(bad, 0.5, 0.1, 1); err == nil {
+		t.Fatal("under-representation accepted sensitive code 2")
+	}
+	if _, err := FlipLabels(bad, 0.5, 1); err == nil {
+		t.Fatal("label bias accepted sensitive code 2")
+	}
+	// The error templates route through the same mapping.
+	if _, err := MissingImputed(bad, PaperRates, 1); err == nil {
+		t.Fatal("MissingImputed accepted sensitive code 2")
+	}
+}
+
+func TestBiasRateValidation(t *testing.T) {
+	d := synth.COMPAS(100, 1).Data
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"under both zero", func() error { _, err := UnderRepresent(d, 0, 0, 1); return err }},
+		{"under beta+ = 1", func() error { _, err := UnderRepresent(d, 1, 0.1, 1); return err }},
+		{"under beta- negative", func() error { _, err := UnderRepresent(d, 0.1, -0.2, 1); return err }},
+		{"label nu zero", func() error { _, err := FlipLabels(d, 0, 1); return err }},
+		{"label nu > 1", func() error { _, err := FlipLabels(d, 1.2, 1); return err }},
+	}
+	for _, c := range cases {
+		if c.err() == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestUnderRepresentRejectsEmptyResult(t *testing.T) {
+	// A dataset that is one unprivileged stratum: at β near 1 some seed
+	// drops every tuple, and that must be an error, not an empty grid.
+	d := toyDataset([]int{0, 0})
+	d.Y[0], d.Y[1] = 1, 1
+	found := false
+	for seed := int64(0); seed < 200 && !found; seed++ {
+		if _, err := UnderRepresent(d, 0.999, 0, seed); err != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no seed produced the all-dropped error on a 2-tuple stratum at β=0.999")
+	}
+}

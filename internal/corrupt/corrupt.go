@@ -12,6 +12,10 @@
 // unprivileged group and 10% of the privileged group are affected,
 // mirroring the documented correlation between data-quality issues and
 // sensitive attributes.
+//
+// Beyond the paper's fixed templates, bias.go adds the parameterized
+// bias-injection models (under-representation and label bias) that the
+// experiment grids expose as a first-class scenario dimension.
 package corrupt
 
 import (
@@ -30,12 +34,44 @@ type Rates struct {
 // PaperRates is the 50%/10% disproportionate corruption of Section 4.4.
 var PaperRates = Rates{Unprivileged: 0.5, Privileged: 0.1}
 
-func (r Rates) hit(s int, g *rng.RNG) bool {
-	p := r.Unprivileged
-	if s == 1 {
-		p = r.Privileged
+// The sensitive-attribute coding convention every injector in this
+// package maps group-conditional behavior through. dataset.Validate
+// enforces the same convention, but corruption also runs on hand-built
+// datasets that never pass through Validate, so the mapping re-checks
+// it instead of silently treating every unexpected code as unprivileged.
+const (
+	// UnprivilegedCode is the sensitive-attribute code of the
+	// unprivileged group (S = 0 throughout the paper's datasets).
+	UnprivilegedCode = 0
+	// PrivilegedCode is the sensitive-attribute code of the privileged
+	// group (S = 1).
+	PrivilegedCode = 1
+)
+
+// GroupProb maps a sensitive-attribute code to the per-group probability
+// it selects: p0 for the unprivileged code, p1 for the privileged one.
+// A code outside the {0,1} convention is an error — the one centralized
+// check every injector (templates and bias generators alike) routes
+// group-conditional decisions through.
+func GroupProb(s int, p0, p1 float64) (float64, error) {
+	switch s {
+	case UnprivilegedCode:
+		return p0, nil
+	case PrivilegedCode:
+		return p1, nil
 	}
-	return g.Float64() < p
+	return 0, fmt.Errorf("corrupt: sensitive code %d outside the {0,1} convention (0 = unprivileged, 1 = privileged)", s)
+}
+
+// hit draws one per-tuple corruption decision. It always consumes exactly
+// one uniform variate on success, so the injection pattern for a fixed
+// seed is stable across refactors of the decision logic.
+func (r Rates) hit(s int, g *rng.RNG) (bool, error) {
+	p, err := GroupProb(s, r.Unprivileged, r.Privileged)
+	if err != nil {
+		return false, err
+	}
+	return g.Float64() < p, nil
 }
 
 // findAttr locates an attribute by name.
@@ -63,7 +99,11 @@ func SwapValues(d *dataset.Dataset, a, b string, rates Rates, seed int64) (*data
 	out := d.Clone()
 	out.Name = d.Name + "+T1"
 	for i := range out.X {
-		if rates.hit(out.S[i], g) {
+		affected, err := rates.hit(out.S[i], g)
+		if err != nil {
+			return nil, err
+		}
+		if affected {
 			out.X[i][ja], out.X[i][jb] = out.X[i][jb], out.X[i][ja]
 		}
 	}
@@ -86,7 +126,11 @@ func ScaleAndNoise(d *dataset.Dataset, scaleAttr string, factor float64, noiseAt
 	out := d.Clone()
 	out.Name = d.Name + "+T2"
 	for i := range out.X {
-		if rates.hit(out.S[i], g) {
+		affected, err := rates.hit(out.S[i], g)
+		if err != nil {
+			return nil, err
+		}
+		if affected {
 			out.X[i][js] *= factor
 			out.X[i][jn] += g.Normal(0, noiseStd)
 		}
@@ -98,7 +142,7 @@ func ScaleAndNoise(d *dataset.Dataset, scaleAttr string, factor float64, noiseAt
 // sensitive attribute and the label are "lost" and then re-imputed with
 // the standard imputers (mode over the observed values), reproducing T3's
 // missing Race and Risk_of_recidivism columns.
-func MissingImputed(d *dataset.Dataset, rates Rates, seed int64) *dataset.Dataset {
+func MissingImputed(d *dataset.Dataset, rates Rates, seed int64) (*dataset.Dataset, error) {
 	g := rng.New(seed)
 	out := d.Clone()
 	out.Name = d.Name + "+T3"
@@ -107,7 +151,10 @@ func MissingImputed(d *dataset.Dataset, rates Rates, seed int64) *dataset.Datase
 	// part of the column, as an imputer would see it).
 	var sCount, yCount [2]float64
 	for i := range out.X {
-		affected[i] = rates.hit(out.S[i], g)
+		var err error
+		if affected[i], err = rates.hit(out.S[i], g); err != nil {
+			return nil, err
+		}
 		if !affected[i] {
 			sCount[out.S[i]]++
 			yCount[out.Y[i]]++
@@ -126,7 +173,7 @@ func MissingImputed(d *dataset.Dataset, rates Rates, seed int64) *dataset.Datase
 			out.Y[i] = yMode
 		}
 	}
-	return out
+	return out, nil
 }
 
 // ImputeNumericMean replaces affected tuples' value of attr with the mean
@@ -142,7 +189,10 @@ func ImputeNumericMean(d *dataset.Dataset, attr string, rates Rates, seed int64)
 	affected := make([]bool, out.Len())
 	var sum, n float64
 	for i := range out.X {
-		affected[i] = rates.hit(out.S[i], g)
+		var err error
+		if affected[i], err = rates.hit(out.S[i], g); err != nil {
+			return nil, err
+		}
 		if !affected[i] {
 			sum += out.X[i][j]
 			n++
@@ -184,7 +234,7 @@ func ApplyCOMPAS(d *dataset.Dataset, t Template, seed int64) (*dataset.Dataset, 
 	case T2:
 		return ScaleAndNoise(d, "Prior", 3.0, "Age", 8.0, PaperRates, seed)
 	case T3:
-		return MissingImputed(d, PaperRates, seed), nil
+		return MissingImputed(d, PaperRates, seed)
 	default:
 		return nil, fmt.Errorf("corrupt: unknown template %d", int(t))
 	}

@@ -81,7 +81,10 @@ func TestScaleAndNoise(t *testing.T) {
 
 func TestMissingImputed(t *testing.T) {
 	src := synth.COMPAS(4000, 3)
-	out := MissingImputed(src.Data, PaperRates, 11)
+	out, err := MissingImputed(src.Data, PaperRates, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
 	changedS := 0
 	for i := range out.S {
 		if out.S[i] != src.Data.S[i] {

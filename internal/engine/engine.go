@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"fairbench/internal/dispatch"
@@ -104,6 +105,12 @@ type Report struct {
 	Backend Backend
 	// Fingerprint identifies the grid (cache/merge identity).
 	Fingerprint string
+	// Arch is the coordinating process's GOARCH — the architecture the
+	// result store keys cells on (see store.Key). Cells cached on one
+	// architecture are invisible on another, so a mixed-arch fleet
+	// recomputes instead of sharing; surfacing the arch in reports and
+	// the serve status makes that visible rather than silent.
+	Arch string
 	// CellsComputed and CellsCached split the grid's cells by who did
 	// the work.
 	CellsComputed, CellsCached int
@@ -247,6 +254,7 @@ func runInproc(ctx context.Context, spec experiments.Spec, opts RunOptions) (*ex
 	}
 	return out, &Report{
 		Backend:       BackendInproc,
+		Arch:          runtime.GOARCH,
 		Fingerprint:   env.Fingerprint,
 		CellsComputed: len(env.Indices) - len(env.Cached),
 		CellsCached:   len(env.Cached),
@@ -303,6 +311,7 @@ func serveFromCache(ctx context.Context, spec experiments.Spec, opts RunOptions,
 	}
 	return out, &Report{
 		Backend:         backend,
+		Arch:            runtime.GOARCH,
 		Fingerprint:     fp,
 		CellsCached:     cached,
 		ServedFromCache: true,
@@ -359,6 +368,7 @@ func fromDispatch(rep *dispatch.Report) *Report {
 	}
 	return &Report{
 		Backend:       BackendDispatch,
+		Arch:          runtime.GOARCH,
 		Fingerprint:   rep.Fingerprint,
 		CellsComputed: rep.CellsComputed,
 		CellsCached:   rep.CellsCached,
@@ -372,6 +382,7 @@ func fromSched(rep *sched.Report) *Report {
 	}
 	return &Report{
 		Backend:       BackendSched,
+		Arch:          runtime.GOARCH,
 		Fingerprint:   rep.Fingerprint,
 		CellsComputed: rep.CellsComputed,
 		CellsCached:   rep.CellsCached,

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"fairbench/internal/causal"
+	"fairbench/internal/corrupt"
 	"fairbench/internal/dataset"
 	"fairbench/internal/registry"
 	"fairbench/internal/runner"
@@ -70,6 +71,44 @@ type Spec struct {
 	AttrCounts []int `json:"attrCounts,omitempty"`
 	// SampleSize is the fig8attrs sample (default 8000, capped at N).
 	SampleSize int `json:"sampleSize,omitempty"`
+	// Bias selects a bias-injection model applied to the synthesized
+	// dataset before the grid is materialized: "" (clean data), "under"
+	// (under-representation: unprivileged tuples dropped by label
+	// stratum), or "label" (label bias: unprivileged labels flipped).
+	// Valid on every experiment — it multiplies the scenario space rather
+	// than adding a driver. Injection is seeded from Seed through
+	// per-tuple rng.Derive streams (see internal/corrupt), so a biased
+	// grid shards and parallelizes exactly like a clean one. The bias
+	// fields are part of the canonical spec and therefore of the grid
+	// fingerprint: results computed under one bias setting can never be
+	// merged with, or served from cache to, another.
+	Bias string `json:"bias,omitempty"`
+	// BiasRate is the injection rate: β⁺ (the positive-label drop rate)
+	// for under-representation, ν (the flip rate) for label bias.
+	BiasRate float64 `json:"biasRate,omitempty"`
+	// BiasRateNeg is under-representation's β⁻ (the negative-label drop
+	// rate). Unused — and cleared by Normalize — for the other models.
+	BiasRateNeg float64 `json:"biasRateNeg,omitempty"`
+}
+
+// Bias-model names Spec.Bias accepts.
+const (
+	// BiasUnder is parameterized under-representation.
+	BiasUnder = "under"
+	// BiasLabel is parameterized label bias.
+	BiasLabel = "label"
+)
+
+// BiasLabelText renders the spec's bias setting for table titles and
+// logs: empty for a clean grid.
+func (s Spec) BiasLabelText() string {
+	switch s.Bias {
+	case BiasUnder:
+		return fmt.Sprintf("under-representation β⁺=%g β⁻=%g", s.BiasRate, s.BiasRateNeg)
+	case BiasLabel:
+		return fmt.Sprintf("label bias ν=%g", s.BiasRate)
+	}
+	return ""
 }
 
 // DefaultFig8Sizes returns the Figure 8(a-c) training sizes for a dataset
@@ -146,6 +185,28 @@ func (s Spec) Normalize() (Spec, error) {
 	case "adult", "compas", "german":
 	default:
 		return s, fmt.Errorf("experiments: unknown dataset %q", s.Dataset)
+	}
+	s.Bias = strings.ToLower(strings.TrimSpace(s.Bias))
+	switch s.Bias {
+	case "":
+		// Clean grid: stray rates must not perturb the fingerprint.
+		if s.BiasRate != 0 || s.BiasRateNeg != 0 {
+			return s, fmt.Errorf("experiments: bias rate set without a bias model (want -bias under|label)")
+		}
+	case BiasUnder:
+		if s.BiasRate < 0 || s.BiasRate >= 1 || s.BiasRateNeg < 0 || s.BiasRateNeg >= 1 {
+			return s, fmt.Errorf("experiments: under-representation rates β⁺=%v β⁻=%v outside [0,1)", s.BiasRate, s.BiasRateNeg)
+		}
+		if s.BiasRate == 0 && s.BiasRateNeg == 0 {
+			return s, fmt.Errorf("experiments: bias model %q needs a positive rate", s.Bias)
+		}
+	case BiasLabel:
+		if s.BiasRate <= 0 || s.BiasRate > 1 {
+			return s, fmt.Errorf("experiments: label-bias rate ν=%v outside (0,1]", s.BiasRate)
+		}
+		s.BiasRateNeg = 0 // β⁻ is an under-representation knob only
+	default:
+		return s, fmt.Errorf("experiments: unknown bias model %q (want under or label)", s.Bias)
 	}
 	// Clear every field the experiment ignores before the canonical
 	// encoding: two specs that materialize the same grid must fingerprint
@@ -282,6 +343,11 @@ func Open(spec Spec) (*Grid, error) {
 	if err != nil {
 		return nil, err
 	}
+	if ns.Bias != "" {
+		if src, err = biasedSource(src, ns); err != nil {
+			return nil, err
+		}
+	}
 	var g *Grid
 	switch ns.Experiment {
 	case "fig7":
@@ -408,6 +474,35 @@ type sourceKey struct {
 // dataset view contract), and every mutating consumer Clones first, so
 // concurrent cells and workers race-cleanly share one materialization.
 var sourceMemo sync.Map // sourceKey -> *synth.Source
+
+// biasedSource applies the spec's bias-injection model to a pristine
+// benchmark source and returns a provenance-free derivative: injection
+// invalidates the (dataset, n, seed) reconstruction contract stock
+// sources carry, so the result must never be mistaken for stock data by
+// the Source-based cache reroute (specOutput). The memoized clean source
+// is shared read-only — under-representation keeps zero-copy views into
+// its backing, label bias copies only the label column — and injection
+// itself is deterministic per tuple (rng.Derive streams inside
+// internal/corrupt), so every process that Opens this spec sees
+// bit-identical biased data regardless of parallelism or sharding.
+func biasedSource(src *synth.Source, ns Spec) (*synth.Source, error) {
+	var (
+		biased *dataset.Dataset
+		err    error
+	)
+	switch ns.Bias {
+	case BiasUnder:
+		biased, err = corrupt.UnderRepresent(src.Data, ns.BiasRate, ns.BiasRateNeg, ns.Seed)
+	case BiasLabel:
+		biased, err = corrupt.FlipLabels(src.Data, ns.BiasRate, ns.Seed)
+	default:
+		err = fmt.Errorf("experiments: unknown bias model %q", ns.Bias)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &synth.Source{Data: biased, Graph: src.Graph}, nil
+}
 
 // sourceFor materializes (or recalls) the benchmark source a spec names.
 func sourceFor(dataset string, n int, seed int64) (*synth.Source, error) {

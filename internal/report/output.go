@@ -18,13 +18,14 @@ import (
 // clean-training deltas, which need a second grid).
 func RenderOutput(w io.Writer, out *experiments.Output) error {
 	spec := out.Spec
+	ds := DatasetLabel(spec)
 	switch out.Experiment {
 	case "fig7", "fig15", "cv":
-		title := fmt.Sprintf("%s — merged shards (%s, seed %d)", out.Experiment, spec.Dataset, spec.Seed)
+		title := fmt.Sprintf("%s — merged shards (%s, seed %d)", out.Experiment, ds, spec.Seed)
 		return RowsTable(title, out.Rows).Render(w)
 	case "fig9":
 		for _, res := range out.Robustness {
-			title := fmt.Sprintf("Figure 9 — robustness on %s + %s (merged shards)", spec.Dataset, res.Template)
+			title := fmt.Sprintf("Figure 9 — robustness on %s + %s (merged shards)", ds, res.Template)
 			if err := RowsTable(title, res.Rows).Render(w); err != nil {
 				return err
 			}
@@ -32,18 +33,29 @@ func RenderOutput(w io.Writer, out *experiments.Output) error {
 		}
 		return nil
 	case "fig10":
-		return RenderSensitivity(w, out.Sensitivity, spec.Dataset)
+		return RenderSensitivity(w, out.Sensitivity, ds)
 	case "fig22":
-		return RenderStability(w, out.Stability, spec.Runs, spec.Dataset)
+		return RenderStability(w, out.Stability, spec.Runs, ds)
 	case "fig23":
-		return RenderEfficiency(w, out.Efficiency, spec.Sizes, spec.Dataset)
+		return RenderEfficiency(w, out.Efficiency, spec.Sizes, ds)
 	case "fig8rows":
-		return ScalabilityTable(fmt.Sprintf("Figure 8(a-c) — overhead vs #data points (%s, merged shards)", spec.Dataset), "points", out.Scalability).Render(w)
+		return ScalabilityTable(fmt.Sprintf("Figure 8(a-c) — overhead vs #data points (%s, merged shards)", ds), "points", out.Scalability).Render(w)
 	case "fig8attrs":
-		return ScalabilityTable(fmt.Sprintf("Figure 8(d-f) — overhead vs #attributes (%s, merged shards)", spec.Dataset), "attrs", out.Scalability).Render(w)
+		return ScalabilityTable(fmt.Sprintf("Figure 8(d-f) — overhead vs #attributes (%s, merged shards)", ds), "attrs", out.Scalability).Render(w)
 	default:
 		return fmt.Errorf("render: unknown experiment %q", out.Experiment)
 	}
+}
+
+// DatasetLabel names the data a grid actually ran on: the stock dataset,
+// suffixed with the bias-injection setting when the spec carries one.
+// Every table title routes through this so a biased grid can never be
+// mistaken for a clean one in rendered output.
+func DatasetLabel(spec experiments.Spec) string {
+	if b := spec.BiasLabelText(); b != "" {
+		return spec.Dataset + " [" + b + "]"
+	}
+	return spec.Dataset
 }
 
 // RowsTable lays out per-approach correctness/fairness rows — the

@@ -440,6 +440,11 @@ type runStatus struct {
 	Dataset     string `json:"dataset,omitempty"`
 	Fingerprint string `json:"fingerprint,omitempty"`
 	Backend     string `json:"backend,omitempty"`
+	// Arch is the coordinator's GOARCH — the architecture the result
+	// store keys cells on. A mixed-arch fleet shares no cache entries
+	// across architectures (it silently recomputes), so surfacing the
+	// arch lets operators spot that before blaming the cache.
+	Arch string `json:"arch,omitempty"`
 	// Deduped marks a submission that attached to an existing run
 	// instead of starting a computation.
 	Deduped bool `json:"deduped,omitempty"`
@@ -469,6 +474,7 @@ func (s *Server) statusOf(r *run, deduped bool) runStatus {
 	if r.report != nil {
 		st.Fingerprint = r.report.Fingerprint
 		st.Backend = string(r.report.Backend)
+		st.Arch = r.report.Arch
 		st.CellsComputed = r.report.CellsComputed
 		st.CellsCached = r.report.CellsCached
 		st.ServedFromCache = r.report.ServedFromCache
@@ -575,17 +581,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusAccepted, s.statusOf(r, false))
 }
 
+// Retry-After hints, in seconds, shared by every backpressure response
+// the daemon sends — admission control's 429/503 and the
+// still-executing table 409 — so clients observe one consistent
+// backoff policy no matter which endpoint pushed back.
+const (
+	retryAfterBusy     = "1"  // transient: a run slot or result should free up shortly
+	retryAfterDraining = "10" // the daemon is going away; retry against a restarted instance
+)
+
 // admitLocked applies admission control; s.mu must be held. A zero
 // code admits; otherwise reply with the code and Retry-After hint.
 func (s *Server) admitLocked() (code int, retryAfter, msg string) {
 	if s.draining {
-		return http.StatusServiceUnavailable, "10", "draining: not admitting new runs"
+		return http.StatusServiceUnavailable, retryAfterDraining, "draining: not admitting new runs"
 	}
 	if s.active >= s.cfg.MaxConcurrent {
-		return http.StatusTooManyRequests, "1",
+		return http.StatusTooManyRequests, retryAfterBusy,
 			fmt.Sprintf("worker pool saturated: %d of %d run slots busy", s.active, s.cfg.MaxConcurrent)
 	}
 	return 0, "", ""
+}
+
+// retryHint computes the Retry-After value for transient backpressure
+// outside admission control, with the same draining/busy distinction
+// admitLocked applies to submissions.
+func (s *Server) retryHint() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return retryAfterDraining
+	}
+	return retryAfterBusy
 }
 
 func (s *Server) lookup(req *http.Request) (*run, bool) {
@@ -715,7 +742,7 @@ func (s *Server) handleTable(w http.ResponseWriter, req *http.Request) {
 	r.mu.Unlock()
 	switch state {
 	case stateRunning:
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryHint())
 		writeError(w, http.StatusConflict, "run %s still executing", r.id)
 	case stateFailed:
 		writeError(w, http.StatusConflict, "run %s failed: %s", r.id, errMsg)

@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -529,12 +530,73 @@ func TestTableWhileRunningConflicts(t *testing.T) {
 	})
 	_, st, _ := postSpec(t, ts, smallSpec())
 	code, _, hdr := get(t, ts.URL+"/runs/"+st.ID+"/table")
-	if code != http.StatusConflict || hdr.Get("Retry-After") == "" {
-		t.Fatalf("running table: code %d Retry-After %q", code, hdr.Get("Retry-After"))
+	// The hint must be the same computed value admission control sends,
+	// not an ad-hoc constant: a non-draining server says retryAfterBusy.
+	if code != http.StatusConflict || hdr.Get("Retry-After") != retryAfterBusy {
+		t.Fatalf("running table: code %d Retry-After %q, want 409 with %q",
+			code, hdr.Get("Retry-After"), retryAfterBusy)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := s.Drain(ctx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBiasedSubmitServedEndToEnd: a bias-carrying GridSpec rides the
+// HTTP submit path untouched — the daemon's table is byte-identical to
+// the serial rendering of the same biased spec (bias setting in the
+// title included), the status surfaces the coordinator's arch (the
+// store partition the run hits), and the same grid at a different bias
+// rate is a fresh computation, never a dedupe.
+func TestBiasedSubmitServedEndToEnd(t *testing.T) {
+	spec := smallSpec()
+	spec.Bias, spec.BiasRate = experiments.BiasLabel, 0.2
+	want := serialTable(t, spec)
+	s, ts := newServer(t, Config{})
+
+	code, st, _ := postSpec(t, ts, spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("biased submit: code %d", code)
+	}
+	waitDone(t, s, st.ID)
+
+	code, body, _ := get(t, ts.URL+"/runs/"+st.ID)
+	if code != http.StatusOK {
+		t.Fatalf("status: code %d body %s", code, body)
+	}
+	var done runStatus
+	if err := json.Unmarshal([]byte(body), &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != string(stateDone) || done.Arch != runtime.GOARCH {
+		t.Fatalf("final status %+v, want done with arch %q", done, runtime.GOARCH)
+	}
+
+	code, table, _ := get(t, ts.URL+"/runs/"+st.ID+"/table")
+	if code != http.StatusOK {
+		t.Fatalf("table: code %d", code)
+	}
+	if table != want {
+		t.Fatalf("served biased table diverges from serial rendering:\n--- served ---\n%s--- serial ---\n%s", table, want)
+	}
+
+	other := spec
+	other.BiasRate = 0.3
+	code, st2, _ := postSpec(t, ts, other)
+	if code != http.StatusAccepted || st2.Deduped || st2.ID == st.ID {
+		t.Fatalf("different-rate submit: code %d status %+v, want a fresh run", code, st2)
+	}
+	waitDone(t, s, st2.ID)
+	_, body, _ = get(t, ts.URL+"/runs/"+st2.ID)
+	var done2 runStatus
+	if err := json.Unmarshal([]byte(body), &done2); err != nil {
+		t.Fatal(err)
+	}
+	if done2.Fingerprint == done.Fingerprint {
+		t.Fatal("different bias rates share a fingerprint")
+	}
+	if done2.CellsComputed == 0 {
+		t.Fatal("different-rate run computed nothing — it was served another rate's cells")
 	}
 }

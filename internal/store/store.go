@@ -45,7 +45,12 @@ type Key struct {
 	// must forge two independent records to satisfy a wrong-seed lookup.
 	Seed int64
 	// Arch is the GOARCH the payload was computed on. Float arithmetic is
-	// architecture-sensitive, so entries never cross architectures.
+	// architecture-sensitive, so entries never cross architectures: a
+	// mixed-arch fleet sharing one store recomputes every cell per
+	// architecture rather than serving subtly different floats. That
+	// trade is silent at this layer by design — engine reports and the
+	// serve daemon's /runs/{id} status surface the coordinator's Arch so
+	// operators can see which partition of the store a run hits.
 	Arch string
 }
 
