@@ -13,6 +13,7 @@ import (
 	"fairbench/internal/registry"
 	"fairbench/internal/rng"
 	"fairbench/internal/runner"
+	"fairbench/internal/store"
 	"fairbench/internal/synth"
 )
 
@@ -219,13 +220,24 @@ func BenchmarkShardMerge(b *testing.B) {
 
 var benchCacheSpec = GridSpec{Experiment: "fig7", Dataset: "german", N: 300, Seed: 1}
 
+// benchRunShardCached runs one cached shard against an explicit cache
+// directory — what the removed facade wrapper RunShardCached did, spelled
+// out on the internal API the engine path uses.
+func benchRunShardCached(spec GridSpec, dir string) (*ShardEnvelope, error) {
+	s, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return experiments.RunShardCached(spec, 0, 1, s)
+}
+
 func BenchmarkRunShardCold(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		dir := b.TempDir() // a fresh, empty cache every iteration
 		b.StartTimer()
-		if _, err := RunShardCached(benchCacheSpec, 0, 1, dir); err != nil {
+		if _, err := benchRunShardCached(benchCacheSpec, dir); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -233,7 +245,7 @@ func BenchmarkRunShardCold(b *testing.B) {
 
 func BenchmarkRunShardWarm(b *testing.B) {
 	dir := b.TempDir()
-	env, err := RunShardCached(benchCacheSpec, 0, 1, dir) // populate
+	env, err := benchRunShardCached(benchCacheSpec, dir) // populate
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -241,7 +253,7 @@ func BenchmarkRunShardWarm(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		env, err := RunShardCached(benchCacheSpec, 0, 1, dir)
+		env, err := benchRunShardCached(benchCacheSpec, dir)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -251,17 +263,23 @@ func BenchmarkRunShardWarm(b *testing.B) {
 	}
 }
 
-// ---- Training kernels: the BENCH_train.json trio ----
+// ---- Training kernels: the BENCH_train.json set ----
 //
 // BenchmarkFitLogreg is the hot loop behind every cell: one full-batch
 // Adam fit of the baseline logistic regression on a standardized German
-// 70% split. BenchmarkGridCellCold is a whole uncached fig7 German n=300
-// grid (19 cold cells: Open + RunAll with no result cache), the same
-// workload BENCH_cache.json's cold number measures through RunShard.
-// BenchmarkSynthMaterialize is dataset materialization alone — the cost
-// the per-run synthesis memo amortizes across Opens. scripts/bench.sh
-// records all three (ns/op and allocs/op) to BENCH_train.json next to
-// the seed baselines measured before the flat-layout refactor.
+// 70% split. BenchmarkGridCellCold and BenchmarkGridBatchCold run the
+// same whole uncached fig7 German n=300 grid (19 cold cells, no result
+// cache) through its two execution modes: GridCellCold computes every
+// cell alone via Cell — the pre-batching semantics, nothing shared —
+// while GridBatchCold runs RunAll, the batch-at-a-time product path
+// whose cells share one materialization (design, base-fit, and
+// warm-start artifacts computed once per batch). Their outputs are
+// byte-identical (TestBatchedMatchesPerCell); the ns gap is batching's
+// payoff. BenchmarkSynthMaterialize is dataset materialization alone —
+// the cost the per-run synthesis memo amortizes across Opens.
+// scripts/bench.sh records all of these (ns/op and allocs/op) to
+// BENCH_train.json next to the seed baselines measured before the
+// flat-layout refactor.
 
 func BenchmarkFitLogreg(b *testing.B) {
 	src := synth.German(1000, 1)
@@ -298,6 +316,23 @@ func BenchmarkAdamStepLogreg(b *testing.B) {
 }
 
 func BenchmarkGridCellCold(b *testing.B) {
+	spec := experiments.Spec{Experiment: "fig7", Dataset: "german", N: 300, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := experiments.Open(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.SetCache(nil) // always the cold path: every cell computed
+		for c := 0; c < g.Len(); c++ {
+			if _, err := g.Cell(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkGridBatchCold(b *testing.B) {
 	spec := experiments.Spec{Experiment: "fig7", Dataset: "german", N: 300, Seed: 1}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

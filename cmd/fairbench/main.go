@@ -140,6 +140,10 @@ var shardableCommands = map[string]string{
 	"cv": "cv", "fig22": "fig22", "fig23": "fig23",
 }
 
+// parallelism carries the parsed -parallel value into the engine-backed
+// commands as RunOptions.Parallelism (0 = one worker per CPU).
+var parallelism int
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -176,6 +180,10 @@ func main() {
 	cpuProfFlag := fs.String("cpuprofile", "", "write a CPU profile of this command to the file (inspect with go tool pprof)")
 	memProfFlag := fs.String("memprofile", "", "write an allocation profile of this command to the file (inspect with go tool pprof)")
 	fs.Parse(os.Args[2:])
+	// -parallel feeds both pool knobs: RunOptions.Parallelism for the
+	// engine-backed commands, and the deprecated process-global default
+	// for the Source-based commands that predate the options struct.
+	parallelism = *parallelFlag
 	fairbench.SetParallelism(*parallelFlag)
 	if *cacheFlag != "" {
 		exitIf(fairbench.CacheDir(*cacheFlag))
@@ -426,7 +434,7 @@ func cmdDispatch(exp, ds string, n, k, runs int, seed int64, bias biasSpec,
 	merged, rep, err := fairbench.Run(ctx, spec, fairbench.RunOptions{
 		Backend: fairbench.BackendDispatch,
 		Dir:     dir, Shards: shards, Procs: procs, Retries: retries,
-		CacheDir: cache, Log: os.Stderr,
+		Parallelism: parallelism, CacheDir: cache, Log: os.Stderr,
 	})
 	if err != nil {
 		return err
@@ -441,7 +449,7 @@ func cmdResume(dir string, procs, retries int, out string) error {
 	ctx, stop := signalContext()
 	defer stop()
 	merged, rep, err := fairbench.ResumeRun(ctx, dir, fairbench.RunOptions{
-		Procs: procs, Retries: retries, Log: os.Stderr,
+		Procs: procs, Retries: retries, Parallelism: parallelism, Log: os.Stderr,
 	})
 	if err != nil {
 		return err
@@ -474,7 +482,7 @@ func cmdSched(exp, ds string, n, k, runs int, seed int64, bias biasSpec, dir, ca
 		Backend: fairbench.BackendSched,
 		Dir:     dir, Hosts: hosts, Shards: shards, CacheDir: cache,
 		HeartbeatTimeout: heartbeat, Retries: retries, MaxHostFailures: maxHostFailures,
-		Log: os.Stderr,
+		Parallelism: parallelism, Log: os.Stderr,
 	})
 	if err != nil {
 		return err
@@ -500,7 +508,7 @@ func cmdServe(addr, stateDir, cache, hostsPath string,
 	}
 	srv, err := serve.New(serve.Config{
 		StateDir: stateDir, CacheDir: cache, MaxConcurrent: maxRuns,
-		Shards: shards, Procs: procs, Retries: retries,
+		Shards: shards, Procs: procs, Retries: retries, Parallelism: parallelism,
 		Hosts: hosts, HeartbeatTimeout: heartbeat, MaxHostFailures: maxHostFailures,
 		Log: os.Stderr,
 	})
@@ -655,7 +663,7 @@ func cmdBiasedFigure(cmd, ds string, n, k, runs int, grid string, seed int64,
 				return err
 			}
 			merged, rep, err := fairbench.Run(ctx, spec, fairbench.RunOptions{
-				Backend: fairbench.BackendInproc,
+				Backend: fairbench.BackendInproc, Parallelism: parallelism,
 			})
 			if err != nil {
 				return err

@@ -21,7 +21,7 @@
 //	src := fairbench.COMPAS(0, 1)
 //	rows, err := fairbench.RunCorrectnessFairness(src, 42)
 //
-// # Parallel execution
+// # Parallel and batched execution
 //
 // Every experiment driver fans its (approach × dataset-slice) grid across
 // a worker pool sized to GOMAXPROCS by default. Results are deterministic:
@@ -31,16 +31,27 @@
 // timing fields (Seconds, Overhead) vary — under a parallel pool they
 // are measured with the other cells competing for cores. The pure timing
 // experiment (RunScalabilityRows/RunScalabilityAttrs, Figure 8) therefore
-// always measures with one worker. Tune or disable the pool with:
+// always measures with one worker. Size the pool per run with
+// RunOptions.Parallelism (zero means one worker per CPU, 1 forces serial
+// execution):
 //
-//	fairbench.SetParallelism(1)  // serial execution
-//	fairbench.SetParallelism(8)  // exactly 8 workers
-//	fairbench.SetParallelism(0)  // restore the GOMAXPROCS default
+//	out, rep, err := fairbench.Run(ctx, spec, fairbench.RunOptions{Parallelism: 8})
 //
-// The fairbench CLI exposes the same knob as -parallel N, and the
-// benchmark suite tracks the speedup (BenchmarkEvalAllSerial vs
-// BenchmarkEvalAllParallel; see scripts/bench.sh, which records both to
-// BENCH_parallel.json).
+// The fairbench CLI exposes the same knob as -parallel N, the deprecated
+// process-global SetParallelism remains for the driver functions that
+// take a Source rather than a GridSpec, and the benchmark suite tracks
+// the speedup (BenchmarkEvalAllSerial vs BenchmarkEvalAllParallel; see
+// scripts/bench.sh, which records both to BENCH_parallel.json).
+//
+// Cells are executed batch-at-a-time: cells sharing one dataset
+// materialization (same dataset slice, size, seed, and bias profile) are
+// grouped, the first worker to reach a batch arms its shared read-only
+// backing (the standardized design matrix, the post-processing
+// approaches' common base fit), and every cell of the batch reads from
+// it instead of recomputing. Sharing only ever covers artifacts each
+// cell would compute bit-identically on its own, so batched output is
+// byte-identical to cell-by-cell execution — the batch boundary moves
+// work, never results.
 //
 // # Sharded execution
 //
@@ -76,24 +87,26 @@
 //	rows, _ := fairbench.RunCorrectnessFairness(src, 42) // cold: computes + caches
 //	rows, _ = fairbench.RunCorrectnessFairness(src, 42)  // warm: zero computations
 //
-// Dispatch runs a grid as worker subprocesses and merges their
-// envelopes; an interrupted (crashed, killed) run is resumed with
-// Resume, which reuses every completed envelope and cached cell:
+// Giving Run a directory makes it dispatch the grid as worker
+// subprocesses and merge their envelopes; an interrupted (crashed,
+// killed) run is resumed with ResumeRun, which reuses every completed
+// envelope and cached cell:
 //
 //	spec := fairbench.GridSpec{Experiment: "fig7", Dataset: "compas", Seed: 42}
-//	out, rep, err := fairbench.Dispatch(spec, fairbench.DispatchOptions{
+//	out, rep, err := fairbench.Run(ctx, spec, fairbench.RunOptions{
 //		Dir: "run", Shards: 8, Procs: 4, CacheDir: "cache",
 //	})
 //	// ... a worker is SIGKILLed, err names the missing shards ...
-//	out, rep, err = fairbench.Resume("run", fairbench.DispatchOptions{Procs: 4})
+//	out, rep, err = fairbench.ResumeRun(ctx, "run", fairbench.RunOptions{Procs: 4})
 //
 // The CLI exposes the same flow as `fairbench dispatch -exp fig7 ...`
 // and `fairbench resume -dir run`.
 //
 // # Multi-host scheduling
 //
-// Sched generalizes Dispatch to a pool of hosts with per-host
-// concurrency slots, reusing the same manifest/part-file protocol. Work
+// Setting RunOptions.Hosts generalizes the subprocess dispatcher to a
+// pool of hosts with per-host concurrency slots, reusing the same
+// manifest/part-file protocol. Work
 // reaches a host through a pluggable transport — local subprocesses by
 // default, or a worker binary run over any command runner (ssh-shaped)
 // with the manifest streamed in and the envelope streamed back. Planning
@@ -107,7 +120,7 @@
 //
 //	hosts, _ := fairbench.LoadHosts("hosts.json")
 //	spec := fairbench.GridSpec{Experiment: "fig7", Dataset: "compas", Seed: 42}
-//	out, rep, err := fairbench.Sched(spec, fairbench.SchedOptions{
+//	out, rep, err := fairbench.Run(ctx, spec, fairbench.RunOptions{
 //		Dir: "run", Hosts: hosts, CacheDir: "cache",
 //	})
 //
@@ -128,9 +141,12 @@
 //	// ... interrupted ...
 //	out, rep, err = fairbench.ResumeRun(ctx, "run", fairbench.RunOptions{Procs: 4})
 //
-// Dispatch/Resume/Sched/SchedResume remain as deprecated thin wrappers.
-// The `fairbench serve` command exposes the same engine as a persistent
-// HTTP service (see the README's "Serving" section).
+// Run and ResumeRun are the only whole-grid entry points — the
+// deprecated Dispatch/Resume/Sched/SchedResume/RunShardCached wrappers
+// they subsumed have been removed (the backend option structs remain as
+// the types inside RunReport). The `fairbench serve` command exposes the
+// same engine as a persistent HTTP service (see the README's "Serving"
+// section).
 //
 // See the examples/ directory for runnable programs.
 package fairbench
@@ -302,16 +318,24 @@ func NewApproachWithModel(name, model string, g *Graph, seed int64) (Approach, e
 // Baseline returns the fairness-unaware logistic-regression classifier.
 func Baseline() Approach { return fair.NewBaseline() }
 
-// SetParallelism sets the number of worker goroutines every experiment
-// driver uses for its job grid. n <= 0 restores the default, GOMAXPROCS;
-// 1 forces serial execution. Metric results are identical at any setting
-// for a fixed seed; the timing fields (Seconds, Overhead) reflect the
-// selected concurrency, so use 1 for contention-free runtime studies.
-// Safe to call concurrently with running experiments (in-flight runs
-// keep their pool).
+// SetParallelism sets the process-wide default worker count every
+// experiment driver uses for its job grid. n <= 0 restores the default,
+// GOMAXPROCS; 1 forces serial execution. Metric results are identical at
+// any setting for a fixed seed; the timing fields (Seconds, Overhead)
+// reflect the selected concurrency, so use 1 for contention-free runtime
+// studies. Safe to call concurrently with running experiments (in-flight
+// runs keep their pool).
+//
+// Deprecated: prefer RunOptions.Parallelism, which scopes the pool size
+// to one Run instead of mutating process-global state. SetParallelism
+// remains as the only knob for the Source-based driver functions
+// (RunCorrectnessFairness and friends), which carry no options struct.
 func SetParallelism(n int) { runner.SetParallelism(n) }
 
-// Parallelism reports the worker count experiment drivers currently use.
+// Parallelism reports the process-wide default worker count; a
+// RunOptions.Parallelism override is not reflected here.
+//
+// Deprecated: see SetParallelism.
 func Parallelism() int { return runner.Parallelism() }
 
 // PlanShards reports the contiguous job ranges a k-way split of the
@@ -444,22 +468,6 @@ func GridFingerprint(spec GridSpec) (string, error) {
 	return g.Fingerprint()
 }
 
-// RunShardCached is RunShard against an explicit cache directory,
-// without installing (or disturbing) the process-wide cache: cache-hit
-// cells are served from dir, misses are computed and written back, and
-// the envelope's Cached field records which cells were served.
-//
-// Deprecated: for whole-grid execution use Run with
-// RunOptions{CacheDir: dir}; RunShardCached remains only for callers
-// that need a single shard's envelope rather than merged output.
-func RunShardCached(spec GridSpec, i, k int, dir string) (*ShardEnvelope, error) {
-	s, err := store.Open(dir)
-	if err != nil {
-		return nil, err
-	}
-	return experiments.RunShardCached(spec, i, k, s)
-}
-
 // defaultEngine backs the package-level Run/ResumeRun entry points.
 var defaultEngine = engine.New(engine.RunOptions{})
 
@@ -478,7 +486,7 @@ func NewEngine(defaults RunOptions) *Engine { return engine.New(defaults) }
 // directory-backed runs left resumable via ResumeRun. With
 // opts.CacheDir set, a fully-cached grid is served entirely by the
 // calling process (RunReport.ServedFromCache: computed=0, no worker or
-// host touched). Run replaces the deprecated Dispatch, Sched, and
+// host touched). Run subsumed the removed Dispatch, Sched, and
 // RunShardCached entry points.
 func Run(ctx context.Context, spec GridSpec, opts RunOptions) (*GridOutput, *RunReport, error) {
 	return defaultEngine.Run(ctx, spec, opts)
@@ -492,33 +500,6 @@ func Run(ctx context.Context, spec GridSpec, opts RunOptions) (*GridOutput, *Run
 // deprecated Resume and SchedResume.
 func ResumeRun(ctx context.Context, dir string, opts RunOptions) (*GridOutput, *RunReport, error) {
 	return defaultEngine.ResumeRun(ctx, dir, opts)
-}
-
-// Dispatch runs the spec's grid as opts.Shards worker subprocesses (at
-// most opts.Procs concurrently) coordinated through the dispatch
-// directory opts.Dir, retries failed workers, and merges the completed
-// envelopes into driver-native output — byte-identical (timing aside) to
-// a serial run. On failure the error names the shards still missing and
-// the directory stays resumable. The default worker spawner re-execs
-// the current binary's `worker` subcommand, which the fairbench CLI
-// implements; other embedders must set opts.Spawn.
-//
-// Deprecated: use Run with RunOptions{Backend: BackendDispatch} (or
-// just a Dir, which resolves to the dispatch backend), which adds
-// cancellation and the fully-cached short-circuit.
-func Dispatch(spec GridSpec, opts DispatchOptions) (*GridOutput, *DispatchReport, error) {
-	return dispatch.Run(spec, opts)
-}
-
-// Resume continues the dispatched run recorded in dir: completed
-// envelopes are validated and reused, missing shards are executed
-// (consulting the run's result cache, so even a partially computed shard
-// resumes at cell granularity), and the completed set is merged.
-//
-// Deprecated: use ResumeRun, which resumes dispatch and sched
-// directories alike and adds cancellation.
-func Resume(dir string, opts DispatchOptions) (*GridOutput, *DispatchReport, error) {
-	return dispatch.Resume(dir, opts)
 }
 
 // PlanShardsCacheAware plans a split of the spec's grid targeting k work
@@ -537,35 +518,8 @@ func PlanShardsCacheAware(spec GridSpec, k int, cacheDir string) (*ShardPlan, er
 	return experiments.PlanShardsCacheAware(spec, k, s)
 }
 
-// Sched schedules the spec's grid across a pool of hosts — the
-// multi-host layer above Dispatch, reusing the same directory protocol,
-// so its output is byte-identical (timing aside) to a serial run and its
-// directories are resumable by either scheduler. Planning is
-// cache-aware (fully-cached ranges are served by the coordinator, the
-// rest balanced by uncached work), failed attempts are retried on other
-// hosts, silent hosts are declared dead after opts.HeartbeatTimeout, and
-// repeatedly failing hosts are excluded with their ranges reassigned to
-// survivors. Load a pool definition with LoadHosts; an empty pool
-// defaults to one local host.
-//
-// Deprecated: use Run with RunOptions{Hosts: ...} (or Backend:
-// BackendSched), which adds cancellation and the fully-cached
-// short-circuit.
-func Sched(spec GridSpec, opts SchedOptions) (*GridOutput, *SchedReport, error) {
-	return sched.Run(spec, opts)
-}
-
-// SchedResume continues the scheduled run recorded in dir, taking the
-// spec, plan, and cache directory from its manifest.
-//
-// Deprecated: use ResumeRun, which resumes dispatch and sched
-// directories alike and adds cancellation.
-func SchedResume(dir string, opts SchedOptions) (*GridOutput, *SchedReport, error) {
-	return sched.Resume(dir, opts)
-}
-
 // LoadHosts reads a hosts.json pool definition (a JSON array of
-// SchedHost objects) for Sched.
+// SchedHost objects) for RunOptions.Hosts.
 func LoadHosts(path string) ([]SchedHost, error) { return sched.LoadHosts(path) }
 
 // Split partitions a dataset with the paper's random hold-out protocol.

@@ -128,20 +128,6 @@ func (e *Estimator) Estimate(d *dataset.Dataset, yhat []int) Effects {
 		wMarg[k] /= float64(n)
 	}
 
-	// expY returns E[Ŷ | S=s, Z=z, W=w] with progressive fallback to the
-	// coarser conditional and finally to the group mean, so sparse strata
-	// do not zero out the estimate.
-	groupMean := [2]float64{p0, p1}
-	expY := func(s, z, w int) float64 {
-		if c := condSZW[[3]int{s, z, w}]; c != nil && c.tot > 0 {
-			return c.pos / c.tot
-		}
-		if c := condSZ[[2]int{s, z}]; c != nil && c.tot > 0 {
-			return c.pos / c.tot
-		}
-		return groupMean[s]
-	}
-
 	// Collect the observed z strata (with P(z|S=0), P(z|S=1)) and observed
 	// w strata (with P(w)); the adjustment sums range over their product.
 	type zent struct {
@@ -177,13 +163,76 @@ func (e *Estimator) Estimate(d *dataset.Dataset, yhat []int) Effects {
 		ws = append(ws, w)
 	}
 	sort.Ints(ws)
+
+	// The adjustment sum visits every (s, z, w) combination, so per-lookup
+	// map hashing dominates it. Re-index the conditional tables first: the
+	// (s, z) conditionals become dense arrays over sorted-stratum position,
+	// and the (s, z, w) table becomes one wi-sorted sparse row per (s, zi)
+	// — total entries are bounded by the tuple count, never nz·nw. The sums
+	// below then merge-scan each sparse row against the ascending wi loop,
+	// reading the same pos/tot pairs the map lookups returned, with the
+	// same progressive fallback — E[Ŷ|S,Z,W], then E[Ŷ|S,Z], then the
+	// group mean — so every term is bit-identical.
+	nz := len(zs)
+	zIdx := make(map[int]int, nz)
+	for i, z := range zs {
+		zIdx[z] = i
+	}
+	wIdx := make(map[int]int, len(ws))
+	for i, w := range ws {
+		wIdx[w] = i
+	}
+	type went struct {
+		wi       int
+		pos, tot float64
+	}
+	rows := make([][]went, 2*nz)
+	for k, c := range condSZW {
+		at := k[0]*nz + zIdx[k[1]]
+		rows[at] = append(rows[at], went{wIdx[k[2]], c.pos, c.tot})
+	}
+	for _, r := range rows {
+		sort.Slice(r, func(i, j int) bool { return r[i].wi < r[j].wi })
+	}
+	ey2Pos := make([]float64, 2*nz)
+	ey2Tot := make([]float64, 2*nz)
+	for k, c := range condSZ {
+		at := k[0]*nz + zIdx[k[1]]
+		ey2Pos[at], ey2Tot[at] = c.pos, c.tot
+	}
+	pwArr := make([]float64, len(ws))
+	for wi, w := range ws {
+		pwArr[wi] = wMarg[w]
+	}
+
+	groupMean := [2]float64{p0, p1}
 	var nde, nie float64
-	for _, z := range zs {
+	for zi, z := range zs {
 		ze := zset[z]
-		for _, w := range ws {
-			pw := wMarg[w]
-			nde += expY(1, ze.z, w) * ze.p0z * pw
-			nie += expY(0, ze.z, w) * ze.p1z * pw
+		r0 := rows[zi]
+		r1 := rows[nz+zi]
+		i0, i1 := 0, 0
+		for wi, pw := range pwArr {
+			for i1 < len(r1) && r1[i1].wi < wi {
+				i1++
+			}
+			e1 := groupMean[1]
+			if i1 < len(r1) && r1[i1].wi == wi && r1[i1].tot > 0 {
+				e1 = r1[i1].pos / r1[i1].tot
+			} else if t := ey2Tot[nz+zi]; t > 0 {
+				e1 = ey2Pos[nz+zi] / t
+			}
+			for i0 < len(r0) && r0[i0].wi < wi {
+				i0++
+			}
+			e0 := groupMean[0]
+			if i0 < len(r0) && r0[i0].wi == wi && r0[i0].tot > 0 {
+				e0 = r0[i0].pos / r0[i0].tot
+			} else if t := ey2Tot[zi]; t > 0 {
+				e0 = ey2Pos[zi] / t
+			}
+			nde += e1 * ze.p0z * pw
+			nie += e0 * ze.p1z * pw
 		}
 	}
 	nde -= p0

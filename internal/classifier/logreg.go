@@ -62,25 +62,38 @@ func (lr *LogisticRegression) Fit(x [][]float64, y []int, w []float64) error {
 	if totalW <= 0 {
 		totalW = 1
 	}
+	// A design matrix over one flat backing runs the blocked z-pass +
+	// scatter kernels (bit-identical fold order; see flatfit.go); the
+	// z buffer is allocated once and reused across all Adam iterations.
+	dm, flat := matrix.AsDense(x)
+	var zbuf, gbuf []float64
+	if flat {
+		zbuf = make([]float64, len(x))
+		gbuf = make([]float64, len(x))
+	}
 	obj := func(theta []float64, grad []float64) float64 {
 		for j := range grad {
 			grad[j] = 0
 		}
-		for i, row := range x {
-			wi := 1.0
-			if w != nil {
-				wi = w[i]
+		if flat {
+			logitGradFlat(dm, y, w, theta, zbuf, gbuf, grad)
+		} else {
+			for i, row := range x {
+				wi := 1.0
+				if w != nil {
+					wi = w[i]
+				}
+				z := theta[d]
+				for j, v := range row {
+					z += theta[j] * v
+				}
+				p := matrix.Sigmoid(z)
+				g := wi * (p - float64(y[i]))
+				for j, v := range row {
+					grad[j] += g * v
+				}
+				grad[d] += g
 			}
-			z := theta[d]
-			for j, v := range row {
-				z += theta[j] * v
-			}
-			p := matrix.Sigmoid(z)
-			g := wi * (p - float64(y[i]))
-			for j, v := range row {
-				grad[j] += g * v
-			}
-			grad[d] += g
 		}
 		for j := range grad {
 			grad[j] /= totalW

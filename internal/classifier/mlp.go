@@ -104,28 +104,33 @@ func (m *MLP) Fit(x [][]float64, y []int, w []float64) error {
 			for _, i := range order[start:end] {
 				wi := weightOf(w, i)
 				bw += wi
-				// Forward.
-				for h := 0; h < hidden; h++ {
-					z := m.w1[h][d]
-					for j, v := range x[i] {
-						z += m.w1[h][j] * v
+				xi := x[i]
+				// Forward. Reslicing each weight row to the input length
+				// proves the inner indexing in bounds.
+				for h, w1h := range m.w1 {
+					z := w1h[d]
+					wz := w1h[:len(xi)]
+					for j, v := range xi {
+						z += wz[j] * v
 					}
 					hid[h] = math.Tanh(z)
 				}
 				out := m.w2[hidden]
-				for h := 0; h < hidden; h++ {
-					out += m.w2[h] * hid[h]
+				for h, hv := range hid {
+					out += m.w2[h] * hv
 				}
 				p := matrix.Sigmoid(out)
 				// Backward.
 				dOut := wi * (p - float64(y[i]))
-				for h := 0; h < hidden; h++ {
-					g2[h] += dOut * hid[h]
-					dHid := dOut * m.w2[h] * (1 - hid[h]*hid[h])
-					for j, v := range x[i] {
-						g1[h][j] += dHid * v
+				for h, hv := range hid {
+					g2[h] += dOut * hv
+					dHid := dOut * m.w2[h] * (1 - hv*hv)
+					g1h := g1[h]
+					gz := g1h[:len(xi)]
+					for j, v := range xi {
+						gz[j] += dHid * v
 					}
-					g1[h][d] += dHid
+					g1h[d] += dHid
 				}
 				g2[hidden] += dOut
 			}

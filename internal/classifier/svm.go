@@ -53,19 +53,26 @@ func (s *LinearSVM) Fit(x [][]float64, y []int, w []float64) error {
 			yi := 2*float64(y[i]) - 1 // {-1,+1}
 			eta := 1 / (lambda * float64(t))
 			t++
+			// Pegasos is inherently sequential (theta changes every sampled
+			// tuple), so the win here is bounds-check-free inner loops: the
+			// reslice proves theta and the row share a length.
+			xi := x[i]
+			th := theta[:len(xi)]
 			margin := theta[d]
-			for j, v := range x[i] {
-				margin += theta[j] * v
+			for j, v := range xi {
+				margin += th[j] * v
 			}
 			// L2 shrink on non-intercept weights.
-			for j := 0; j < d; j++ {
-				theta[j] *= 1 - eta*lambda
+			shrink := 1 - eta*lambda
+			for j := range th {
+				th[j] *= shrink
 			}
 			if yi*margin < 1 {
-				for j, v := range x[i] {
-					theta[j] += eta * wi * yi * v
+				step := eta * wi * yi
+				for j, v := range xi {
+					th[j] += step * v
 				}
-				theta[d] += eta * wi * yi
+				theta[d] += step
 			}
 		}
 	}

@@ -25,6 +25,7 @@ package dataset
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"fairbench/internal/matrix"
 	"fairbench/internal/rng"
@@ -74,6 +75,18 @@ type Dataset struct {
 	// (X[i] == flat.Row(i)). Datasets assembled from scattered rows (views,
 	// hand-built X) leave it nil; Clone always rebuilds it.
 	flat *matrix.Dense
+
+	// design, when armed via EnableDesignCache, memoizes the standardized
+	// design matrix shared by a batch of grid cells fitting on this view.
+	// Derived datasets (Clone, Subset, …) start without one: their rows
+	// are different data, so sharing would be wrong by construction.
+	design atomic.Pointer[DesignCache]
+
+	// batch, when armed via EnableBatchCache, is the generic arm-once memo
+	// batched grid cells use to share arbitrary artifacts derived
+	// deterministically from this view (see BatchCache). Like design, it
+	// never survives into derived datasets.
+	batch atomic.Pointer[BatchCache]
 }
 
 // NewFlat returns a dataset with n zeroed tuples whose rows live in one

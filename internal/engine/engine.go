@@ -71,6 +71,13 @@ type RunOptions struct {
 	// Procs caps concurrent worker subprocesses (dispatch) and sizes
 	// the default local host's slots (sched with no Hosts).
 	Procs int
+	// Parallelism sizes the worker pool a single process uses for grid
+	// cells: the in-process backend's pool directly, the default for
+	// Procs on dispatch, and the default local host's slots on sched.
+	// Zero means one worker per CPU. This is the options-first
+	// replacement for the deprecated process-global
+	// fairbench.SetParallelism.
+	Parallelism int
 	// Retries is the per-shard re-spawn budget (dispatch) or the number
 	// of extra full rounds over the pool (sched).
 	Retries int
@@ -151,6 +158,9 @@ func (e *Engine) merged(opts RunOptions) RunOptions {
 	}
 	if opts.Procs == 0 {
 		opts.Procs = d.Procs
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = d.Parallelism
 	}
 	if opts.Retries == 0 {
 		opts.Retries = d.Retries
@@ -244,7 +254,7 @@ func runInproc(ctx context.Context, spec experiments.Spec, opts RunOptions) (*ex
 	if err != nil {
 		return nil, nil, err
 	}
-	env, err := experiments.RunShardContext(ctx, spec, 0, 1, s)
+	env, err := experiments.RunShardContext(ctx, spec, 0, 1, s, opts.Parallelism)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -290,6 +300,14 @@ func serveFromCache(ctx context.Context, spec experiments.Spec, opts RunOptions,
 	}
 	envs := make([]*shard.Envelope, len(plan.Ranges))
 	for i := range plan.Ranges {
+		// Single-pass plan+serve: planning already read and verified every
+		// cached payload, so materialize the envelopes from those bytes.
+		// The fallback covers entries that went bad between probe and
+		// serve — RunShardPlanned then recomputes them like any cache miss.
+		if env, ok := plan.ServeEnvelope(i); ok {
+			envs[i] = env
+			continue
+		}
 		if envs[i], err = experiments.RunShardPlanned(spec, plan.Ranges, i, s); err != nil {
 			return nil, nil, false, err
 		}
@@ -326,10 +344,16 @@ func openStore(dir string) (*store.Store, error) {
 }
 
 func dispatchOptions(opts RunOptions) dispatch.Options {
+	procs := opts.Procs
+	if procs == 0 {
+		// Parallelism is the cross-backend pool knob: on dispatch it
+		// bounds concurrent worker subprocesses unless Procs pins them.
+		procs = opts.Parallelism
+	}
 	return dispatch.Options{
 		Dir:      opts.Dir,
 		Shards:   opts.Shards,
-		Procs:    opts.Procs,
+		Procs:    procs,
 		Retries:  opts.Retries,
 		CacheDir: opts.CacheDir,
 		Spawn:    opts.Spawn,
@@ -338,6 +362,12 @@ func dispatchOptions(opts RunOptions) dispatch.Options {
 }
 
 func schedOptions(opts RunOptions) sched.Options {
+	hosts := opts.Hosts
+	if len(hosts) == 0 && opts.Parallelism > 0 {
+		// No explicit pool: Parallelism sizes the default local host, so
+		// the cross-backend pool knob reaches sched too.
+		hosts = []sched.Host{{Name: "local", Slots: opts.Parallelism}}
+	}
 	transports := opts.Transports
 	if opts.Spawn != nil && (transports == nil || transports["local"] == nil) {
 		// Route the spawn override through the local transport so one
@@ -350,7 +380,7 @@ func schedOptions(opts RunOptions) sched.Options {
 	}
 	return sched.Options{
 		Dir:              opts.Dir,
-		Hosts:            opts.Hosts,
+		Hosts:            hosts,
 		Shards:           opts.Shards,
 		CacheDir:         opts.CacheDir,
 		HeartbeatTimeout: opts.HeartbeatTimeout,

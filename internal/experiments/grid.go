@@ -328,6 +328,9 @@ type Grid struct {
 	// cache, when non-nil on a grid opened from a Spec, short-circuits
 	// RunRange cells through the on-disk result store.
 	cache *store.Store
+	// workers overrides the runner pool size for this grid's RunRange
+	// calls; 0 uses the process default (see SetWorkers).
+	workers int
 }
 
 // Open materializes the grid a Spec describes: it normalizes the spec,
@@ -387,6 +390,18 @@ func Open(spec Spec) (*Grid, error) {
 // grid). Open installs the process-wide default; this hook lets one run
 // use a dedicated cache directory without touching global state.
 func (g *Grid) SetCache(s *store.Store) { g.cache = s }
+
+// SetWorkers pins the worker-pool size this grid's RunRange calls use
+// (n <= 0 restores the process-wide default from runner.SetParallelism).
+// It is how engine.RunOptions.Parallelism reaches the in-process pool
+// without mutating global state; the pure-timing grids ignore it and
+// always run with one worker.
+func (g *Grid) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	g.workers = n
+}
 
 // specOutput reroutes a Source-based driver call through the Spec/Open
 // path — the only path with a grid fingerprint, and therefore the only
@@ -613,9 +628,85 @@ func (g *Grid) Cell(i int) (Cell, error) {
 	}
 }
 
+// Batches enumerates the grid's batch groups: maximal runs of consecutive
+// cells that share one dataset materialization (the same training split,
+// and through it the same flat matrix backing). The grouping key is
+// positional — metric grids group by dataset slice, the sensitivity grid
+// is one batch (every cell evaluates on the same split), and the
+// pure-timing grids group by slice with no preparation at all, because a
+// shared materialization would shift measured cost from later cells onto
+// the first one.
+//
+// A batch's Prepare arms the shared split's design and batch caches, so
+// cells fitting on it share the standardized design matrix and any other
+// artifact they derive identically (see dataset.BatchCache) instead of
+// each materializing its own. Arming is the only effect: every shared
+// value is bit-identical to what each cell would have computed alone, so
+// a batched run's output is byte-identical to the per-cell path.
+func (g *Grid) Batches() []runner.Batch {
+	switch g.kind {
+	case kindSens:
+		// Every cell fits on slices[0]'s training split.
+		if len(g.slices) == 0 {
+			return nil
+		}
+		return []runner.Batch{{Start: 0, End: g.Len(), Prepare: armSplit(g.slices[0].train)}}
+	case kindScale:
+		cols := len(g.names) + 1
+		batches := make([]runner.Batch, len(g.scale))
+		for si := range g.scale {
+			batches[si] = runner.Batch{Start: si * cols, End: (si + 1) * cols}
+		}
+		return batches
+	default:
+		batches := make([]runner.Batch, len(g.slices))
+		for si := range g.slices {
+			batches[si] = runner.Batch{
+				Start:   si * len(g.names),
+				End:     (si + 1) * len(g.names),
+				Prepare: armSplit(g.slices[si].train),
+			}
+		}
+		return batches
+	}
+}
+
+// armSplit is the batch preparation step: it arms the shared training
+// split's caches so the batch's cells share one materialization.
+func armSplit(train *dataset.Dataset) func() error {
+	return func() error {
+		train.EnableDesignCache()
+		train.EnableBatchCache()
+		return nil
+	}
+}
+
+// clipBatches intersects the grid's batches with the shard range
+// [start, end), keeping each surviving batch's Prepare (a shard that
+// holds any cell of a batch still materializes that batch's split — once).
+func clipBatches(batches []runner.Batch, start, end int) []runner.Batch {
+	var out []runner.Batch
+	for _, b := range batches {
+		if b.End <= start || b.Start >= end {
+			continue
+		}
+		if b.Start < start {
+			b.Start = start
+		}
+		if b.End > end {
+			b.End = end
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
 // RunRange executes the contiguous cells [start, end) — one shard of the
-// grid — across the runner pool and returns them in index order. The
-// pure-timing scalability grids always run their cells with one worker so
+// grid — across the runner pool and returns them in index order. Cells
+// are executed batch-aware: the first worker to reach a batch runs its
+// Prepare (materializing the shared split once), then every cell of the
+// batch fans out over the shared read-only views. The pure-timing
+// scalability grids always run their cells with one worker so
 // co-scheduled cells cannot contend for cores and corrupt the measured
 // overhead; sharding is the sanctioned way to parallelize them, across
 // isolated processes or hosts.
@@ -633,7 +724,7 @@ func (g *Grid) RunRangeContext(ctx context.Context, start, end int) ([]Cell, err
 	if start < 0 || end > g.Len() || start > end {
 		return nil, fmt.Errorf("experiments: range [%d,%d) outside grid [0,%d)", start, end, g.Len())
 	}
-	opts := runner.Options{FailFast: true, Offset: start}
+	opts := runner.Options{FailFast: true, Offset: start, Workers: g.workers}
 	if g.kind == kindScale {
 		opts.Workers = 1
 	}
@@ -653,7 +744,7 @@ func (g *Grid) RunRangeContext(ctx context.Context, start, end int) ([]Cell, err
 			return inner(i)
 		}
 	}
-	return runner.Run(end-start, opts, job)
+	return runner.RunBatched(end-start, opts, clipBatches(g.Batches(), start, end), job)
 }
 
 // cachedCell serves grid job i from the result cache when a verified

@@ -51,6 +51,18 @@ type ShardPlan struct {
 	// Uncached[i] is how many of Ranges[i]'s cells had no verified cache
 	// entry at plan time.
 	Uncached []int
+
+	// specJSON is the grid's canonical spec encoding, kept so envelopes
+	// served from the plan carry the same Spec bytes runPlanned would.
+	specJSON []byte
+	// payloads holds the verified cell payloads the store served during
+	// planning, by cell index — the plan-time probe already read and
+	// checked every cached entry end to end, so the coordinator can serve
+	// fully-cached ranges from these bytes without re-reading the store.
+	// Only populated by PlanShardsCacheAware in this process; a plan that
+	// crossed a process boundary (e.g. a decoded manifest) has none and
+	// serves through RunShardPlanned as before.
+	payloads map[int][]byte
 }
 
 // Assigned returns the plan positions that still hold uncached work —
@@ -83,7 +95,10 @@ func (p *ShardPlan) TotalUncached() int {
 // shard.PlanCacheAware). A nil store plans every cell as uncached, which
 // degrades to ordinary aligned planning. Probing verifies entries end to
 // end, so a corrupt entry is rejected (and removed) at plan time exactly
-// as it would be at run time.
+// as it would be at run time — and because the probe already decoded
+// every good entry, the plan keeps those payloads so ServeEnvelope can
+// hand fully-cached ranges to the coordinator without a second store
+// pass.
 func PlanShardsCacheAware(spec Spec, k int, s *store.Store) (*ShardPlan, error) {
 	g, err := Open(spec)
 	if err != nil {
@@ -94,8 +109,12 @@ func PlanShardsCacheAware(spec Spec, k int, s *store.Store) (*ShardPlan, error) 
 		return nil, err
 	}
 	align := g.alignment()
+	payloads := map[int][]byte{}
 	uncached := func(block int) int {
-		return UncachedInRange(fp, g.spec.Seed, shard.Range{Start: block * align, End: (block + 1) * align}, s)
+		r := shard.Range{Start: block * align, End: (block + 1) * align}
+		return probeRange(fp, g.spec.Seed, r, s, func(i int, payload []byte) {
+			payloads[i] = payload
+		})
 	}
 	ranges, counts, err := shard.PlanCacheAware(g.Len(), k, align, uncached)
 	if err != nil {
@@ -107,6 +126,8 @@ func PlanShardsCacheAware(spec Spec, k int, s *store.Store) (*ShardPlan, error) 
 		Total:       g.Len(),
 		Ranges:      ranges,
 		Uncached:    counts,
+		specJSON:    g.specJSON,
+		payloads:    payloads,
 	}, nil
 }
 
@@ -117,16 +138,78 @@ func PlanShardsCacheAware(spec Spec, k int, s *store.Store) (*ShardPlan, error) 
 // adopted-manifest resume path; keeping both on one helper means a
 // change to the cache key shape can never make them drift.
 func UncachedInRange(fp string, seed int64, r shard.Range, s *store.Store) int {
+	return probeRange(fp, seed, r, s, nil)
+}
+
+// probeRange is the shared probe loop: it counts the cells of r the
+// store cannot serve and, when hit is non-nil, hands every verified
+// payload to it. Store probing goes through Get, which checks each entry
+// end to end, so a payload passed to hit carries exactly the bytes a
+// later cache read would.
+func probeRange(fp string, seed int64, r shard.Range, s *store.Store, hit func(i int, payload []byte)) int {
 	if s == nil {
 		return r.Len()
 	}
 	n := 0
 	for i := r.Start; i < r.End; i++ {
-		if !s.Has(store.Key{Fingerprint: fp, Index: i, Seed: seed, Arch: runtime.GOARCH}) {
+		payload, ok := s.Get(store.Key{Fingerprint: fp, Index: i, Seed: seed, Arch: runtime.GOARCH})
+		if !ok {
 			n++
+			continue
+		}
+		if hit != nil {
+			hit(i, payload)
 		}
 	}
 	return n
+}
+
+// ServeEnvelope materializes plan position i as an envelope straight
+// from the payloads captured at plan time — the single-pass plan+serve
+// path: ranges the plan found fully cached never touch the store (or the
+// grid) again. It reproduces RunShardPlanned's bytes exactly: each
+// payload decodes to the cell the cache path would serve, is marked
+// Cached, and is re-encoded by the same marshaller. ok is false when the
+// plan carries no payloads (crossed a process boundary), the position is
+// out of range, or any cell of the range is missing or fails to decode
+// to its own index — callers then fall back to RunShardPlanned, which
+// recomputes exactly as the cache path would on the same bad entry.
+// A nil plan serves nothing, so callers holding a maybe-nil plan (e.g.
+// the scheduler's adopted-manifest path) can call unconditionally.
+func (p *ShardPlan) ServeEnvelope(i int) (*shard.Envelope, bool) {
+	if p == nil || len(p.payloads) == 0 || len(p.specJSON) == 0 || i < 0 || i >= len(p.Ranges) {
+		return nil, false
+	}
+	env := &shard.Envelope{
+		Version:     shard.Version,
+		Fingerprint: p.Fingerprint,
+		Spec:        json.RawMessage(p.specJSON),
+		Arch:        runtime.GOARCH,
+		Seed:        p.Spec.Seed,
+		Shard:       i,
+		Shards:      len(p.Ranges),
+		Total:       p.Total,
+	}
+	r := p.Ranges[i]
+	for idx := r.Start; idx < r.End; idx++ {
+		payload, ok := p.payloads[idx]
+		if !ok {
+			return nil, false
+		}
+		var cell Cell
+		if err := json.Unmarshal(payload, &cell); err != nil || cell.Index != idx {
+			return nil, false
+		}
+		cell.Cached = true
+		raw, err := json.Marshal(cell)
+		if err != nil {
+			return nil, false
+		}
+		env.Indices = append(env.Indices, idx)
+		env.Rows = append(env.Rows, raw)
+		env.Cached = append(env.Cached, idx)
+	}
+	return env, true
 }
 
 // RunShard executes shard i of a k-way split of the spec's grid and
@@ -144,17 +227,19 @@ func RunShard(spec Spec, i, k int) (*shard.Envelope, error) {
 	return runShard(context.Background(), g, i, k)
 }
 
-// RunShardContext is RunShard with an explicit result store and a
-// cancellation context: a done ctx stops the worker pool promptly (no
-// new cells start; in-flight cells finish) and the error wraps
-// ctx.Err(). A nil store runs every cell cold, matching the worker
-// subprocess contract rather than inheriting the process default.
-func RunShardContext(ctx context.Context, spec Spec, i, k int, s *store.Store) (*shard.Envelope, error) {
+// RunShardContext is RunShard with an explicit result store, a
+// cancellation context, and a worker-pool size: a done ctx stops the
+// worker pool promptly (no new cells start; in-flight cells finish) and
+// the error wraps ctx.Err(). A nil store runs every cell cold, matching
+// the worker subprocess contract rather than inheriting the process
+// default; workers <= 0 uses the process-wide runner default.
+func RunShardContext(ctx context.Context, spec Spec, i, k int, s *store.Store, workers int) (*shard.Envelope, error) {
 	g, err := Open(spec)
 	if err != nil {
 		return nil, err
 	}
 	g.SetCache(s)
+	g.SetWorkers(workers)
 	return runShard(ctx, g, i, k)
 }
 

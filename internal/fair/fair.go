@@ -116,16 +116,19 @@ func (b *Baseline) Stage() Stage { return StageNone }
 // Targets implements Approach: the baseline optimizes no fairness metric.
 func (b *Baseline) Targets() []Metric { return nil }
 
-// Fit trains the underlying classifier on standardized features.
+// Fit trains the underlying classifier on standardized features. The
+// design matrix comes through StandardizedDesign so that batched grid
+// execution shares one materialization across every cell fitting on the
+// same training split; the labels and weights are read straight from
+// train (standardization never touches them).
 func (b *Baseline) Fit(train *dataset.Dataset) error {
 	if b.Factory == nil {
 		b.Factory = func() classifier.Classifier { return classifier.NewLogistic() }
 	}
-	work := train.Clone()
-	b.std = dataset.FitStandardizer(work)
-	b.std.Apply(work)
+	std, rows := train.StandardizedDesign(b.IncludeS)
+	b.std = std
 	b.clf = b.Factory()
-	return b.clf.Fit(work.FeatureMatrix(b.IncludeS), work.Y, work.Weights)
+	return b.clf.Fit(rows, train.Y, train.Weights)
 }
 
 // Predict labels every tuple of test.
@@ -285,13 +288,76 @@ func (p *PostProcessed) Stage() Stage { return StagePost }
 // Targets implements Approach.
 func (p *PostProcessed) Targets() []Metric { return p.Target }
 
+// postBaseKey identifies one shareable base fit within a batch: with the
+// default LR base (Factory nil), the base model, the held-out part, and
+// the probabilities over it are fully determined by (seed, includeS)
+// given the training split.
+type postBaseKey struct {
+	seed     int64
+	includeS bool
+}
+
+// postBase is the shared artifact of one base fit: the fitted default-LR
+// Baseline (taken by value by each consumer), the held-out 30% part, and
+// the base's probabilities over it. All three are read-only once built.
+type postBase struct {
+	base    Baseline
+	valPart *dataset.Dataset
+	proba   []float64
+}
+
+// fitPostBase performs the base-fit half of PostProcessed.Fit — exactly
+// the computation every sharing cell would run alone, so the memoized
+// result is bit-identical to per-cell fitting.
+func fitPostBase(train *dataset.Dataset, includeS bool, seed int64) (*postBase, error) {
+	b := &Baseline{
+		Factory:  func() classifier.Classifier { return classifier.NewLogistic() },
+		IncludeS: includeS,
+	}
+	fitPart, valPart := train.Split(0.7, rng.New(seed+977))
+	if err := b.Fit(fitPart); err != nil {
+		return nil, err
+	}
+	proba := make([]float64, valPart.Len())
+	for i := range proba {
+		proba[i] = b.Proba(valPart.X[i], valPart.S[i])
+	}
+	return &postBase{base: *b, valPart: valPart, proba: proba}, nil
+}
+
 // Fit trains the base model on 70% of the training data and fits the
 // adjuster on the remaining held-out 30%. Fitting the adjustment on data
 // the base model has not memorized keeps the derived rates calibrated for
 // deployment — with overfitting-prone bases (deep random forests) the
 // training-set confusion matrix is near-perfect and would mislead the
 // adjuster, which is exactly why post-processing methods fit on holdouts.
+//
+// Under batched grid execution (train's batch cache armed), cells that
+// use the default base share one base fit per (Seed, IncludeS): the
+// split, the fitted model, and the held-out probabilities are identical
+// across them, so only the adjuster differs per cell. Sharing is keyed
+// on Factory == nil because function values have no comparable identity;
+// explicit-factory cells always fit their own base.
 func (p *PostProcessed) Fit(train *dataset.Dataset) error {
+	if bc := train.Batch(); bc != nil && p.Factory == nil {
+		v, err := bc.Do(postBaseKey{seed: p.Seed, includeS: p.IncludeS}, func() (any, error) {
+			return fitPostBase(train, p.IncludeS, p.Seed)
+		})
+		if err != nil {
+			return fmt.Errorf("%s: base fit: %w", p.ApproachName, err)
+		}
+		sh := v.(*postBase)
+		// Private Baseline copy per cell: the classifier and standardizer
+		// are read-only after fitting, but the prediction row buffer is
+		// per-instance scratch and must not be shared across cells.
+		b := sh.base
+		b.rowBuf = nil
+		p.base = &b
+		if err := p.Mechanism.FitAdjust(sh.valPart, sh.proba); err != nil {
+			return fmt.Errorf("%s: adjust fit: %w", p.ApproachName, err)
+		}
+		return nil
+	}
 	p.base = &Baseline{Factory: p.Factory, IncludeS: p.IncludeS}
 	if p.base.Factory == nil {
 		p.base.Factory = func() classifier.Classifier { return classifier.NewLogistic() }

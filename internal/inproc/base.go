@@ -22,13 +22,13 @@ type linearBase struct {
 	includeS bool
 }
 
-// designMatrix standardizes train in place of a clone and returns the
-// feature rows used for optimization.
+// designMatrix returns the standardized feature rows used for
+// optimization, fitting (or sharing, under batched execution's design
+// cache) the standardizer along the way.
 func (b *linearBase) designMatrix(train *dataset.Dataset) [][]float64 {
-	work := train.Clone()
-	b.std = dataset.FitStandardizer(work)
-	b.std.Apply(work)
-	return work.FeatureMatrix(b.includeS)
+	std, rows := train.StandardizedDesign(b.includeS)
+	b.std = std
+	return rows
 }
 
 // row builds a standardized prediction row for raw features x and
@@ -67,6 +67,155 @@ func (b *linearBase) predictAll(d *dataset.Dataset) []int {
 		out[i] = b.predictOne(d.X[i], d.S[i])
 	}
 	return out
+}
+
+// fitView bundles the per-fit training state the fused objectives share:
+// the design matrix in row-view and (when the rows alias one tight
+// backing, which dataset.FeatureMatrix guarantees) flat form, plus score
+// and probability buffers reused across every optimizer iteration. The
+// point is pass fusion: an objective built from these helpers runs one
+// blocked z-pass and one sigmoid pass per evaluation, and every consumer
+// of the scores (loss gradient, constraint values, constraint gradients)
+// reads the shared buffers instead of recomputing the affine map — with
+// each helper preserving the exact scalar fold order of the loop it
+// replaces, so the optimizer trajectory stays bit-identical.
+type fitView struct {
+	x    [][]float64
+	y    []int
+	dm   matrix.Dense
+	flat bool
+	z    []float64 // affine scores of the current iterate
+	p    []float64 // sigmoid of z, filled on demand by fillP
+	g    []float64 // per-tuple gradient coefficients, scratch for ScatterRows
+}
+
+// gbuf returns the per-tuple coefficient scratch, allocating it on first use.
+func (v *fitView) gbuf() []float64 {
+	if v.g == nil {
+		v.g = make([]float64, len(v.z))
+	}
+	return v.g
+}
+
+func newFitView(x [][]float64, y []int) *fitView {
+	v := &fitView{x: x, y: y, z: make([]float64, len(x))}
+	v.dm, v.flat = matrix.AsDense(x)
+	return v
+}
+
+// fillZ computes the affine scores of w over every row into v.z with the
+// bias-first fold the scalar loops use.
+func (v *fitView) fillZ(w []float64) {
+	d := len(w) - 1
+	if v.flat {
+		v.dm.AffineInto(v.z, w[:d], w[d])
+		return
+	}
+	for i, row := range v.x {
+		z := w[d]
+		for j, xv := range row {
+			z += w[j] * xv
+		}
+		v.z[i] = z
+	}
+}
+
+// fillP computes p[i] = sigmoid(z[i]) from the current scores.
+func (v *fitView) fillP() {
+	if v.p == nil {
+		v.p = make([]float64, len(v.z))
+	}
+	matrix.SigmoidInto(v.p, v.z)
+}
+
+// logGradFromZ accumulates the mean-logistic-loss gradient from the
+// scores already in v.z (grad pre-zeroed) — logGradOnly with the z-pass
+// hoisted out. On a flat view the per-tuple coefficients are staged into
+// the g scratch and scattered with the blocked kernel; because grad is
+// pre-zeroed, summing the intercept terms apart from the scatter leaves
+// every component's fold identical to the interleaved per-row loop.
+func (v *fitView) logGradFromZ(grad []float64) {
+	d := len(grad) - 1
+	n := float64(len(v.x))
+	gd := grad[:d]
+	if v.flat {
+		v.fillP()
+		g := v.gbuf()
+		var gInt float64
+		for i, p := range v.p {
+			gi := (p - float64(v.y[i])) / n
+			g[i] = gi
+			gInt += gi
+		}
+		v.dm.ScatterRows(gd, g)
+		grad[d] += gInt
+		return
+	}
+	for i, zi := range v.z {
+		p := matrix.Sigmoid(zi)
+		g := (p - float64(v.y[i])) / n
+		matrix.AccumulateInto(gd, g, v.x[i])
+		grad[d] += g
+	}
+}
+
+// logLossGradFromZ is logGradFromZ also returning the mean logistic loss
+// (the logLossAndGrad fold with the z-pass hoisted out).
+func (v *fitView) logLossGradFromZ(grad []float64) float64 {
+	d := len(grad) - 1
+	n := float64(len(v.x))
+	gd := grad[:d]
+	var loss float64
+	if v.flat {
+		v.fillP()
+		g := v.gbuf()
+		var gInt float64
+		for i, p := range v.p {
+			yi := float64(v.y[i])
+			loss += logLoss(p, yi)
+			gi := (p - yi) / n
+			g[i] = gi
+			gInt += gi
+		}
+		v.dm.ScatterRows(gd, g)
+		grad[d] += gInt
+		return loss / n
+	}
+	for i, zi := range v.z {
+		p := matrix.Sigmoid(zi)
+		yi := float64(v.y[i])
+		loss += logLoss(p, yi)
+		g := (p - yi) / n
+		matrix.AccumulateInto(gd, g, v.x[i])
+		grad[d] += g
+	}
+	return loss / n
+}
+
+// logGradFromP accumulates the mean-logistic-loss gradient from the
+// probabilities already in v.p (grad pre-zeroed); for objectives whose
+// other terms also consume the sigmoid pass.
+func (v *fitView) logGradFromP(grad []float64) {
+	d := len(grad) - 1
+	n := float64(len(v.x))
+	gd := grad[:d]
+	if v.flat {
+		g := v.gbuf()
+		var gInt float64
+		for i, p := range v.p {
+			gi := (p - float64(v.y[i])) / n
+			g[i] = gi
+			gInt += gi
+		}
+		v.dm.ScatterRows(gd, g)
+		grad[d] += gInt
+		return
+	}
+	for i, p := range v.p {
+		g := (p - float64(v.y[i])) / n
+		matrix.AccumulateInto(gd, g, v.x[i])
+		grad[d] += g
+	}
 }
 
 // logLossAndGrad accumulates the weighted logistic loss and its gradient

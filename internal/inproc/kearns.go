@@ -6,6 +6,7 @@ import (
 
 	"fairbench/internal/dataset"
 	"fairbench/internal/fair"
+	"fairbench/internal/matrix"
 	"fairbench/internal/optimize"
 )
 
@@ -122,32 +123,60 @@ func (k *Kearns) Fit(train *dataset.Dataset) error {
 	for i := range weights {
 		weights[i] = 1
 	}
+	view := newFitView(x, y)
+	// Subgroup membership never changes across rounds, so the match
+	// closures run once per (subgroup, tuple) here instead of once per
+	// round in the auditor's scan.
+	masks := make([][]bool, len(k.subDefs))
+	for gi, sg := range k.subDefs {
+		m := make([]bool, n)
+		for i := range m {
+			m[i] = sg.match(train.X[i], train.S[i])
+		}
+		masks[gi] = m
+	}
 	k.models = nil
 	w := make([]float64, dim+1)
+	// Running per-tuple sum of sigmoid scores across learner iterates.
+	// Each round adds only the newest model's pass, in model-ascending
+	// order — the same fold as rescoring every iterate from scratch, at
+	// O(rounds) instead of O(rounds²) affine passes.
+	scoreSum := make([]float64, n)
+	preds := make([]int, n)
 	for round := 0; round < k.Rounds; round++ {
 		// Learner best response: weighted logistic regression.
 		// Gradient-only weighted logistic objective: Adam discards the
-		// value, so the per-tuple log-loss terms are never computed.
+		// value, so the per-tuple log-loss terms are never computed. The
+		// tuple weights are fixed within a round, so their total is summed
+		// once here (same ascending fold the per-iteration loop used).
+		var tw float64
+		for _, wi := range weights {
+			tw += wi
+		}
 		obj := func(wv, grad []float64) float64 {
 			for j := range grad {
 				grad[j] = 0
 			}
-			var tw float64
+			view.fillZ(wv)
+			view.fillP()
 			d := len(wv) - 1
-			for i, row := range x {
-				z := wv[d]
-				for j, v := range row {
-					z += wv[j] * v
-				}
-				p := sigmoid(z)
+			gd := grad[:d]
+			gb := view.gbuf()
+			var gInt float64
+			for i, p := range view.p {
 				yi := float64(y[i])
 				g := weights[i] * (p - yi)
-				for j, v := range row {
-					grad[j] += g * v
-				}
-				grad[d] += g
-				tw += weights[i]
+				gb[i] = g
+				gInt += g
 			}
+			if view.flat {
+				view.dm.ScatterRows(gd, gb)
+			} else {
+				for i, g := range gb {
+					matrix.AccumulateInto(gd, g, x[i])
+				}
+			}
+			grad[d] += gInt
 			if tw > 0 {
 				for j := range grad {
 					grad[j] /= tw
@@ -160,7 +189,19 @@ func (k *Kearns) Fit(train *dataset.Dataset) error {
 
 		// Auditor: find the subgroup with the largest alpha-weighted FPR
 		// violation under the averaged model so far.
-		preds := k.averagePreds(x, train.S)
+		view.fillZ(w)
+		view.fillP()
+		for i, p := range view.p {
+			scoreSum[i] += p
+		}
+		nm := float64(len(k.models))
+		for i, s := range scoreSum {
+			if s/nm >= 0.5 {
+				preds[i] = 1
+			} else {
+				preds[i] = 0
+			}
+		}
 		popFP, popN := 0.0, 0.0
 		for i := range x {
 			if y[i] == 0 {
@@ -177,10 +218,11 @@ func (k *Kearns) Fit(train *dataset.Dataset) error {
 		worst := -1
 		worstViol := k.Gamma
 		var worstDir float64
-		for gi, sg := range k.subDefs {
+		for gi := range k.subDefs {
+			mask := masks[gi]
 			var fp, neg, size float64
 			for i := range x {
-				if !sg.match(train.X[i], train.S[i]) {
+				if !mask[i] {
 					continue
 				}
 				size++
@@ -208,9 +250,9 @@ func (k *Kearns) Fit(train *dataset.Dataset) error {
 		}
 		// Reweight: raise the cost of negatives in the violating subgroup
 		// (to push its FPR down) or lower it (to let it rise).
-		sg := k.subDefs[worst]
+		mask := masks[worst]
 		for i := range x {
-			if y[i] == 0 && sg.match(train.X[i], train.S[i]) {
+			if y[i] == 0 && mask[i] {
 				if worstDir > 0 {
 					weights[i] *= k.Eta
 				} else {
@@ -239,26 +281,6 @@ func (k *Kearns) Fit(train *dataset.Dataset) error {
 		}
 	}
 	return nil
-}
-
-// averagePreds thresholds the mean score across learner iterates.
-func (k *Kearns) averagePreds(x [][]float64, s []int) []int {
-	out := make([]int, len(x))
-	for i, row := range x {
-		var sum float64
-		for _, w := range k.models {
-			d := len(w) - 1
-			z := w[d]
-			for j, v := range row {
-				z += w[j] * v
-			}
-			sum += sigmoid(z)
-		}
-		if sum/float64(len(k.models)) >= 0.5 {
-			out[i] = 1
-		}
-	}
-	return out
 }
 
 // Predict implements fair.Approach.

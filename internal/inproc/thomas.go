@@ -6,6 +6,7 @@ import (
 
 	"fairbench/internal/dataset"
 	"fairbench/internal/fair"
+	"fairbench/internal/matrix"
 	"fairbench/internal/optimize"
 	"fairbench/internal/rng"
 	"fairbench/internal/stats"
@@ -175,6 +176,15 @@ func (t *Thomas) Fit(train *dataset.Dataset) error {
 	cx, cy, cs := sel(candIdx)
 	sx, sy, ssv := sel(safeIdx)
 
+	// The candidate rows out of sel are permuted aliases into the design
+	// matrix, so they share no contiguous backing. Copy them into one
+	// (values bit-identical) so the fitView's blocked z-pass engages; the
+	// loss gradient, the violation terms, and the barrier gradient then all
+	// read a single affine/sigmoid pass per Adam iteration instead of
+	// recomputing the scores three times.
+	cx = matrix.FromRows(cx).RowsView()
+	view := newFitView(cx, cy)
+
 	barrier := 5.0
 	var wBest []float64
 	bestViol := math.Inf(1)
@@ -188,11 +198,13 @@ func (t *Thomas) Fit(train *dataset.Dataset) error {
 			for j := range grad {
 				grad[j] = 0
 			}
-			logGradOnly(wv, cx, cy, grad)
+			view.fillZ(wv)
+			view.fillP()
+			view.logGradFromP(grad)
 			// Barrier on the squared smooth violations, with the analytic
 			// chain-rule gradient through the per-sample sigmoids.
-			viols := t.violations(wv, cx, cy, cs)
-			t.addViolationGrad(wv, cx, cy, cs, viols, barrier, grad)
+			viols := t.violationsFromP(view.p, cy, cs)
+			t.addViolationGradFromP(view.p, cx, cy, cs, viols, barrier, grad)
 			return 0
 		}
 		w, _ = optimize.Adam(obj, w, optimize.AdamConfig{MaxIter: 400})
@@ -218,10 +230,46 @@ func (t *Thomas) Fit(train *dataset.Dataset) error {
 	return nil
 }
 
-// addViolationGrad adds the analytic gradient of barrier * sum(v^2) where
-// each v is a difference of group-mean sigmoid terms.
-func (t *Thomas) addViolationGrad(w []float64, x [][]float64, y, s []int, viols []float64, barrier float64, grad []float64) {
-	d := len(w) - 1
+// violationsFromP computes the same smooth violation terms as violations
+// but reads per-tuple probabilities already materialized in p, preserving
+// the accumulation order of the pass it replaces.
+func (t *Thomas) violationsFromP(p []float64, y, s []int) []float64 {
+	var pos, tot [2]float64
+	var tpSum, tpN, tnSum, tnN [2]float64
+	for i, pi := range p {
+		g := s[i]
+		pos[g] += pi
+		tot[g]++
+		if y[i] == 1 {
+			tpSum[g] += pi
+			tpN[g]++
+		} else {
+			tnSum[g] += 1 - pi
+			tnN[g]++
+		}
+	}
+	rate := func(sum, n [2]float64) float64 {
+		a, b := 0.0, 0.0
+		if n[0] > 0 {
+			a = sum[0] / n[0]
+		}
+		if n[1] > 0 {
+			b = sum[1] / n[1]
+		}
+		return b - a
+	}
+	if t.Notion == ThomasDP {
+		return []float64{rate(pos, tot)}
+	}
+	return []float64{rate(tpSum, tpN), rate(tnSum, tnN)}
+}
+
+// addViolationGradFromP adds the analytic gradient of barrier * sum(v^2)
+// where each v is a difference of group-mean sigmoid terms; the per-tuple
+// sigmoids are read from p rather than recomputed from the weights.
+func (t *Thomas) addViolationGradFromP(p []float64, x [][]float64, y, s []int, viols []float64, barrier float64, grad []float64) {
+	d := len(grad) - 1
+	gd := grad[:d]
 	var tot [2]float64
 	var tpN, tnN [2]float64
 	for i := range x {
@@ -233,12 +281,8 @@ func (t *Thomas) addViolationGrad(w []float64, x [][]float64, y, s []int, viols 
 		}
 	}
 	for i, row := range x {
-		z := w[d]
-		for j, v := range row {
-			z += w[j] * v
-		}
-		p := sigmoid(z)
-		dp := p * (1 - p)
+		pi := p[i]
+		dp := pi * (1 - pi)
 		g := s[i]
 		sign := 1.0
 		if g == 0 {
@@ -260,9 +304,7 @@ func (t *Thomas) addViolationGrad(w []float64, x [][]float64, y, s []int, viols 
 		if coef == 0 {
 			continue
 		}
-		for j, v := range row {
-			grad[j] += coef * v
-		}
+		matrix.AccumulateInto(gd, coef, row)
 		grad[d] += coef
 	}
 }

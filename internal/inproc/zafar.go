@@ -54,6 +54,70 @@ type Zafar struct {
 // it to trace the fairness/accuracy trade-off curve.
 func (z *Zafar) SetCovBound(b float64) { z.CovBound = b }
 
+// zafarWarmKey identifies the shared unconstrained warm start in a
+// training slice's batch cache.
+type zafarWarmKey struct{ includeS bool }
+
+// zafarWarm is the unconstrained-logistic Adam trajectory two Zafar
+// variants consume different prefixes of: Zafar^eo_Fair warm-starts its
+// DCCP rounds from the 300-step iterate, Zafar^dp_Acc fixes its loss
+// budget at the 400-step optimum. Both run Adam from zeros over the same
+// standardized design with bit-identical gradient folds (logGradFromZ and
+// logLossGradFromZ differ only in the value, which Adam's update and
+// stopping rule never read), so the shorter run IS a prefix of the longer
+// one and one shared trajectory reproduces both results exactly. Slices
+// are read-only to consumers; Fit copies before handing them on.
+type zafarWarm struct {
+	w300  []float64
+	wStar []float64
+	lStar float64
+}
+
+// fitZafarWarm runs the shared 400-step unconstrained fit, snapshotting
+// the 300-step iterate along the way. If the gradient converges before
+// step 300, both run lengths halt at the same iterate.
+func fitZafarWarm(x [][]float64, y []int) *zafarWarm {
+	view := newFitView(x, y)
+	uncon := func(w, grad []float64) float64 {
+		for j := range grad {
+			grad[j] = 0
+		}
+		view.fillZ(w)
+		return view.logLossGradFromZ(grad)
+	}
+	var w300 []float64
+	w0 := make([]float64, len(x[0])+1)
+	wStar, lStar := optimize.Adam(uncon, w0, optimize.AdamConfig{
+		MaxIter: 400,
+		Track: func(t int, w []float64) {
+			if t == 300 {
+				w300 = append([]float64(nil), w...)
+			}
+		},
+	})
+	if w300 == nil {
+		w300 = wStar
+	}
+	return &zafarWarm{w300: w300, wStar: wStar, lStar: lStar}
+}
+
+// warmStart returns the shared trajectory when train is batch-armed, or
+// nil on the per-cell path (the caller then runs its own fit, computing
+// the identical floats from its own buffers).
+func (z *Zafar) warmStart(train *dataset.Dataset, x [][]float64, y []int) *zafarWarm {
+	bc := train.Batch()
+	if bc == nil {
+		return nil
+	}
+	v, err := bc.Do(zafarWarmKey{includeS: z.base.includeS}, func() (any, error) {
+		return fitZafarWarm(x, y), nil
+	})
+	if err != nil {
+		return nil
+	}
+	return v.(*zafarWarm)
+}
+
 // Name implements fair.Approach.
 func (z *Zafar) Name() string {
 	switch z.Mode {
@@ -90,6 +154,7 @@ func (z *Zafar) Fit(train *dataset.Dataset) error {
 	y := train.Y
 	n := float64(len(x))
 	dim := len(x[0])
+	view := newFitView(x, y)
 
 	sBar := 0.0
 	for _, s := range train.S {
@@ -101,27 +166,35 @@ func (z *Zafar) Fit(train *dataset.Dataset) error {
 		sCent[i] = float64(s) - sBar
 	}
 
-	// cov(w) and its gradient for a 0/1 mask of contributing tuples
-	// (all tuples for dp; misclassified only for eo).
-	cov := func(w []float64, mask []bool, grad []float64) float64 {
-		d := len(w) - 1
-		var c float64
-		for j := range grad {
-			grad[j] = 0
-		}
+	// The covariance proxy factors cleanly at a fixed mask: its value
+	// needs only the affine scores (cov = Σ sCent[i]·z_i / n over
+	// contributing tuples), and its gradient is CONSTANT in w —
+	// grad[j] = Σ sCent[i]·x_ij/n. So the fused objectives below compute
+	// the gradient once per mask (original fold order preserved) and per
+	// iteration share one z-pass between the loss and both constraint
+	// closures, relying on MinimizePenalty's documented call order: f
+	// first, then every constraint at the same iterate.
+	covGradFor := func(mask []bool) []float64 {
+		grad := make([]float64, dim+1)
 		for i, row := range x {
 			if mask != nil && !mask[i] {
 				continue
 			}
-			z := w[d]
+			si := sCent[i]
 			for j, v := range row {
-				z += w[j] * v
+				grad[j] += si * v / n
 			}
-			c += sCent[i] * z
-			for j, v := range row {
-				grad[j] += sCent[i] * v / n
+			grad[dim] += si / n
+		}
+		return grad
+	}
+	covFromZ := func(mask []bool) float64 {
+		var c float64
+		for i, zi := range view.z {
+			if mask != nil && !mask[i] {
+				continue
 			}
-			grad[d] += sCent[i] / n
+			c += sCent[i] * zi
 		}
 		return c / n
 	}
@@ -129,38 +202,58 @@ func (z *Zafar) Fit(train *dataset.Dataset) error {
 	w0 := make([]float64, dim+1)
 	switch z.Mode {
 	case ZafarDPFair:
+		covGrad := covGradFor(nil)
+		negCovGrad := matrix.Clone(covGrad)
+		matrix.Scale(-1, negCovGrad)
 		// Gradient-only: the penalty method's inner Adam never reads the
-		// objective value.
+		// objective value. The loss fills the shared z buffer; the
+		// constraints reuse it.
 		loss := func(w, grad []float64) float64 {
 			for j := range grad {
 				grad[j] = 0
 			}
-			logGradOnly(w, x, y, grad)
+			view.fillZ(w)
+			view.logGradFromZ(grad)
 			return 0
 		}
-		cpos := func(w, grad []float64) float64 { return cov(w, nil, grad) - z.CovBound }
+		var covVal float64
+		cpos := func(w, grad []float64) float64 {
+			covVal = covFromZ(nil)
+			copy(grad, covGrad)
+			return covVal - z.CovBound
+		}
 		cneg := func(w, grad []float64) float64 {
-			v := cov(w, nil, grad)
-			matrix.Scale(-1, grad)
-			return -v - z.CovBound
+			copy(grad, negCovGrad)
+			return -covVal - z.CovBound
 		}
 		z.base.w = optimize.MinimizePenalty(loss, []optimize.Constraint{cpos, cneg}, w0,
 			optimize.PenaltyConfig{Rho0: 10, Inner: optimize.AdamConfig{MaxIter: 400}})
 
 	case ZafarDPAcc:
-		// Phase 1: unconstrained optimum fixes the loss budget.
-		uncon := func(w, grad []float64) float64 {
-			for j := range grad {
-				grad[j] = 0
+		// Phase 1: unconstrained optimum fixes the loss budget — taken
+		// from the batch-shared trajectory when one is armed.
+		var wStar []float64
+		var lStar float64
+		if sh := z.warmStart(train, x, y); sh != nil {
+			wStar = append([]float64(nil), sh.wStar...)
+			lStar = sh.lStar
+		} else {
+			uncon := func(w, grad []float64) float64 {
+				for j := range grad {
+					grad[j] = 0
+				}
+				view.fillZ(w)
+				return view.logLossGradFromZ(grad)
 			}
-			return logLossAndGrad(w, x, y, grad)
+			wStar, lStar = optimize.Adam(uncon, w0, optimize.AdamConfig{MaxIter: 400})
 		}
-		wStar, lStar := optimize.Adam(uncon, w0, optimize.AdamConfig{MaxIter: 400})
 		budget := (1 + z.Gamma) * lStar
-		// Phase 2: minimize cov^2 subject to loss <= budget.
-		covGrad := make([]float64, dim+1)
+		// Phase 2: minimize cov^2 subject to loss <= budget. The objective
+		// runs the z-pass; the loss constraint reuses its scores.
+		covGrad := covGradFor(nil)
 		obj := func(w, grad []float64) float64 {
-			c := cov(w, nil, covGrad)
+			view.fillZ(w)
+			c := covFromZ(nil)
 			for j := range grad {
 				grad[j] = 2 * c * covGrad[j]
 			}
@@ -170,7 +263,7 @@ func (z *Zafar) Fit(train *dataset.Dataset) error {
 			for j := range grad {
 				grad[j] = 0
 			}
-			return logLossAndGrad(w, x, y, grad) - budget
+			return view.logLossGradFromZ(grad) - budget
 		}
 		z.base.w = optimize.MinimizePenalty(obj, []optimize.Constraint{lossCon}, wStar,
 			optimize.PenaltyConfig{Rho0: 10, Inner: optimize.AdamConfig{MaxIter: 400}})
@@ -179,36 +272,47 @@ func (z *Zafar) Fit(train *dataset.Dataset) error {
 		// DCCP-style outer loop: fix the misclassified set under the
 		// current weights, solve the resulting penalized convex
 		// subproblem, repeat.
-		w := w0
 		// Gradient-only: both the warm start and the penalized subproblems
 		// run under Adam, which discards the value.
 		uncon := func(wv, grad []float64) float64 {
 			for j := range grad {
 				grad[j] = 0
 			}
-			logGradOnly(wv, x, y, grad)
+			view.fillZ(wv)
+			view.logGradFromZ(grad)
 			return 0
 		}
-		w, _ = optimize.Adam(uncon, w, optimize.AdamConfig{MaxIter: 300})
+		var w []float64
+		if sh := z.warmStart(train, x, y); sh != nil {
+			// The shared trajectory's 300-step iterate is exactly this
+			// Adam run's result (identical gradient folds from the same
+			// zero start).
+			w = append([]float64(nil), sh.w300...)
+		} else {
+			w, _ = optimize.Adam(uncon, w0, optimize.AdamConfig{MaxIter: 300})
+		}
 		for round := 0; round < 4; round++ {
 			mask := make([]bool, len(x))
-			d := len(w) - 1
-			for i, row := range x {
-				zv := w[d]
-				for j, v := range row {
-					zv += w[j] * v
-				}
+			view.fillZ(w)
+			for i, zv := range view.z {
 				pred := 0
 				if zv >= 0 {
 					pred = 1
 				}
 				mask[i] = pred != y[i]
 			}
-			cpos := func(wv, grad []float64) float64 { return cov(wv, mask, grad) - z.CovBound }
+			covGrad := covGradFor(mask)
+			negCovGrad := matrix.Clone(covGrad)
+			matrix.Scale(-1, negCovGrad)
+			var covVal float64
+			cpos := func(wv, grad []float64) float64 {
+				covVal = covFromZ(mask)
+				copy(grad, covGrad)
+				return covVal - z.CovBound
+			}
 			cneg := func(wv, grad []float64) float64 {
-				v := cov(wv, mask, grad)
-				matrix.Scale(-1, grad)
-				return -v - z.CovBound
+				copy(grad, negCovGrad)
+				return -covVal - z.CovBound
 			}
 			w = optimize.MinimizePenalty(uncon, []optimize.Constraint{cpos, cneg}, w,
 				optimize.PenaltyConfig{Rho0: 10, Outer: 4, Inner: optimize.AdamConfig{MaxIter: 250}})

@@ -1,0 +1,189 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the hot training kernels: the inner loops every Adam
+// iteration of every grid cell runs. They are written so the compiler
+// proves all indexing in bounds (verified in CI by building with
+// -gcflags=-d=ssa/check_bce and failing on any IsInBounds finding in
+// this file), and AffineInto additionally blocks rows in groups of four
+// so the four independent accumulator chains pipeline.
+//
+// Bit-exactness contract: every kernel preserves the exact floating-point
+// fold order of the scalar loop it replaces — one accumulator per output
+// element, ascending index — because grid results must stay byte-identical
+// across the serial, batched, sharded, and served execution paths.
+
+// Dot returns the inner product of a and b. It panics if lengths differ,
+// because a length mismatch is always a programming error in this codebase.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("matrix: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	b = b[:len(a)]
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x in place.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("matrix: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	y = y[:len(x)]
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// AffineInto computes dst[i] = bias + Σ_j w[j]·d[i][j] for every row —
+// the z-pass of a linear model with the intercept folded in first, exactly
+// as the classifiers' scalar loops accumulate it. dst must have length
+// d.Rows and w length d.Cols. Rows are processed in blocks of four with
+// one independent accumulator each, so the result is bit-identical to the
+// one-row-at-a-time fold.
+func (d *Dense) AffineInto(dst, w []float64, bias float64) {
+	if len(dst) != d.Rows || len(w) != d.Cols {
+		panic(fmt.Sprintf("matrix: AffineInto dims %d×%d vs dst %d, w %d", d.Rows, d.Cols, len(dst), len(w)))
+	}
+	if d.Rows == 0 {
+		return
+	}
+	if d.Stride != d.Cols {
+		for i := range dst {
+			dst[i] = affineRow(d.Row(i), w, bias)
+		}
+		return
+	}
+	c := d.Cols
+	data := d.Data[:d.Rows*c]
+	dst = dst[:d.Rows]
+	i := 0
+	for ; i+4 <= len(dst); i += 4 {
+		off := i * c
+		r0 := data[off+0*c : off+1*c]
+		r1 := data[off+1*c : off+2*c]
+		r2 := data[off+2*c : off+3*c]
+		r3 := data[off+3*c : off+4*c]
+		r0 = r0[:len(w)]
+		r1 = r1[:len(w)]
+		r2 = r2[:len(w)]
+		r3 = r3[:len(w)]
+		z0, z1, z2, z3 := bias, bias, bias, bias
+		for j, wj := range w {
+			z0 += wj * r0[j]
+			z1 += wj * r1[j]
+			z2 += wj * r2[j]
+			z3 += wj * r3[j]
+		}
+		ds := dst[i : i+4 : i+4]
+		ds[0] = z0
+		ds[1] = z1
+		ds[2] = z2
+		ds[3] = z3
+	}
+	tail := dst[i:]
+	for k := range tail {
+		off := (i + k) * c
+		tail[k] = affineRow(data[off:off+c], w, bias)
+	}
+}
+
+// affineRow is the scalar fold AffineInto's block path reproduces:
+// z starts at bias, then accumulates w[j]·row[j] in ascending j with a
+// single accumulator.
+func affineRow(row, w []float64, bias float64) float64 {
+	z := bias
+	row = row[:len(w)]
+	for j, wj := range w {
+		z += wj * row[j]
+	}
+	return z
+}
+
+// SigmoidInto computes dst[i] = Sigmoid(src[i]) for every element. The
+// body is Sigmoid's numerically stable form with the branch folded into a
+// select — exp(-|z|) equals the branch-specific exponent (-z for z >= 0,
+// z otherwise) exactly, so each element is bit-identical to a Sigmoid
+// call — written out here because Sigmoid itself exceeds the inlining
+// budget and per-element call overhead is measurable in the training hot
+// loops.
+func SigmoidInto(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("matrix: SigmoidInto length mismatch %d vs %d", len(dst), len(src)))
+	}
+	dst = dst[:len(src)]
+	for i, z := range src {
+		e := math.Exp(-math.Abs(z))
+		num := 1.0
+		if z < 0 {
+			num = e
+		}
+		dst[i] = num / (1 + e)
+	}
+}
+
+// AccumulateInto computes dst[j] += g·row[j] — the per-row gradient
+// scatter of a linear model. Unlike Axpy it tolerates len(dst) > len(row)
+// (the intercept slot rides at the end of the gradient vector).
+func AccumulateInto(dst []float64, g float64, row []float64) {
+	dst = dst[:len(row)]
+	for j, v := range row {
+		dst[j] += g * v
+	}
+}
+
+// ScatterRows computes dst[j] += Σ_i g[i]·d[i][j] — the full gradient
+// scatter of a linear model with per-tuple coefficients g. Each dst
+// component accumulates its terms in ascending row order with a single
+// chain, so the result is bit-identical to calling AccumulateInto once per
+// row; the blocked path merely loads and stores each dst element once per
+// four rows instead of once per row. dst must have length d.Cols and g
+// length d.Rows.
+func (d *Dense) ScatterRows(dst, g []float64) {
+	if len(g) != d.Rows || len(dst) != d.Cols {
+		panic(fmt.Sprintf("matrix: ScatterRows dims %d×%d vs g %d, dst %d", d.Rows, d.Cols, len(g), len(dst)))
+	}
+	if d.Stride != d.Cols {
+		for i, gi := range g {
+			AccumulateInto(dst, gi, d.Row(i))
+		}
+		return
+	}
+	c := d.Cols
+	data := d.Data[:d.Rows*c]
+	g = g[:d.Rows]
+	i := 0
+	for ; i+4 <= len(g); i += 4 {
+		off := i * c
+		r0 := data[off+0*c : off+1*c]
+		r1 := data[off+1*c : off+2*c]
+		r2 := data[off+2*c : off+3*c]
+		r3 := data[off+3*c : off+4*c]
+		r0 = r0[:len(dst)]
+		r1 = r1[:len(dst)]
+		r2 = r2[:len(dst)]
+		r3 = r3[:len(dst)]
+		gs := g[i : i+4 : i+4]
+		g0, g1, g2, g3 := gs[0], gs[1], gs[2], gs[3]
+		for j := range dst {
+			a := dst[j]
+			a += g0 * r0[j]
+			a += g1 * r1[j]
+			a += g2 * r2[j]
+			a += g3 * r3[j]
+			dst[j] = a
+		}
+	}
+	tail := g[i:]
+	for k, gi := range tail {
+		off := (i + k) * c
+		AccumulateInto(dst, gi, data[off:off+c])
+	}
+}

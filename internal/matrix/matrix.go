@@ -9,29 +9,6 @@ import (
 	"math"
 )
 
-// Dot returns the inner product of a and b. It panics if lengths differ,
-// because a length mismatch is always a programming error in this codebase.
-func Dot(a, b []float64) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("matrix: Dot length mismatch %d vs %d", len(a), len(b)))
-	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
-	}
-	return s
-}
-
-// Axpy computes y += alpha*x in place.
-func Axpy(alpha float64, x, y []float64) {
-	if len(x) != len(y) {
-		panic(fmt.Sprintf("matrix: Axpy length mismatch %d vs %d", len(x), len(y)))
-	}
-	for i, v := range x {
-		y[i] += alpha * v
-	}
-}
-
 // Scale multiplies every element of x by alpha in place.
 func Scale(alpha float64, x []float64) {
 	for i := range x {

@@ -94,6 +94,15 @@ type AdamConfig struct {
 	Beta1, Beta2 float64 // defaults 0.9, 0.999
 	MaxIter      int     // default 800
 	Tol          float64 // default 1e-7 on gradient infinity norm
+
+	// Track, when non-nil, observes the iterate after each completed
+	// update (so after iteration t the slice equals what a MaxIter=t run
+	// would return, early stopping aside). It must not retain or mutate
+	// the slice; callers snapshotting an intermediate iterate — the
+	// batched Zafar warm start shares one trajectory between two
+	// different-length fits this way — copy it. Observation only: the
+	// update rule and stopping test never read anything Track does.
+	Track func(t int, w []float64)
 }
 
 func (c *AdamConfig) defaults() {
@@ -136,6 +145,9 @@ func Adam(f Objective, w0 []float64, cfg AdamConfig) ([]float64, float64) {
 			v[i] = cfg.Beta2*v[i] + (1-cfg.Beta2)*grad[i]*grad[i]
 			w[i] -= cfg.Step * (m[i] / b1t) / (math.Sqrt(v[i]/b2t) + 1e-8)
 		}
+		if cfg.Track != nil {
+			cfg.Track(t, w)
+		}
 	}
 	return w, val
 }
@@ -158,6 +170,14 @@ type PenaltyConfig struct {
 // MinimizePenalty solves min f(w) subject to c_j(w) <= 0 for all j by
 // minimizing f + rho * sum_j max(0, c_j)^2 with increasing rho. It is the
 // workhorse behind the Zafar and Celis constrained formulations.
+//
+// Call-order contract: every objective evaluation invokes f first and then
+// each constraint, in slice order, all at the same iterate, and every
+// constraint is evaluated on every call (a satisfied constraint merely
+// contributes nothing). Callers rely on this to share per-iterate state —
+// a fused objective can compute the affine scores once in f and let the
+// constraint closures read them (see the Zafar fits) — so the order is
+// part of this function's API, not an implementation detail.
 func MinimizePenalty(f Objective, cons []Constraint, w0 []float64, cfg PenaltyConfig) []float64 {
 	if cfg.Rho0 == 0 {
 		cfg.Rho0 = 1

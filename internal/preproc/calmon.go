@@ -153,9 +153,12 @@ func (c *Calmon) binsInto(cell int, out []int) {
 // neighbors returns the reachable (cell', y') targets of state (cell, y):
 // the cell itself and every cell differing by ±1 bin in one attribute,
 // crossed with both labels, with distortion = bin moves + 2·label flips.
+// Capacities are exact (1 + up to 2 moves per attribute, times 2 labels)
+// so the per-state precompute loop does not churn the allocator.
 func (c *Calmon) neighbors(cell, y int) []target {
 	bins := c.binsOf(cell)
-	cells := []int{cell}
+	cells := make([]int, 1, 2*len(c.attrs)+1)
+	cells[0] = cell
 	mult := 1
 	for k := range c.attrs {
 		if bins[k] > 0 {
@@ -166,7 +169,7 @@ func (c *Calmon) neighbors(cell, y int) []target {
 		}
 		mult *= c.cards[k]
 	}
-	var out []target
+	out := make([]target, 0, 2*len(cells))
 	for _, cc := range cells {
 		for yy := 0; yy < 2; yy++ {
 			d := 0.0
@@ -273,58 +276,108 @@ func (c *Calmon) Repair(train *dataset.Dataset) (*dataset.Dataset, error) {
 			}
 		}
 		sOther := 1 - s
+		// Ascending state indices where ps or the mapped q can be nonzero:
+		// the active states and every target reachable from one. The
+		// objective's distribution loops run over this support instead of
+		// the full state space — every omitted state contributes an exact
+		// 0.0 term (both q and ps are zero there), and the surviving terms
+		// keep their ascending order, so each sum is bit-identical to the
+		// full-space fold.
+		inSupport := make([]bool, nState)
+		for _, st := range active {
+			inSupport[st] = true
+			for _, t := range c.targets[st] {
+				inSupport[t.cell*2+t.y] = true
+			}
+		}
+		var support []int
+		for st := 0; st < nState; st++ {
+			if inSupport[st] {
+				support = append(support, st)
+			}
+		}
+		// Demographic-parity anchor; both groups move toward the overall
+		// rate. Constant across the optimization, so computed once.
+		overall := (c.origMean[0]*gn[0] + c.origMean[1]*gn[1]) / (gn[0] + gn[1])
+		_ = sOther
+		const lamDP, lamClose, lamDist = 600.0, 5.0, 1.0
+		// Flattened per-theta-entry tables: everything the objective reads
+		// per entry that is constant across iterations — the mapped state
+		// index, source mass, distortion distance, positive-label flag, and
+		// the constant distortion-gradient term lamDist·mass·dist (the same
+		// product the per-eval loop computed; multiplying identical floats
+		// is deterministic, so folding it here changes no bit). Walking
+		// these dense arrays replaces the slice-of-struct target chase on
+		// the optimizer's hottest path.
+		nTheta := offsets[len(active)]
+		tState := make([]int, nTheta)     // t.cell*2 + t.y
+		tMass := make([]float64, nTheta)  // ps[source state]
+		tDist := make([]float64, nTheta)  // t.dist
+		tGrad0 := make([]float64, nTheta) // lamDist * mass * dist
+		tPos := make([]bool, nTheta)      // t.y == 1
+		for k, st := range active {
+			mass := ps[st]
+			for ti, t := range c.targets[st] {
+				gi := offsets[k] + ti
+				tState[gi] = t.cell*2 + t.y
+				tMass[gi] = mass
+				tDist[gi] = t.dist
+				tGrad0[gi] = lamDist * mass * t.dist
+				tPos[gi] = t.y == 1
+			}
+		}
+		// Odd (positive-label) support states, for the qPos fold.
+		var oddSupport []int
+		for _, st := range support {
+			if st%2 == 1 {
+				oddSupport = append(oddSupport, st)
+			}
+		}
 		q := make([]float64, nState) // mapped distribution, reused per eval
 		obj := func(w []float64, grad []float64) float64 {
-			for i := range grad {
-				grad[i] = 0
+			for _, st := range support {
+				q[st] = 0
 			}
-			for i := range q {
-				q[i] = 0
-			}
-			// Mapped distribution q and its positive-label mass.
+			// Mapped distribution q and its positive-label mass. The shared
+			// product mass·w0 feeds both sums exactly as the nested loop's
+			// q += mass*w0 and distortion += (mass*w0)*dist did.
 			var distortion float64
-			for k, st := range active {
-				mass := ps[st]
-				for ti, t := range c.targets[st] {
-					w0 := w[offsets[k]+ti]
-					q[t.cell*2+t.y] += mass * w0
-					distortion += mass * w0 * t.dist
-				}
+			w = w[:nTheta]
+			for gi, w0 := range w {
+				mw := tMass[gi] * w0
+				q[tState[gi]] += mw
+				distortion += mw * tDist[gi]
 			}
 			var qPos float64
-			for cell := 0; cell < c.nCells; cell++ {
-				qPos += q[cell*2+1]
+			for _, st := range oddSupport {
+				qPos += q[st]
 			}
-			// Demographic-parity gap against the other group's (original)
-			// positive rate; both groups move toward the overall rate.
-			overall := (c.origMean[0]*gn[0] + c.origMean[1]*gn[1]) / (gn[0] + gn[1])
-			_ = sOther
 			gap := qPos - overall
 			viol := math.Max(0, math.Abs(gap)-c.Epsilon)
 			// Closeness of mapped to original distribution.
 			var close float64
-			for k := range q {
-				dq := q[k] - ps[k]
+			for _, st := range support {
+				dq := q[st] - ps[st]
 				close += dq * dq
 			}
-			const lamDP, lamClose, lamDist = 600.0, 5.0, 1.0
 			val := lamDist*distortion + lamDP*viol*viol + lamClose*close
-			// Gradient.
+			// Gradient: each entry is written exactly once, as the same
+			// three-term sum (distortion + closeness + parity, in that
+			// order, starting from zero) the accumulating loop produced.
 			sign := 1.0
 			if gap < 0 {
 				sign = -1
 			}
-			for k, st := range active {
-				mass := ps[st]
-				for ti, t := range c.targets[st] {
-					gi := offsets[k] + ti
-					grad[gi] += lamDist * mass * t.dist
-					dq := q[t.cell*2+t.y] - ps[t.cell*2+t.y]
-					grad[gi] += lamClose * 2 * dq * mass
-					if viol > 0 && t.y == 1 {
-						grad[gi] += lamDP * 2 * viol * sign * mass
-					}
+			dpCoef := lamDP * 2 * viol * sign
+			grad = grad[:nTheta]
+			for gi := range grad {
+				g := tGrad0[gi]
+				dq := q[tState[gi]] - ps[tState[gi]]
+				g += lamClose * 2 * dq * tMass[gi]
+				if viol > 0 && tPos[gi] {
+					g += dpCoef * tMass[gi]
 				}
+				grad[gi] = g
 			}
 			return val
 		}

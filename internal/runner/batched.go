@@ -1,0 +1,58 @@
+package runner
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Batch is one contiguous group of jobs sharing a preparation step —
+// typically grid cells that fit on the same dataset materialization, whose
+// Prepare arms the shared backing (design/batch caches) the cells then
+// read concurrently. Start and End are global job indices (the same
+// coordinate space as Options.Offset), so a shard of a larger grid can
+// pass its clipped batches unchanged.
+type Batch struct {
+	Start, End int
+	// Prepare runs once per batch, before any of its jobs; nil means the
+	// batch needs no preparation. It must be safe to call from whichever
+	// worker goroutine reaches the batch first.
+	Prepare func() error
+}
+
+// RunBatched is Run for a batched job space: before a worker executes a
+// job that falls inside a batch, it ensures the batch's Prepare has run
+// (exactly once, via the first worker to arrive — no barrier, so workers
+// never idle waiting for a batch boundary). A failed Prepare fails every
+// job of its batch with the same error, which fail-fast then reports at
+// the batch's lowest attempted index — exactly where the serial loop
+// would have died. Jobs outside every batch run unprepared, and an empty
+// batch list degenerates to Run.
+//
+// Determinism: Prepare must only arm sharing for work the jobs would
+// otherwise each compute identically (the Batch contract mirrors
+// dataset.BatchCache's), so batched results are byte-identical to
+// unbatched ones.
+func RunBatched[T any](n int, opts Options, batches []Batch, job func(i int) (T, error)) ([]T, error) {
+	if len(batches) == 0 {
+		return Run(n, opts, job)
+	}
+	onces := make([]sync.Once, len(batches))
+	prepErrs := make([]error, len(batches))
+	wrapped := func(i int) (T, error) {
+		b := sort.Search(len(batches), func(k int) bool { return batches[k].End > i })
+		if b < len(batches) && i >= batches[b].Start {
+			onces[b].Do(func() {
+				if batches[b].Prepare != nil {
+					prepErrs[b] = batches[b].Prepare()
+				}
+			})
+			if err := prepErrs[b]; err != nil {
+				var zero T
+				return zero, fmt.Errorf("preparing batch [%d,%d): %w", batches[b].Start, batches[b].End, err)
+			}
+		}
+		return job(i)
+	}
+	return Run(n, opts, wrapped)
+}

@@ -220,7 +220,7 @@ func run(ctx context.Context, ns experiments.Spec, opts Options, resuming bool) 
 		}
 	}
 
-	m, manifestPath, ranges, uncached, st, err := prepare(ns, &opts, st, resuming)
+	m, manifestPath, ranges, uncached, plan, st, err := prepare(ns, &opts, st, resuming)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -286,9 +286,14 @@ func run(ctx context.Context, ns experiments.Spec, opts Options, resuming bool) 
 			work = append(work, i)
 			continue
 		}
-		env, err := experiments.RunShardPlanned(m.Spec, ranges, i, st)
-		if err != nil {
-			return nil, rep, err
+		// Fresh plans carry the payloads the cache-aware probe verified,
+		// so serving needs no second store pass; adopted manifests (nil
+		// plan) and entries gone bad since probing take the store path.
+		env, ok := plan.ServeEnvelope(i)
+		if !ok {
+			if env, err = experiments.RunShardPlanned(m.Spec, ranges, i, st); err != nil {
+				return nil, rep, err
+			}
 		}
 		data, err := env.Encode()
 		if err != nil {
@@ -421,9 +426,13 @@ func buildPool(opts *Options) ([]*hostState, error) {
 // result cache: adopting a manifest adopts its cache directory too, so a
 // re-run that omitted the cache option still plans (and serves) against
 // the cache the directory was scheduled with.
-func prepare(ns experiments.Spec, opts *Options, st *store.Store, resuming bool) (*dispatch.Manifest, string, []shard.Range, []int, *store.Store, error) {
-	fail := func(err error) (*dispatch.Manifest, string, []shard.Range, []int, *store.Store, error) {
-		return nil, "", nil, nil, nil, err
+// A fresh directory's plan also rides back whole (nil when adopting an
+// existing manifest): it carries the payloads the cache-aware probe
+// already verified, letting the serve step materialize fully-cached
+// ranges without a second pass over the store.
+func prepare(ns experiments.Spec, opts *Options, st *store.Store, resuming bool) (*dispatch.Manifest, string, []shard.Range, []int, *experiments.ShardPlan, *store.Store, error) {
+	fail := func(err error) (*dispatch.Manifest, string, []shard.Range, []int, *experiments.ShardPlan, *store.Store, error) {
+		return nil, "", nil, nil, nil, nil, err
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return fail(fmt.Errorf("sched: %w", err))
@@ -478,7 +487,7 @@ func prepare(ns experiments.Spec, opts *Options, st *store.Store, resuming bool)
 		}
 		// Uncached counts are left nil: run() computes them after the
 		// part scan, for pending ranges only.
-		return existing, manifestPath, ranges, nil, st, nil
+		return existing, manifestPath, ranges, nil, nil, st, nil
 	case errors.Is(err, fs.ErrNotExist):
 		if resuming {
 			return fail(fmt.Errorf("sched: %s: %w — nothing to resume", opts.Dir, err))
@@ -498,7 +507,7 @@ func prepare(ns experiments.Spec, opts *Options, st *store.Store, resuming bool)
 		if err := m.Write(manifestPath); err != nil {
 			return fail(err)
 		}
-		return m, manifestPath, plan.Ranges, plan.Uncached, st, nil
+		return m, manifestPath, plan.Ranges, plan.Uncached, plan, st, nil
 	default:
 		return fail(err)
 	}

@@ -71,6 +71,9 @@ type Config struct {
 	// Shards, Procs, Retries configure the engine per run (see
 	// engine.RunOptions).
 	Shards, Procs, Retries int
+	// Parallelism sizes each run's single-process worker pool (see
+	// engine.RunOptions.Parallelism); zero means one worker per CPU.
+	Parallelism int
 	// Hosts, when non-empty, makes runs execute on the sched backend
 	// across this pool; otherwise runs use subprocess dispatch.
 	Hosts []sched.Host
@@ -169,6 +172,7 @@ func New(cfg Config) (*Server, error) {
 	s.eng = engine.New(engine.RunOptions{
 		Shards:           cfg.Shards,
 		Procs:            cfg.Procs,
+		Parallelism:      cfg.Parallelism,
 		Retries:          cfg.Retries,
 		CacheDir:         cfg.CacheDir,
 		Hosts:            cfg.Hosts,

@@ -17,6 +17,11 @@
 #   BENCHTIME   go test -benchtime value (default 1x: one iteration per
 #               benchmark — a smoke run; use e.g. 3x or 2s for stabler
 #               numbers)
+#   BENCH_COUNT go test -count value (default 1). With count > 1 every
+#               benchmark runs that many times and the recorded figure is
+#               the MINIMUM across runs — the standard noise-robust
+#               estimator on a shared machine, since scheduler and cache
+#               interference only ever inflates a measurement.
 #   BENCH_PAT   benchmark regexp (default '.': the full suite). A
 #               narrowed pattern may exclude benchmark sections; their
 #               JSON outputs are then skipped with a warning. Under the
@@ -41,17 +46,26 @@ cache_out="${3:-BENCH_cache.json}"
 train_out="${4:-BENCH_train.json}"
 sched_out="${5:-BENCH_sched.json}"
 benchtime="${BENCHTIME:-1x}"
+count="${BENCH_COUNT:-1}"
 pattern="${BENCH_PAT:-.}"
 
-if ! raw="$(go test -bench "$pattern" -benchtime "$benchtime" -run '^$' . 2>&1)"; then
+if ! raw="$(go test -bench "$pattern" -benchtime "$benchtime" -count "$count" -run '^$' . 2>&1)"; then
     echo "$raw"
     echo "bench.sh: go test -bench failed" >&2
     exit 1
 fi
 echo "$raw"
 
-serial="$(echo "$raw" | awk '$1 ~ /^BenchmarkEvalAllSerial(-[0-9]+)?$/ {print $3}')"
-parallel="$(echo "$raw" | awk '$1 ~ /^BenchmarkEvalAllParallel(-[0-9]+)?$/ {print $3}')"
+# bench_col <benchmark-name> <awk-field> — extract a result column,
+# taking the minimum when -count produced several runs of the benchmark.
+bench_col() {
+    echo "$raw" | awk -v b="$1" -v f="$2" '
+        $1 ~ "^"b"(-[0-9]+)?$" && (!seen || $f+0 < min) { min = $f+0; seen = 1 }
+        END { if (seen) print min }'
+}
+
+serial="$(bench_col BenchmarkEvalAllSerial 3)"
+parallel="$(bench_col BenchmarkEvalAllParallel 3)"
 
 if [[ -z "$serial" || -z "$parallel" ]]; then
     echo "bench.sh: BenchmarkEvalAllSerial/Parallel not found in output" >&2
@@ -77,8 +91,8 @@ echo "bench.sh: wrote $out (speedup ${speedup}x over serial)"
 # Shard-plan overhead: the fixed per-process cost of materializing a grid
 # from its spec (BenchmarkShardPlan) and the coordinator's cost of merging
 # a complete 3-shard set (BenchmarkShardMerge).
-plan="$(echo "$raw" | awk '$1 ~ /^BenchmarkShardPlan(-[0-9]+)?$/ {print $3}')"
-merge="$(echo "$raw" | awk '$1 ~ /^BenchmarkShardMerge(-[0-9]+)?$/ {print $3}')"
+plan="$(bench_col BenchmarkShardPlan 3)"
+merge="$(bench_col BenchmarkShardMerge 3)"
 
 if [[ -z "$plan" || -z "$merge" ]]; then
     skip "$shard_out" "ShardPlan/ShardMerge not in output"
@@ -99,8 +113,8 @@ fi
 # Result-cache payoff: the same one-shard fig7 grid against a fresh cache
 # (every cell computed + written back) vs a populated one (every cell a
 # verified store hit, zero computations).
-cold="$(echo "$raw" | awk '$1 ~ /^BenchmarkRunShardCold(-[0-9]+)?$/ {print $3}')"
-warm="$(echo "$raw" | awk '$1 ~ /^BenchmarkRunShardWarm(-[0-9]+)?$/ {print $3}')"
+cold="$(bench_col BenchmarkRunShardCold 3)"
+warm="$(bench_col BenchmarkRunShardWarm 3)"
 
 if [[ -z "$cold" || -z "$warm" ]]; then
     skip "$cache_out" "RunShardCold/Warm not in output"
@@ -121,11 +135,15 @@ EOF
 fi
 
 # Training-kernel trajectory: ns/op and allocs/op for the baseline LR fit
-# pipeline, a whole cold (uncached) fig7 German n=300 grid, and dataset
-# materialization. The seed_* constants are the same benchmarks measured
-# at the pre-flat-layout commit (PR 3 head, go1.24 amd64) — the "before"
-# column of the flat-matrix data plane refactor; the ratios quantify its
-# payoff per commit.
+# pipeline, the whole cold (uncached) fig7 German n=300 grid in both of
+# its execution modes — grid_cell_cold computes every cell alone via
+# Cell, grid_batch_cold runs the batch-at-a-time RunAll product path over
+# one shared materialization — and dataset materialization. The seed_*
+# constants are the same benchmarks measured at the pre-flat-layout
+# commit (PR 3 head, go1.24 amd64) — the "before" column of the
+# flat-matrix data plane refactor; the ratios quantify its payoff per
+# commit. Both grid modes share one seed: before batching existed the
+# per-cell loop WAS the grid execution path.
 seed_fit_ns=10181391
 seed_fit_allocs=1415
 seed_adam_ns=34272
@@ -135,38 +153,41 @@ seed_cold_allocs=1164504
 seed_synth_ns=5598085
 seed_synth_allocs=5124
 
-bench_col() { # bench_col <benchmark-name> <awk-field>
-    echo "$raw" | awk -v b="$1" -v f="$2" '$1 ~ "^"b"(-[0-9]+)?$" {print $f}'
-}
 fit_ns="$(bench_col BenchmarkFitLogreg 3)"
 fit_allocs="$(bench_col BenchmarkFitLogreg 7)"
 adam_ns="$(bench_col BenchmarkAdamStepLogreg 3)"
 adam_allocs="$(bench_col BenchmarkAdamStepLogreg 7)"
 cold_cell_ns="$(bench_col BenchmarkGridCellCold 3)"
 cold_cell_allocs="$(bench_col BenchmarkGridCellCold 7)"
+batch_ns="$(bench_col BenchmarkGridBatchCold 3)"
+batch_allocs="$(bench_col BenchmarkGridBatchCold 7)"
 synth_ns="$(bench_col BenchmarkSynthMaterialize 3)"
 synth_allocs="$(bench_col BenchmarkSynthMaterialize 7)"
 
-if [[ -z "$fit_ns" || -z "$adam_ns" || -z "$cold_cell_ns" || -z "$synth_ns" ]]; then
-    skip "$train_out" "FitLogreg/GridCellCold/SynthMaterialize not in output"
+if [[ -z "$fit_ns" || -z "$adam_ns" || -z "$cold_cell_ns" || -z "$batch_ns" || -z "$synth_ns" ]]; then
+    skip "$train_out" "FitLogreg/GridCellCold/GridBatchCold/SynthMaterialize not in output"
 else
-    cold_speedup="$(awk -v a="$seed_cold_ns" -v b="$cold_cell_ns" 'BEGIN { if (b > 0) printf "%.2f", a / b; else printf "0" }')"
+    cold_speedup="$(awk -v a="$seed_cold_ns" -v b="$batch_ns" 'BEGIN { if (b > 0) printf "%.2f", a / b; else printf "0" }')"
+    batch_speedup="$(awk -v a="$cold_cell_ns" -v b="$batch_ns" 'BEGIN { if (b > 0) printf "%.3f", a / b; else printf "0" }')"
     fit_alloc_ratio="$(awk -v a="$seed_fit_allocs" -v b="$fit_allocs" 'BEGIN { if (b > 0) printf "%.1f", a / b; else printf "0" }')"
     cat > "$train_out" <<EOF
 {
-  "benchmark": "training kernels: baseline LR fit (German n=1000, 70% split), cold uncached fig7 German n=300 grid (19 cells), Adult n=5000 materialization",
+  "benchmark": "training kernels: baseline LR fit (German n=1000, 70% split), cold uncached fig7 German n=300 grid (19 cells; per-cell and batched modes), Adult n=5000 materialization",
   "go": "$(go env GOVERSION)",
   "cpus": $(nproc),
   "benchtime": "$benchtime",
+  "count": $count,
   "fit_logreg": { "ns_per_op": $fit_ns, "allocs_per_op": $fit_allocs, "seed_ns_per_op": $seed_fit_ns, "seed_allocs_per_op": $seed_fit_allocs },
   "adam_step_logreg": { "ns_per_op": $adam_ns, "allocs_per_op": $adam_allocs, "seed_ns_per_op": $seed_adam_ns, "seed_allocs_per_op": $seed_adam_allocs },
   "grid_cell_cold": { "ns_per_op": $cold_cell_ns, "allocs_per_op": $cold_cell_allocs, "seed_ns_per_op": $seed_cold_ns, "seed_allocs_per_op": $seed_cold_allocs },
+  "grid_batch_cold": { "ns_per_op": $batch_ns, "allocs_per_op": $batch_allocs, "seed_ns_per_op": $seed_cold_ns, "seed_allocs_per_op": $seed_cold_allocs },
   "synth_materialize": { "ns_per_op": $synth_ns, "allocs_per_op": $synth_allocs, "seed_ns_per_op": $seed_synth_ns, "seed_allocs_per_op": $seed_synth_allocs },
   "cold_grid_speedup_vs_seed": $cold_speedup,
+  "batch_speedup_vs_per_cell": $batch_speedup,
   "fit_logreg_allocs_reduction_vs_seed": $fit_alloc_ratio
 }
 EOF
-    echo "bench.sh: wrote $train_out (cold grid ${cold_speedup}x vs seed, logreg allocs ÷${fit_alloc_ratio})"
+    echo "bench.sh: wrote $train_out (batched cold grid ${cold_speedup}x vs seed, ${batch_speedup}x vs per-cell, logreg allocs ÷${fit_alloc_ratio})"
 fi
 
 # Multi-host scheduler overhead: the coordinator's cache-aware plan over
@@ -175,15 +196,17 @@ fi
 # validate + merge). These live in ./internal/sched because the worker
 # subprocesses re-exec that package's test binary; like the sections
 # above, only a narrowed BENCH_PAT may skip the JSON.
-if ! sched_raw="$(go test -bench "$pattern" -benchtime "$benchtime" -run '^$' ./internal/sched 2>&1)"; then
+if ! sched_raw="$(go test -bench "$pattern" -benchtime "$benchtime" -count "$count" -run '^$' ./internal/sched 2>&1)"; then
     echo "$sched_raw"
     echo "bench.sh: go test -bench ./internal/sched failed" >&2
     exit 1
 fi
 echo "$sched_raw"
 
-sched_col() { # sched_col <benchmark-name> <awk-field>
-    echo "$sched_raw" | awk -v b="$1" -v f="$2" '$1 ~ "^"b"(-[0-9]+)?$" {print $f}'
+sched_col() { # sched_col <benchmark-name> <awk-field> — min across -count runs
+    echo "$sched_raw" | awk -v b="$1" -v f="$2" '
+        $1 ~ "^"b"(-[0-9]+)?$" && (!seen || $f+0 < min) { min = $f+0; seen = 1 }
+        END { if (seen) print min }'
 }
 plan_ns="$(sched_col BenchmarkSchedPlanCacheAware 3)"
 plan_allocs="$(sched_col BenchmarkSchedPlanCacheAware 7)"
