@@ -130,6 +130,7 @@ import (
 	"fairbench/internal/fair"
 	"fairbench/internal/registry"
 	"fairbench/internal/report"
+	"fairbench/internal/sched"
 	"fairbench/internal/serve"
 )
 
@@ -174,6 +175,10 @@ func main() {
 	hostsFlag := fs.String("hosts", "", "sched: hosts.json pool definition (default: one local host with -procs slots)")
 	heartbeatFlag := fs.Duration("heartbeat", 60*time.Second, "sched: declare a host dead after this long without a transport heartbeat")
 	maxHostFailFlag := fs.Int("max-host-failures", 3, "sched: exclude a host after this many failed attempts")
+	speculateFlag := fs.Bool("speculate", false, "sched: re-launch straggling ranges on idle hosts; first valid part wins")
+	backoffFlag := fs.Duration("backoff", 0, "sched: base delay before retrying a failed range, doubling per attempt with jitter (0 = 100ms default, negative = retry immediately)")
+	watchHostsFlag := fs.Duration("watch-hosts", 0, "sched: re-read -hosts at this interval; added hosts join mid-run, removed hosts drain (0 = off)")
+	localFallbackFlag := fs.Bool("local-fallback", true, "sched: when every host is lost, finish the remaining ranges in-process (report marks the run degraded)")
 	addrFlag := fs.String("addr", "127.0.0.1:8080", "serve: HTTP listen address")
 	stateFlag := fs.String("state", "", "serve: state directory (one resumable run directory per grid)")
 	maxRunsFlag := fs.Int("max-runs", 1, "serve: concurrently executing runs before submissions get 429")
@@ -204,13 +209,15 @@ func main() {
 	if cmd == "sched" {
 		exit(cmdSched(*expFlag, *datasetFlag, *nFlag, *kFlag, *runsFlag, *seedFlag, bias,
 			*dirFlag, *cacheFlag, *hostsFlag, *shardsFlag, *procsFlag, *retriesFlag,
-			*maxHostFailFlag, *heartbeatFlag, *outFlag))
+			*maxHostFailFlag, *heartbeatFlag, *speculateFlag, *backoffFlag,
+			*watchHostsFlag, *localFallbackFlag, *outFlag))
 	}
 
 	if cmd == "serve" {
 		exit(cmdServe(*addrFlag, *stateFlag, *cacheFlag, *hostsFlag,
 			*shardsFlag, *procsFlag, *retriesFlag, *maxRunsFlag,
-			*maxHostFailFlag, *heartbeatFlag))
+			*maxHostFailFlag, *heartbeatFlag, *speculateFlag, *backoffFlag,
+			*localFallbackFlag))
 	}
 
 	if *shardFlag != "" {
@@ -370,10 +377,11 @@ func usage() {
        fairbench resume -dir DIR [-procs N] [-retries R]                 finish an interrupted dispatch
        fairbench sched -exp <figN|cv|fig8rows|fig8attrs> [figure flags] -dir DIR
                  [-hosts hosts.json] [-shards K] [-cache DIR] [-retries R]
-                 [-heartbeat 60s] [-max-host-failures 3]                 multi-host run
+                 [-heartbeat 60s] [-max-host-failures 3] [-speculate]
+                 [-backoff 100ms] [-watch-hosts 5s] [-local-fallback]    multi-host run
        fairbench serve -state DIR [-addr 127.0.0.1:8080] [-cache DIR]
                  [-hosts hosts.json] [-shards K] [-procs N] [-retries R]
-                 [-max-runs 1]                                           benchmark-as-a-service daemon`)
+                 [-max-runs 1] [-speculate] [-backoff 100ms]             benchmark-as-a-service daemon`)
 }
 
 // biasSpec collects the bias-injection flags shared by every grid
@@ -460,7 +468,8 @@ func cmdResume(dir string, procs, retries int, out string) error {
 // cmdSched runs a grid across a pool of hosts and prints the merged
 // tables — the serial figure command's output, fault-tolerantly.
 func cmdSched(exp, ds string, n, k, runs int, seed int64, bias biasSpec, dir, cache, hostsPath string,
-	shards, procs, retries, maxHostFailures int, heartbeat time.Duration, out string) error {
+	shards, procs, retries, maxHostFailures int, heartbeat time.Duration,
+	speculate bool, backoff, watchHosts time.Duration, localFallback bool, out string) error {
 	if exp == "" {
 		return fmt.Errorf("sched requires -exp (fig7|fig9|fig10|fig15|cv|fig22|fig23|fig8rows|fig8attrs)")
 	}
@@ -476,12 +485,25 @@ func cmdSched(exp, ds string, n, k, runs int, seed int64, bias biasSpec, dir, ca
 	} else if procs > 0 {
 		hosts = []fairbench.SchedHost{{Name: "local", Slots: procs}}
 	}
+	var pool fairbench.PoolSource
+	if watchHosts > 0 {
+		if hostsPath == "" {
+			return fmt.Errorf("-watch-hosts requires -hosts (the file to re-read)")
+		}
+		w, err := sched.WatchHosts(hostsPath, watchHosts)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+		pool = w
+	}
 	ctx, stop := signalContext()
 	defer stop()
 	merged, rep, err := fairbench.Run(ctx, gridSpecFor(exp, ds, n, k, runs, seed, bias), fairbench.RunOptions{
 		Backend: fairbench.BackendSched,
 		Dir:     dir, Hosts: hosts, Shards: shards, CacheDir: cache,
 		HeartbeatTimeout: heartbeat, Retries: retries, MaxHostFailures: maxHostFailures,
+		Speculate: speculate, Backoff: backoff, LocalFallback: localFallback, PoolSource: pool,
 		Parallelism: parallelism, Log: os.Stderr,
 	})
 	if err != nil {
@@ -495,7 +517,8 @@ func cmdSched(exp, ds string, n, k, runs int, seed int64, bias biasSpec, dir, ca
 // use, deduplicated by grid fingerprint and checkpointed under -state.
 // SIGTERM/SIGINT drain gracefully; interrupted runs resume on restart.
 func cmdServe(addr, stateDir, cache, hostsPath string,
-	shards, procs, retries, maxRuns, maxHostFailures int, heartbeat time.Duration) error {
+	shards, procs, retries, maxRuns, maxHostFailures int, heartbeat time.Duration,
+	speculate bool, backoff time.Duration, localFallback bool) error {
 	if stateDir == "" {
 		return fmt.Errorf("serve requires -state (the daemon's run-state directory)")
 	}
@@ -510,6 +533,7 @@ func cmdServe(addr, stateDir, cache, hostsPath string,
 		StateDir: stateDir, CacheDir: cache, MaxConcurrent: maxRuns,
 		Shards: shards, Procs: procs, Retries: retries, Parallelism: parallelism,
 		Hosts: hosts, HeartbeatTimeout: heartbeat, MaxHostFailures: maxHostFailures,
+		Speculate: speculate, Backoff: backoff, LocalFallback: localFallback,
 		Log: os.Stderr,
 	})
 	if err != nil {
@@ -568,6 +592,15 @@ func renderRun(merged *fairbench.GridOutput, rep *fairbench.RunReport, out strin
 		s := rep.Sched
 		fmt.Fprintf(os.Stderr, "fairbench: sched complete: %d range(s) (%d reused, %d served from cache), %d host(s) excluded, cells computed=%d cached=%d\n",
 			len(s.Ranges), len(s.Reused), len(s.Skipped), len(s.Excluded), s.CellsComputed, s.CellsCached)
+		if len(s.Speculated) > 0 {
+			fmt.Fprintf(os.Stderr, "fairbench: sched: %d speculative attempt(s) launched against stragglers\n", len(s.Speculated))
+		}
+		if len(s.Joined) > 0 || len(s.Departed) > 0 {
+			fmt.Fprintf(os.Stderr, "fairbench: sched: pool changed mid-run: %d joined, %d departed\n", len(s.Joined), len(s.Departed))
+		}
+		if s.Degraded {
+			fmt.Fprintf(os.Stderr, "fairbench: sched: DEGRADED — every host was lost; %d range(s) finished by the local in-process fallback\n", len(s.Fallback))
+		}
 	}
 	if out != "" {
 		data, err := jsonIndent(merged)

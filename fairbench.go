@@ -253,6 +253,12 @@ type (
 	// SchedEvent is one observed scheduling transition (heartbeat,
 	// completion, failure, exclusion); see RunOptions.OnEvent.
 	SchedEvent = sched.Event
+	// PoolSource feeds dynamic pool-membership changes (joins and
+	// graceful leaves) into a running scheduled execution; see
+	// RunOptions.PoolSource and sched.NewPoolChan / sched.WatchHosts.
+	PoolSource = sched.PoolSource
+	// PoolUpdate is one membership change a PoolSource delivers.
+	PoolUpdate = sched.PoolUpdate
 )
 
 // Execution backends for RunOptions.Backend. BackendAuto resolves from

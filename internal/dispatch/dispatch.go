@@ -433,9 +433,9 @@ func oneAttempt(ctx context.Context, spawn SpawnFunc, manifestPath string, m *Ma
 	if err != nil {
 		return err
 	}
-	var stderr strings.Builder
+	stderr := NewBoundedBuffer(0)
 	if cmd.Stderr == nil {
-		cmd.Stderr = &stderr
+		cmd.Stderr = stderr
 	}
 	if err := runCmd(ctx, cmd); err != nil {
 		if ctx.Err() != nil {
@@ -473,6 +473,93 @@ func runCmd(ctx context.Context, cmd *exec.Cmd) error {
 	}
 }
 
+// stderrBudget caps how much of one attempt's stderr a coordinator
+// retains (head + tail around a truncation marker). Without a cap, a
+// log-spamming worker balloons the coordinator's memory — one capture
+// per attempt, many attempts per run.
+const stderrBudget = 8 << 10
+
+// BoundedBuffer is an io.Writer that retains the head and tail of a
+// stream within a fixed budget: the first half fills once, the second
+// half is a sliding window over the most recent bytes, and everything
+// squeezed out between them is counted. String() reassembles the
+// capture with a truncation marker naming the dropped byte count, so a
+// failure message always shows how much evidence is missing. Safe for
+// concurrent use (exec.Cmd writes from its own copier goroutine).
+type BoundedBuffer struct {
+	mu      sync.Mutex
+	limit   int
+	head    []byte
+	tail    []byte
+	dropped int64
+}
+
+// NewBoundedBuffer returns a buffer retaining at most limit bytes;
+// limit <= 0 uses the coordinators' shared per-attempt budget.
+func NewBoundedBuffer(limit int) *BoundedBuffer {
+	if limit <= 0 {
+		limit = stderrBudget
+	}
+	if limit < 64 {
+		limit = 64
+	}
+	return &BoundedBuffer{limit: limit}
+}
+
+// Write implements io.Writer; it never fails and never grows the
+// retained capture past the budget.
+func (b *BoundedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(p)
+	half := b.limit / 2
+	if room := half - len(b.head); room > 0 {
+		take := min(room, len(p))
+		b.head = append(b.head, p[:take]...)
+		p = p[take:]
+	}
+	if len(p) == 0 {
+		return n, nil
+	}
+	if len(p) >= half {
+		b.dropped += int64(len(b.tail)) + int64(len(p)-half)
+		b.tail = append(b.tail[:0], p[len(p)-half:]...)
+		return n, nil
+	}
+	if overflow := len(b.tail) + len(p) - half; overflow > 0 {
+		b.dropped += int64(overflow)
+		b.tail = append(b.tail[:0], b.tail[overflow:]...)
+	}
+	b.tail = append(b.tail, p...)
+	return n, nil
+}
+
+// String returns the bounded capture; when bytes were dropped, a marker
+// line between head and tail records how many.
+func (b *BoundedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.dropped == 0 {
+		return string(b.head) + string(b.tail)
+	}
+	return string(b.head) + "\n" + truncationMarker(b.dropped) + "\n" + string(b.tail)
+}
+
+// Truncated reports how many bytes the budget squeezed out so far.
+func (b *BoundedBuffer) Truncated() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+func truncationMarker(n int64) string {
+	return fmt.Sprintf("... [%d stderr bytes dropped] ...", n)
+}
+
+func isTruncationMarker(line string) bool {
+	return strings.HasPrefix(line, "... [") && strings.HasSuffix(line, " stderr bytes dropped] ...")
+}
+
 // StderrTail formats the last few lines of a worker's stderr for
 // inclusion in a failure message — shared by every coordinator that
 // spawns workers (this package's dispatcher, internal/sched's
@@ -484,7 +571,16 @@ func StderrTail(s string) string {
 	}
 	lines := strings.Split(s, "\n")
 	if len(lines) > 3 {
-		lines = lines[len(lines)-3:]
+		kept := lines[len(lines)-3:]
+		// A bounded capture's truncation marker must survive the cut: it
+		// is the only evidence the worker wrote more than what is shown.
+		for _, l := range lines[:len(lines)-3] {
+			if isTruncationMarker(l) {
+				kept = append([]string{l}, kept...)
+				break
+			}
+		}
+		lines = kept
 	}
 	return "; stderr: " + strings.Join(lines, " | ")
 }
@@ -524,6 +620,21 @@ func ValidatePart(path string, m *Manifest, i int) error {
 		}
 	}
 	return nil
+}
+
+// AcceptPart atomically promotes an attempt file to the shard's part:
+// the single point where an attempt's output becomes authoritative.
+// The rename happens only after the envelope passes ValidatePart, and
+// callers serialize acceptance per range (the multi-host scheduler
+// accepts from its single event loop), so a losing or zombie attempt
+// can never replace an already-accepted part — a caller that finds the
+// range already decided discards the attempt file instead of calling
+// this.
+func AcceptPart(attemptPath, partPath string, m *Manifest, i int) error {
+	if err := ValidatePart(attemptPath, m, i); err != nil {
+		return err
+	}
+	return os.Rename(attemptPath, partPath)
 }
 
 // Worker is the subprocess body shared by the CLI's `fairbench worker`

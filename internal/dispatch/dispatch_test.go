@@ -365,3 +365,117 @@ func TestInvalidPartIsDiscardedAndRerun(t *testing.T) {
 		t.Fatal("re-run output diverges from serial run")
 	}
 }
+
+func TestBoundedBufferCapsAndMarks(t *testing.T) {
+	b := NewBoundedBuffer(128)
+	line := []byte("0123456789abcdef\n")
+	var total int64
+	for i := 0; i < 100; i++ {
+		n, err := b.Write(line)
+		if err != nil || n != len(line) {
+			t.Fatalf("write %d: n=%d err=%v", i, n, err)
+		}
+		total += int64(n)
+	}
+	s := b.String()
+	if int64(len(s)) >= total {
+		t.Fatalf("buffer did not cap: holds %d of %d bytes written", len(s), total)
+	}
+	if b.Truncated() == 0 {
+		t.Fatal("no bytes reported dropped after overflow")
+	}
+	if !strings.Contains(s, fmt.Sprintf("[%d stderr bytes dropped]", b.Truncated())) {
+		t.Fatalf("truncation marker missing from %q", s)
+	}
+	if !strings.HasPrefix(s, "0123456789abcdef") {
+		t.Fatalf("head of the stream lost: %q", s[:32])
+	}
+	if !strings.HasSuffix(strings.TrimRight(s, "\n"), "0123456789abcdef") {
+		t.Fatalf("tail of the stream lost: %q", s[len(s)-32:])
+	}
+}
+
+func TestBoundedBufferSmallWritesUntruncated(t *testing.T) {
+	b := NewBoundedBuffer(1024)
+	b.Write([]byte("only a few bytes"))
+	if got := b.String(); got != "only a few bytes" {
+		t.Fatalf("got %q", got)
+	}
+	if b.Truncated() != 0 {
+		t.Fatalf("spurious truncation: %d", b.Truncated())
+	}
+}
+
+// TestStderrTailKeepsTruncationMarker: when the capture was capped, the
+// marker line must survive StderrTail's last-3-lines cut — a failure
+// event that silently hid the fact that output was dropped would send
+// operators debugging the wrong thing.
+func TestStderrTailKeepsTruncationMarker(t *testing.T) {
+	b := NewBoundedBuffer(256)
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(b, "noise line %d\n", i)
+	}
+	tail := StderrTail(b.String())
+	if !strings.Contains(tail, "stderr bytes dropped") {
+		t.Fatalf("marker cut from tail: %q", tail)
+	}
+	if !strings.Contains(tail, "199") {
+		t.Fatalf("final lines cut from tail: %q", tail)
+	}
+}
+
+// TestAcceptPartPromotesExactlyValidParts: AcceptPart is the single
+// promotion point schedulers route acceptance through — a validating
+// attempt file is renamed into place, an invalid one is refused with
+// the part path untouched.
+func TestAcceptPartPromotesExactlyValidParts(t *testing.T) {
+	spec, err := smallSpec().Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := experiments.Open(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := g.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := []shard.Range{{Start: 0, End: 1}, {Start: 1, End: g.Len()}}
+	m := &Manifest{Version: ManifestVersion, Spec: spec, Shards: 2, Fingerprint: fp, Ranges: plan}
+	dir := t.TempDir()
+	partPath := filepath.Join(dir, PartName(0))
+
+	bad := filepath.Join(dir, "part-000.json.attempt-0")
+	if err := os.WriteFile(bad, []byte(`{"fault":"corrupt"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AcceptPart(bad, partPath, m, 0); err == nil {
+		t.Fatal("corrupt attempt accepted")
+	}
+	if _, err := os.Stat(partPath); err == nil {
+		t.Fatal("rejected attempt still materialized the part")
+	}
+
+	env, err := experiments.RunShardPlanned(spec, plan, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := env.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(dir, "part-000.json.attempt-1")
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AcceptPart(good, partPath, m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(good); !os.IsNotExist(err) {
+		t.Fatal("accepted attempt file was copied, not renamed")
+	}
+	if err := ValidatePart(partPath, m, 0); err != nil {
+		t.Fatalf("promoted part does not validate: %v", err)
+	}
+}

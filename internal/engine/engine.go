@@ -91,6 +91,19 @@ type RunOptions struct {
 	// HeartbeatTimeout and MaxHostFailures tune sched failure handling.
 	HeartbeatTimeout time.Duration
 	MaxHostFailures  int
+	// Speculate enables sched's speculative execution: straggling
+	// ranges are re-launched on an idle host, first valid part wins.
+	Speculate bool
+	// Backoff is sched's retry backoff base delay (exponential with
+	// deterministic jitter); zero keeps sched's default, negative
+	// disables backoff.
+	Backoff time.Duration
+	// LocalFallback lets a sched run whose whole pool is lost complete
+	// in-process on the coordinator, marked Report.Degraded.
+	LocalFallback bool
+	// PoolSource feeds sched dynamic pool membership (joins/leaves
+	// mid-run); see sched.PoolChan and sched.WatchHosts.
+	PoolSource sched.PoolSource
 	// Transports overlays sched's built-in transport registry.
 	Transports map[string]sched.Transport
 	// Spawn overrides how worker subprocesses are launched (dispatch
@@ -125,6 +138,9 @@ type Report struct {
 	// the result store by the calling process: no worker subprocess was
 	// spawned and no host was touched.
 	ServedFromCache bool
+	// Degraded marks a sched run that completed only through the
+	// coordinator's local fallback after the whole pool was lost.
+	Degraded bool
 	// Dispatch and Sched carry the backend-native report when that
 	// backend ran.
 	Dispatch *dispatch.Report
@@ -176,6 +192,18 @@ func (e *Engine) merged(opts RunOptions) RunOptions {
 	}
 	if opts.MaxHostFailures == 0 {
 		opts.MaxHostFailures = d.MaxHostFailures
+	}
+	if !opts.Speculate {
+		opts.Speculate = d.Speculate
+	}
+	if opts.Backoff == 0 {
+		opts.Backoff = d.Backoff
+	}
+	if !opts.LocalFallback {
+		opts.LocalFallback = d.LocalFallback
+	}
+	if opts.PoolSource == nil {
+		opts.PoolSource = d.PoolSource
 	}
 	if opts.Transports == nil {
 		opts.Transports = d.Transports
@@ -386,6 +414,10 @@ func schedOptions(opts RunOptions) sched.Options {
 		HeartbeatTimeout: opts.HeartbeatTimeout,
 		Retries:          opts.Retries,
 		MaxHostFailures:  opts.MaxHostFailures,
+		Speculate:        opts.Speculate,
+		Backoff:          opts.Backoff,
+		LocalFallback:    opts.LocalFallback,
+		PoolSource:       opts.PoolSource,
 		Transports:       transports,
 		OnEvent:          opts.OnEvent,
 		Log:              opts.Log,
@@ -416,6 +448,7 @@ func fromSched(rep *sched.Report) *Report {
 		Fingerprint:   rep.Fingerprint,
 		CellsComputed: rep.CellsComputed,
 		CellsCached:   rep.CellsCached,
+		Degraded:      rep.Degraded,
 		Sched:         rep,
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"sync"
 	"syscall"
@@ -16,6 +17,7 @@ import (
 
 	"fairbench/internal/dispatch"
 	"fairbench/internal/experiments"
+	"fairbench/internal/store"
 )
 
 // TestMain doubles as the worker subprocess body, the same re-exec
@@ -81,7 +83,7 @@ func smallSpec() experiments.Spec {
 
 // canonical marshals an output with its timing fields zeroed (the
 // scheduler only guarantees the metric payload).
-func canonical(t *testing.T, out *experiments.Output) []byte {
+func canonical(t testing.TB, out *experiments.Output) []byte {
 	t.Helper()
 	for _, pts := range out.Efficiency {
 		for i := range pts {
@@ -98,7 +100,7 @@ func canonical(t *testing.T, out *experiments.Output) []byte {
 	return data
 }
 
-func serialReference(t *testing.T, spec experiments.Spec) []byte {
+func serialReference(t testing.TB, spec experiments.Spec) []byte {
 	t.Helper()
 	g, err := experiments.Open(spec)
 	if err != nil {
@@ -407,6 +409,342 @@ func TestSchedRemoteTransportRoundTrip(t *testing.T) {
 	}
 	if len(rep.Completed["far"]) != len(rep.Ranges) {
 		t.Fatalf("remote host completed %v of %d ranges", rep.Completed["far"], len(rep.Ranges))
+	}
+}
+
+// instantInner serves precomputed (real, validating) envelopes with no
+// worker subprocess: chaos tests that exercise scheduling policy —
+// speculation timing, membership changes, fuzzed interleavings — use it
+// so wall-clock measures the scheduler, not shard computation.
+type instantInner struct {
+	parts map[int][]byte
+}
+
+func newInstantInner(t testing.TB, spec experiments.Spec, shards int) *instantInner {
+	t.Helper()
+	ns, err := spec.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := experiments.PlanShardsCacheAware(ns, shards, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := map[int][]byte{}
+	for i := range plan.Ranges {
+		env, err := experiments.RunShardPlanned(ns, plan.Ranges, i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parts[i], err = env.Encode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &instantInner{parts: parts}
+}
+
+func (tr *instantInner) Run(_ context.Context, _ Host, asn Assignment, beat func()) error {
+	beat()
+	data, ok := tr.parts[asn.Range]
+	if !ok {
+		return fmt.Errorf("no precomputed part for range %d", asn.Range)
+	}
+	return store.WriteFileAtomic(asn.OutPath, data)
+}
+
+// signalTransport closes ch on its first Run call — the deterministic
+// "the run is past Subscribe and executing" hook the membership tests
+// key their pool updates on.
+type signalTransport struct {
+	inner Transport
+	once  sync.Once
+	ch    chan struct{}
+}
+
+func (s *signalTransport) Run(ctx context.Context, h Host, asn Assignment, beat func()) error {
+	s.once.Do(func() { close(s.ch) })
+	return s.inner.Run(ctx, h, asn, beat)
+}
+
+// TestSchedStragglerSpeculation: chaos scenario 6 — one host stalls
+// every attempt far past the median (a straggler, heartbeating the whole
+// time). With Speculate the range is duplicated onto the idle fast host,
+// the duplicate's part is accepted, the straggling loser is cancelled
+// WITHOUT a strike, and the run beats the stall; without Speculate the
+// run must sit out the full delay. Both converge to serial bytes.
+func TestSchedStragglerSpeculation(t *testing.T) {
+	spec := smallSpec()
+	want := serialReference(t, spec)
+	inner := newInstantInner(t, spec, 3)
+	const stall = 1500 * time.Millisecond
+	slowScript := func(host Host, rangeIdx, n int) Fault {
+		if host.Name == "slow" {
+			return Fault{Delay: stall}
+		}
+		return Fault{}
+	}
+	opts := func(dir string, speculate bool) Options {
+		return Options{
+			Dir:    dir,
+			Shards: 3,
+			Hosts:  []Host{{Name: "slow"}, {Name: "fast", Slots: 2}},
+			Transports: map[string]Transport{
+				"local": &FaultTransport{Inner: inner, Script: slowScript},
+			},
+			Speculate:        speculate,
+			SpeculateFactor:  2,
+			SpeculateFloor:   100 * time.Millisecond,
+			HeartbeatTimeout: 500 * time.Millisecond,
+		}
+	}
+
+	start := time.Now()
+	out, rep, err := Run(spec, opts(t.TempDir(), true))
+	withSpec := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("speculated output diverges from serial run")
+	}
+	if len(rep.Speculated) == 0 {
+		t.Fatal("no range was speculated despite a scripted straggler")
+	}
+	if len(rep.Excluded) != 0 {
+		t.Fatalf("speculation loser was struck: excluded %v", rep.Excluded)
+	}
+	if withSpec >= stall {
+		t.Fatalf("speculated run took %v — it waited out the %v straggler instead of racing it", withSpec, stall)
+	}
+
+	start = time.Now()
+	out, rep, err = Run(spec, opts(t.TempDir(), false))
+	withoutSpec := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("unspeculated output diverges from serial run")
+	}
+	if len(rep.Speculated) != 0 {
+		t.Fatalf("speculation disabled but rep.Speculated = %v", rep.Speculated)
+	}
+	if withoutSpec < stall {
+		t.Fatalf("unspeculated run took %v < the %v stall — the straggler script did not stall", withoutSpec, stall)
+	}
+	if withSpec >= withoutSpec {
+		t.Fatalf("speculation did not speed up the straggler run: with=%v without=%v", withSpec, withoutSpec)
+	}
+}
+
+// TestSchedJoinMidRun: chaos scenario 7 — the pool starts with one slow
+// host; a second host joins through a PoolSource while the first attempt
+// is in flight and must pick up queued ranges at the next round.
+func TestSchedJoinMidRun(t *testing.T) {
+	spec := smallSpec()
+	want := serialReference(t, spec)
+	inner := newInstantInner(t, spec, 4)
+	started := make(chan struct{})
+	busy := &signalTransport{ch: started, inner: &FaultTransport{Inner: inner, Script: func(Host, int, int) Fault {
+		return Fault{Delay: 400 * time.Millisecond}
+	}}}
+	pool := NewPoolChan()
+	go func() {
+		<-started
+		pool.Join(Host{Name: "helper", Slots: 2, Transport: "instant"})
+	}()
+	out, rep, err := Run(spec, Options{
+		Dir:    t.TempDir(),
+		Shards: 4,
+		Hosts:  []Host{{Name: "busy", Transport: "busy"}},
+		Transports: map[string]Transport{
+			"busy":    busy,
+			"instant": inner,
+		},
+		PoolSource:       pool,
+		HeartbeatTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("output after a mid-run join diverges from serial run")
+	}
+	if len(rep.Joined) != 1 || rep.Joined[0] != "helper" {
+		t.Fatalf("joined %v, want [helper]", rep.Joined)
+	}
+	if len(rep.Completed["helper"]) == 0 {
+		t.Fatalf("joined host completed nothing: %+v", rep.Completed)
+	}
+}
+
+// TestSchedShrinkThenGrow: chaos scenario 8 — a host leaves gracefully
+// mid-run (its in-flight attempt drains, unstruck) and later re-joins,
+// earning work again. The run completes with serial bytes throughout.
+func TestSchedShrinkThenGrow(t *testing.T) {
+	spec := smallSpec()
+	want := serialReference(t, spec)
+	inner := newInstantInner(t, spec, 4)
+	started := make(chan struct{})
+	slow := &signalTransport{ch: started, inner: &FaultTransport{Inner: inner, Script: func(Host, int, int) Fault {
+		return Fault{Delay: 250 * time.Millisecond}
+	}}}
+	pool := NewPoolChan()
+	go func() {
+		<-started
+		pool.Leave("b")
+		time.Sleep(300 * time.Millisecond)
+		pool.Join(Host{Name: "b", Transport: "slow"})
+	}()
+	out, rep, err := Run(spec, Options{
+		Dir:              t.TempDir(),
+		Shards:           4,
+		Hosts:            []Host{{Name: "a", Transport: "slow"}, {Name: "b", Transport: "slow"}},
+		Transports:       map[string]Transport{"slow": slow},
+		PoolSource:       pool,
+		HeartbeatTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("output after shrink-then-grow diverges from serial run")
+	}
+	if len(rep.Departed) != 1 || rep.Departed[0] != "b" {
+		t.Fatalf("departed %v, want [b]", rep.Departed)
+	}
+	if len(rep.Joined) != 1 || rep.Joined[0] != "b" {
+		t.Fatalf("joined %v, want [b]", rep.Joined)
+	}
+	if len(rep.Excluded) != 0 {
+		t.Fatalf("graceful leave must not strike or exclude: %v", rep.Excluded)
+	}
+}
+
+// TestSchedAllHostsLostLocalFallback: chaos scenario 9 — every host
+// fails until excluded. With LocalFallback the coordinator computes the
+// leftovers in-process: the run COMPLETES, byte-identical to serial,
+// and the report marks it Degraded with the fallback ranges named.
+func TestSchedAllHostsLostLocalFallback(t *testing.T) {
+	spec := smallSpec()
+	want := serialReference(t, spec)
+	out, rep, err := Run(spec, Options{
+		Dir:             t.TempDir(),
+		Shards:          2,
+		Hosts:           []Host{{Name: "dead"}},
+		Transports:      map[string]Transport{"local": failTransport{}},
+		MaxHostFailures: 1,
+		Retries:         -1,
+		Backoff:         -1,
+		LocalFallback:   true,
+	})
+	if err != nil {
+		t.Fatalf("local fallback should complete the run, got %v", err)
+	}
+	if !rep.Degraded {
+		t.Fatal("report not marked Degraded after a whole-pool loss")
+	}
+	if len(rep.Fallback) != 2 {
+		t.Fatalf("fallback ranges %v, want both", rep.Fallback)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("failed ranges %v after fallback", rep.Failed)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("degraded-fallback output diverges from serial run")
+	}
+}
+
+// TestSchedChaosMatrixConverges: chaos scenario 10 — a reproducible
+// RandomFaults script peppers every attempt with kills, corrupt parts,
+// and stragglers while speculation races the slow ones. Whatever the
+// fault schedule does, the run must converge to the serial bytes
+// (LocalFallback backstops even a fully-lost pool).
+func TestSchedChaosMatrixConverges(t *testing.T) {
+	spec := smallSpec()
+	want := serialReference(t, spec)
+	inner := newInstantInner(t, spec, 4)
+	for _, seed := range []int64{1, 7, 23} {
+		script := RandomFaults(seed, FaultRates{
+			Kill:    0.15,
+			Corrupt: 0.10,
+			DelayP:  0.15,
+			Delay:   250 * time.Millisecond,
+		})
+		out, rep, err := Run(spec, Options{
+			Dir:    t.TempDir(),
+			Shards: 4,
+			Hosts:  []Host{{Name: "a", Slots: 2}, {Name: "b", Slots: 2}},
+			Transports: map[string]Transport{
+				"local": &FaultTransport{Inner: inner, Script: script},
+			},
+			Speculate:        true,
+			SpeculateFloor:   150 * time.Millisecond,
+			HeartbeatTimeout: time.Second,
+			MaxHostFailures:  5,
+			Retries:          5,
+			Backoff:          -1,
+			LocalFallback:    true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !bytes.Equal(want, canonical(t, out)) {
+			t.Fatalf("seed %d: chaos-matrix output diverges from serial run (report %+v)", seed, rep)
+		}
+	}
+}
+
+// TestSchedReapsTransportGoroutines: every transport goroutine the
+// scheduler launches — including speculation losers and silently hung
+// attempts reaped by the heartbeat deadline — must exit before Run
+// returns. Counted with runtime.NumGoroutine (short settle loop, no
+// external leak-checker dependency).
+func TestSchedReapsTransportGoroutines(t *testing.T) {
+	spec := smallSpec()
+	inner := newInstantInner(t, spec, 3)
+	before := runtime.NumGoroutine()
+	script := func(host Host, rangeIdx, n int) Fault {
+		switch host.Name {
+		case "slow": // speculation loser: cancelled mid-delay
+			return Fault{Delay: 5 * time.Second}
+		case "wedged": // silent hang: reaped by the heartbeat deadline
+			return Fault{Hang: true, Mute: true}
+		}
+		return Fault{}
+	}
+	_, rep, err := Run(spec, Options{
+		Dir:    t.TempDir(),
+		Shards: 3,
+		Hosts:  []Host{{Name: "slow"}, {Name: "wedged"}, {Name: "ok", Slots: 3}},
+		Transports: map[string]Transport{
+			"local": &FaultTransport{Inner: inner, Script: script},
+		},
+		Speculate:        true,
+		SpeculateFloor:   100 * time.Millisecond,
+		HeartbeatTimeout: 500 * time.Millisecond,
+		Backoff:          -1,
+		LocalFallback:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed) != 0 {
+		t.Fatalf("failed ranges %v", rep.Failed)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// Allow slack for runtime-internal goroutines; what must not
+		// remain is one goroutine per abandoned attempt.
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("transport goroutines leaked: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 

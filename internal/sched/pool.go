@@ -1,0 +1,167 @@
+package sched
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// PoolUpdate is one batch of dynamic membership changes fed to a
+// running scheduler through Options.PoolSource.
+type PoolUpdate struct {
+	// Join adds hosts to the pool, picked up at the next scheduling
+	// round. Re-joining a known name is an operator's vote of
+	// confidence: the host's definition is refreshed and its strikes,
+	// exclusion, and departure are cleared so it earns work again.
+	Join []Host
+	// Leave names hosts leaving gracefully: they take no new
+	// assignments, their in-flight attempts drain to completion, and
+	// anything they would have run replans onto the survivors.
+	Leave []string
+}
+
+// PoolSource feeds dynamic pool membership to running schedulers.
+// Implementations: PoolChan (programmatic, the serve daemon's admin
+// endpoint) and HostsWatcher (a re-watched hosts.json).
+type PoolSource interface {
+	// Subscribe registers a listener for subsequent updates; the
+	// returned cancel releases it. Updates sent before Subscribe are
+	// not replayed, and a subscriber that falls far behind may miss
+	// updates — membership is advisory, never load-bearing for
+	// correctness.
+	Subscribe() (<-chan PoolUpdate, func())
+}
+
+// PoolChan is the programmatic PoolSource: call Join/Leave/Update to
+// fan a membership change out to every running scheduler subscribed to
+// it. The zero value is not usable; create with NewPoolChan.
+type PoolChan struct {
+	mu   sync.Mutex
+	subs map[int]chan PoolUpdate
+	next int
+}
+
+// NewPoolChan returns an empty, usable PoolChan.
+func NewPoolChan() *PoolChan { return &PoolChan{subs: map[int]chan PoolUpdate{}} }
+
+// Subscribe implements PoolSource.
+func (p *PoolChan) Subscribe() (<-chan PoolUpdate, func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.next
+	p.next++
+	ch := make(chan PoolUpdate, 16)
+	p.subs[id] = ch
+	return ch, func() {
+		p.mu.Lock()
+		delete(p.subs, id)
+		p.mu.Unlock()
+	}
+}
+
+// Update fans one membership change out to every subscriber. A
+// subscriber more than 16 updates behind drops the new one rather than
+// stalling the caller (an admin HTTP handler must not block on a busy
+// scheduler); the next update still reaches it.
+func (p *PoolChan) Update(up PoolUpdate) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ch := range p.subs {
+		select {
+		case ch <- up:
+		default:
+		}
+	}
+}
+
+// Join adds hosts to every subscribed scheduler's pool.
+func (p *PoolChan) Join(hosts ...Host) { p.Update(PoolUpdate{Join: hosts}) }
+
+// Leave drains the named hosts out of every subscribed scheduler's pool.
+func (p *PoolChan) Leave(names ...string) { p.Update(PoolUpdate{Leave: names}) }
+
+// HostsWatcher re-watches a hosts.json pool definition and turns edits
+// into PoolUpdates: hosts added to the file join every subscribed run,
+// hosts removed from it leave gracefully, and a changed entry (slots,
+// transport, cmd) re-joins with its new definition.
+type HostsWatcher struct {
+	*PoolChan
+	stop chan struct{}
+	done chan struct{}
+}
+
+// WatchHosts polls path every interval (default 1s) for pool edits.
+// The file's content at call time is the baseline — pass the same path
+// to LoadHosts for the initial pool — and only subsequent edits produce
+// updates. A transiently unreadable or unparsable file is skipped; the
+// last good definition stands until the file reads cleanly again.
+func WatchHosts(path string, interval time.Duration) (*HostsWatcher, error) {
+	hosts, err := LoadHosts(path)
+	if err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	known := map[string]Host{}
+	for _, h := range hosts {
+		known[h.Name] = h
+	}
+	w := &HostsWatcher{PoolChan: NewPoolChan(), stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+			}
+			hosts, err := LoadHosts(path)
+			if err != nil {
+				continue
+			}
+			var up PoolUpdate
+			seen := map[string]bool{}
+			for _, h := range hosts {
+				seen[h.Name] = true
+				if prev, ok := known[h.Name]; !ok || !hostEqual(prev, h) {
+					up.Join = append(up.Join, h)
+					known[h.Name] = h
+				}
+			}
+			for name := range known {
+				if !seen[name] {
+					up.Leave = append(up.Leave, name)
+					delete(known, name)
+				}
+			}
+			if len(up.Join) > 0 || len(up.Leave) > 0 {
+				sort.Slice(up.Join, func(i, j int) bool { return up.Join[i].Name < up.Join[j].Name })
+				sort.Strings(up.Leave)
+				w.Update(up)
+			}
+		}
+	}()
+	return w, nil
+}
+
+// Close stops the watcher and waits for its poller to exit. Safe to
+// call once; subscriptions stay valid (they just see no more updates).
+func (w *HostsWatcher) Close() {
+	close(w.stop)
+	<-w.done
+}
+
+func hostEqual(a, b Host) bool {
+	if a.Name != b.Name || a.Slots != b.Slots || a.Transport != b.Transport || len(a.Cmd) != len(b.Cmd) {
+		return false
+	}
+	for i := range a.Cmd {
+		if a.Cmd[i] != b.Cmd[i] {
+			return false
+		}
+	}
+	return true
+}

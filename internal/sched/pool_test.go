@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestPoolChanFanOut(t *testing.T) {
+	p := NewPoolChan()
+	ch1, stop1 := p.Subscribe()
+	ch2, stop2 := p.Subscribe()
+	defer stop2()
+	p.Join(Host{Name: "x"})
+	for i, ch := range []<-chan PoolUpdate{ch1, ch2} {
+		select {
+		case up := <-ch:
+			if len(up.Join) != 1 || up.Join[0].Name != "x" {
+				t.Fatalf("subscriber %d got %+v", i, up)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("subscriber %d never received the update", i)
+		}
+	}
+	// An unsubscribed listener stops receiving; the other still does.
+	stop1()
+	p.Leave("x")
+	select {
+	case up := <-ch2:
+		if len(up.Leave) != 1 || up.Leave[0] != "x" {
+			t.Fatalf("got %+v", up)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("surviving subscriber never received the leave")
+	}
+	select {
+	case up, ok := <-ch1:
+		if ok {
+			t.Fatalf("cancelled subscriber received %+v", up)
+		}
+	default:
+	}
+}
+
+func writeHosts(t *testing.T, path string, hosts []Host) {
+	t.Helper()
+	data, err := json.Marshal(hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchHostsDiffsEdits(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hosts.json")
+	writeHosts(t, path, []Host{{Name: "a"}, {Name: "b"}})
+	w, err := WatchHosts(path, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	ch, stop := w.Subscribe()
+	defer stop()
+
+	// Add c, drop b, and grow a's slots: one update carrying two joins
+	// (new host + changed definition) and one leave.
+	writeHosts(t, path, []Host{{Name: "a", Slots: 4}, {Name: "c"}})
+	select {
+	case up := <-ch:
+		if len(up.Join) != 2 || up.Join[0].Name != "a" || up.Join[0].Slots != 4 || up.Join[1].Name != "c" {
+			t.Fatalf("join %+v", up.Join)
+		}
+		if len(up.Leave) != 1 || up.Leave[0] != "b" {
+			t.Fatalf("leave %v", up.Leave)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher never reported the edit")
+	}
+
+	// A transiently broken file produces no update; the last good
+	// definition stands, so restoring the identical content stays quiet.
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	writeHosts(t, path, []Host{{Name: "a", Slots: 4}, {Name: "c"}})
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case up := <-ch:
+		t.Fatalf("unchanged pool produced update %+v", up)
+	default:
+	}
+}
+
+func TestWatchHostsRejectsMissingFile(t *testing.T) {
+	if _, err := WatchHosts(filepath.Join(t.TempDir(), "absent.json"), time.Second); err == nil {
+		t.Fatal("watching a missing hosts file should fail")
+	}
+}

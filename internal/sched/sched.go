@@ -16,9 +16,19 @@
 //     same seam;
 //   - per-host concurrency slots and a pool definition (hosts.json);
 //   - failure handling: heartbeat/deadline detection declares silent
-//     hosts dead, failed attempts retry on other hosts
-//     (retry-with-exclusion), repeatedly failing hosts are excluded and
-//     their ranges reassigned to survivors;
+//     hosts dead, failed attempts retry on other hosts with exponential
+//     backoff + deterministic jitter, repeatedly failing hosts are
+//     excluded and their ranges reassigned to survivors;
+//   - speculative execution: a range running far past the median of
+//     completed ranges is re-launched on an idle host; the first
+//     attempt whose part validates wins, the loser is cancelled without
+//     a host strike (Options.Speculate);
+//   - dynamic pool membership: hosts join mid-run and leave gracefully
+//     through a PoolSource (a re-watched hosts.json, the serve daemon's
+//     admin endpoint, or a programmatic PoolChan);
+//   - graceful degradation: with Options.LocalFallback, a run whose
+//     whole pool is lost completes in-process on the coordinator,
+//     marked Degraded, instead of failing;
 //   - cache-aware planning: the shard plan consults the result store at
 //     plan time, so fully-cached ranges never reach a host (the
 //     coordinator materializes them from the store) and the remaining
@@ -26,16 +36,23 @@
 //
 // Failure semantics, in one table:
 //
-//	worker exits non-zero      attempt fails; range offered to another host
+//	worker exits non-zero      attempt fails; range retries elsewhere after backoff
 //	worker killed (SIGKILL)    same — process death fails the attempt at once
 //	transport goes silent      heartbeat lapse: attempt cancelled, range reassigned
 //	corrupt/forged part        rejected by the shared validation gate; attempt fails
+//	range far past median      speculative duplicate on an idle host; first valid
+//	                           part accepted exactly once, loser cancelled unstruck
 //	host keeps failing         excluded after MaxHostFailures; its ranges move on
+//	host leaves (PoolSource)   no new work; in-flight drains; queue replans around it
+//	host joins (PoolSource)    eligible at the next scheduling round
 //	every host failed a range  exclusions reset, next round (up to Retries rounds)
+//	whole pool lost            LocalFallback: coordinator computes the rest
+//	                           in-process, run completes Degraded; else fail resumable
 //	ranges still missing       error names them; the directory stays resumable
 //
 // Every path converges to the same merged bytes or fails resumably;
-// nothing is ever merged around.
+// nothing is ever merged around. Chaos-test these paths through
+// FaultTransport, the supported deterministic fault-injection seam.
 package sched
 
 import (
@@ -54,6 +71,7 @@ import (
 
 	"fairbench/internal/dispatch"
 	"fairbench/internal/experiments"
+	"fairbench/internal/rng"
 	"fairbench/internal/runner"
 	"fairbench/internal/shard"
 	"fairbench/internal/store"
@@ -83,10 +101,40 @@ type Options struct {
 	// pool, not per-host attempts. Default 1; negative means no extra
 	// rounds (a range every live host has failed once fails for good).
 	Retries int
-	// MaxHostFailures is how many failed attempts a host may accumulate
-	// before it is excluded from the pool for the rest of the run.
-	// Default 3.
+	// MaxHostFailures is the per-host failure budget: how many failed
+	// attempts a host may accumulate before it is excluded from the
+	// pool for the rest of the run. Default 3.
 	MaxHostFailures int
+	// Speculate enables speculative execution: a range whose attempt
+	// has run longer than SpeculateFactor× the median completed-range
+	// runtime (never less than SpeculateFloor) is re-launched on an
+	// idle host. The first attempt whose part passes the acceptance
+	// gate wins; the loser is cancelled without a host strike.
+	Speculate bool
+	// SpeculateFactor is the straggler multiple k (default 3).
+	SpeculateFactor float64
+	// SpeculateFloor is the minimum straggler threshold, clamped to no
+	// less than the exec transports' heartbeat interval so speculation
+	// never outruns liveness evidence. Default 1s.
+	SpeculateFloor time.Duration
+	// Backoff is the base delay a failed range waits before
+	// reassignment: Backoff×2^(attempts-1) with deterministic jitter in
+	// [0.5,1.5) keyed by (seed, range, attempt), capped at BackoffMax.
+	// Default 100ms; negative disables backoff (immediate requeue).
+	Backoff time.Duration
+	// BackoffMax caps the exponential backoff delay. Default 5s.
+	BackoffMax time.Duration
+	// LocalFallback is the terminal graceful-degradation path: when
+	// ranges remain but every pool member is excluded or departed, the
+	// coordinator computes the leftovers in-process instead of failing
+	// the run. The run completes — at local speed — and the Report
+	// marks it Degraded.
+	LocalFallback bool
+	// PoolSource, when non-nil, feeds dynamic membership: hosts join
+	// mid-run (picked up at the next scheduling round) or leave
+	// gracefully (in-flight work drains, queued work replans onto the
+	// survivors). See PoolChan and WatchHosts.
+	PoolSource PoolSource
 	// Transports maps transport names to implementations, overlaying
 	// the built-ins ("local", "remote").
 	Transports map[string]Transport
@@ -115,6 +163,14 @@ const (
 	// EventExcluded: the host left the pool (repeated failures or a
 	// heartbeat lapse); its ranges move to survivors.
 	EventExcluded EventType = "excluded"
+	// EventSpeculated: a straggling range got a duplicate attempt on an
+	// idle host; the first valid part wins, the loser is cancelled
+	// without a strike.
+	EventSpeculated EventType = "speculated"
+	// EventJoined: a host joined the pool mid-run (Options.PoolSource).
+	EventJoined EventType = "joined"
+	// EventDeparted: a host left the pool gracefully (Options.PoolSource).
+	EventDeparted EventType = "departed"
 )
 
 // Event is one observed scheduling transition (see Options.OnEvent).
@@ -152,6 +208,17 @@ type Report struct {
 	Attempts map[int]int
 	// Excluded lists hosts declared dead or repeatedly failing.
 	Excluded []string
+	// Speculated lists positions that received a speculative duplicate
+	// attempt (the duplicate may have won or lost the race).
+	Speculated []int
+	// Joined and Departed record pool membership changes observed
+	// mid-run through Options.PoolSource.
+	Joined, Departed []string
+	// Fallback lists positions the coordinator computed in-process
+	// after the whole pool was lost (Options.LocalFallback). Degraded
+	// marks a run that completed only because of that fallback.
+	Fallback []int
+	Degraded bool
 	// Failed lists positions still missing when the run gave up.
 	Failed []int
 	// CellsComputed and CellsCached split the grid's cells by who did
@@ -206,7 +273,7 @@ func run(ctx context.Context, ns experiments.Spec, opts Options, resuming bool) 
 			fmt.Fprintf(opts.Log, format+"\n", args...)
 		}
 	}
-	pool, err := buildPool(&opts)
+	pool, transports, err := buildPool(&opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -309,12 +376,40 @@ func run(ctx context.Context, ns experiments.Spec, opts Options, resuming bool) 
 		len(rep.Reused), len(rep.Skipped), len(work))
 
 	// Schedule: place work ranges on hosts until everything is delivered
-	// or nothing eligible remains.
+	// or nothing eligible remains. The pool comes back because joins may
+	// have grown it mid-run.
 	if len(work) > 0 {
-		schedule(ctx, pool, work, m, manifestPath, manifestBytes, opts, rep, logf)
+		pool = schedule(ctx, pool, transports, work, m, manifestPath, manifestBytes, opts, rep, logf)
 	}
 	for name := range rep.Completed {
 		sort.Ints(rep.Completed[name])
+	}
+	// Terminal graceful degradation: when ranges remain but no pool
+	// member can take work any more, the coordinator finishes the job
+	// itself — in-process, at local speed — rather than failing a run
+	// that one machine can still complete. The envelopes are computed by
+	// the same planned-shard path workers use, so the merged bytes stay
+	// identical; only the Report records who did the work.
+	if len(rep.Failed) > 0 && opts.LocalFallback && ctx.Err() == nil && poolDead(pool) {
+		sort.Ints(rep.Failed)
+		logf("sched: every host is gone — completing %d range(s) in-process (degraded)", len(rep.Failed))
+		for _, i := range rep.Failed {
+			env, err := experiments.RunShardPlanned(m.Spec, ranges, i, st)
+			if err != nil {
+				return nil, rep, err
+			}
+			data, err := env.Encode()
+			if err != nil {
+				return nil, rep, err
+			}
+			if err := store.WriteFileAtomic(filepath.Join(opts.Dir, dispatch.PartName(i)), data); err != nil {
+				return nil, rep, fmt.Errorf("sched: %w", err)
+			}
+			rep.Fallback = append(rep.Fallback, i)
+			logf("sched: range %d completed by the coordinator's local fallback", i)
+		}
+		rep.Failed = nil
+		rep.Degraded = true
 	}
 	if len(rep.Failed) > 0 {
 		sort.Ints(rep.Failed)
@@ -365,10 +460,25 @@ type hostState struct {
 	inflight  int
 	failures  int
 	excluded  bool
+	// departed marks a graceful PoolSource leave: no new assignments,
+	// in-flight attempts drain, no strikes involved.
+	departed bool
 }
 
-// buildPool fills option defaults and resolves each host's transport.
-func buildPool(opts *Options) ([]*hostState, error) {
+// poolDead reports whether no pool member can accept work any more.
+func poolDead(pool []*hostState) bool {
+	for _, hs := range pool {
+		if !hs.excluded && !hs.departed {
+			return false
+		}
+	}
+	return true
+}
+
+// buildPool fills option defaults and resolves each host's transport,
+// returning the pool and the full transport registry (joining hosts
+// resolve against it mid-run).
+func buildPool(opts *Options) ([]*hostState, map[string]Transport, error) {
 	if len(opts.Hosts) == 0 {
 		opts.Hosts = []Host{{Name: "local", Slots: runner.Parallelism()}}
 	}
@@ -383,6 +493,27 @@ func buildPool(opts *Options) ([]*hostState, error) {
 	if opts.MaxHostFailures <= 0 {
 		opts.MaxHostFailures = 3
 	}
+	if opts.SpeculateFactor <= 0 {
+		opts.SpeculateFactor = 3
+	}
+	if opts.SpeculateFloor <= 0 {
+		opts.SpeculateFloor = time.Second
+	}
+	if opts.SpeculateFloor < heartbeatEvery {
+		opts.SpeculateFloor = heartbeatEvery
+	}
+	switch {
+	case opts.Backoff == 0:
+		opts.Backoff = 100 * time.Millisecond
+	case opts.Backoff < 0:
+		opts.Backoff = 0
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = 5 * time.Second
+	}
+	if opts.BackoffMax < opts.Backoff {
+		opts.BackoffMax = opts.Backoff
+	}
 	transports := map[string]Transport{"local": &LocalExec{}, "remote": &RemoteExec{}}
 	for name, t := range opts.Transports {
 		transports[name] = t
@@ -391,10 +522,10 @@ func buildPool(opts *Options) ([]*hostState, error) {
 	pool := make([]*hostState, len(opts.Hosts))
 	for i, h := range opts.Hosts {
 		if h.Name == "" {
-			return nil, fmt.Errorf("sched: host %d has no name", i)
+			return nil, nil, fmt.Errorf("sched: host %d has no name", i)
 		}
 		if seen[h.Name] {
-			return nil, fmt.Errorf("sched: duplicate host name %q", h.Name)
+			return nil, nil, fmt.Errorf("sched: duplicate host name %q", h.Name)
 		}
 		seen[h.Name] = true
 		if h.Slots <= 0 {
@@ -406,7 +537,7 @@ func buildPool(opts *Options) ([]*hostState, error) {
 		}
 		tr, ok := transports[key]
 		if !ok {
-			return nil, fmt.Errorf("sched: host %s names unknown transport %q", h.Name, key)
+			return nil, nil, fmt.Errorf("sched: host %s names unknown transport %q", h.Name, key)
 		}
 		pool[i] = &hostState{Host: h, transport: tr}
 	}
@@ -415,7 +546,7 @@ func buildPool(opts *Options) ([]*hostState, error) {
 			opts.Shards += h.Slots
 		}
 	}
-	return pool, nil
+	return pool, transports, nil
 }
 
 // prepare creates the manifest for a fresh directory — planning
@@ -520,43 +651,88 @@ type rangeState struct {
 	rounds   int
 	excluded map[string]bool
 	lastErr  error
+	// inflight counts live attempts — more than one while a speculative
+	// duplicate races the original.
+	inflight int
+	// done marks the exactly-once acceptance: the first attempt whose
+	// part validated was renamed into place; everything after is a loser.
+	done bool
+	// failed guards rep.Failed against duplicate entries when several
+	// attempts of one range drain during cancellation.
+	failed bool
+	// notBefore is the backoff gate: the range is not reassigned before
+	// this instant.
+	notBefore time.Time
+	// speculated remembers that this range already counted toward
+	// rep.Speculated.
+	speculated bool
 }
 
 // flight is one in-flight assignment.
 type flight struct {
-	id       int
-	host     *hostState
-	rng      *rangeState
-	lastBeat atomic.Int64
-	cancel   context.CancelFunc
+	id          int
+	host        *hostState
+	rng         *rangeState
+	lastBeat    atomic.Int64
+	cancel      context.CancelFunc
+	started     time.Time
+	outTmp      string
+	speculative bool
+	// abandoned marks a flight the scheduler cancelled itself (heartbeat
+	// lapse, speculation loss): its eventual report is reaped, never
+	// acted on.
+	abandoned bool
+	// released guards the one-time return of the flight's host slot and
+	// range inflight count.
+	released bool
 }
 
 type doneEvent struct {
 	id  int
 	err error
+	// outTmp is the surviving attempt file on success; empty after a
+	// failure (the flight goroutine already removed it).
+	outTmp string
 }
 
 // schedule places the work ranges on the pool and drives them to
-// completion, reassigning around failed attempts, dead heartbeats, and
-// excluded hosts. Failures that exhaust every option land in rep.Failed.
-// A done ctx drains the loop: queued ranges fail immediately (resumable),
-// in-flight attempts are cancelled, and the loop returns once every
-// flight has reported.
-func schedule(ctx context.Context, pool []*hostState, work []int, m *dispatch.Manifest, manifestPath string,
-	manifestBytes []byte, opts Options, rep *Report, logf func(string, ...any)) {
+// completion, reassigning around failed attempts (after exponential
+// backoff with deterministic jitter), dead heartbeats, speculation
+// races, and membership changes. Failures that exhaust every option
+// land in rep.Failed. A done ctx drains the loop: queued ranges fail
+// immediately (resumable) and in-flight attempts are cancelled.
+//
+// The loop returns only once every launched transport goroutine has
+// reported — abandoned attempts (heartbeat lapses, speculation losers)
+// are cancelled and then reaped, never leaked past the run. It returns
+// the final pool, which joins may have grown mid-run.
+func schedule(ctx context.Context, pool []*hostState, transports map[string]Transport, work []int,
+	m *dispatch.Manifest, manifestPath string, manifestBytes []byte, opts Options, rep *Report,
+	logf func(string, ...any)) []*hostState {
 	queue := make([]*rangeState, len(work))
 	for i, idx := range work {
 		queue[i] = &rangeState{idx: idx, excluded: map[string]bool{}}
 	}
-	// Every (round, host, range) triple launches at most once, so this
-	// bounds total events; zombie sends never block.
-	events := make(chan doneEvent, len(work)*len(pool)*(opts.Retries+1)+1)
-	inflight := map[int]*flight{}
+	// flights holds every launched-but-unreported attempt, including
+	// abandoned ones awaiting their reap; the loop exits only when it is
+	// empty, so sends below always find a receiver eventually.
+	events := make(chan doneEvent, 64)
+	flights := map[int]*flight{}
 	nextID := 0
+	// durations collects accepted-attempt runtimes — the basis of the
+	// straggler estimate (median × SpeculateFactor).
+	var durations []time.Duration
 	emit := func(ev Event) {
 		if opts.OnEvent != nil {
 			opts.OnEvent(ev)
 		}
+	}
+
+	var poolCh <-chan PoolUpdate
+	if opts.PoolSource != nil {
+		ch, unsubscribe := opts.PoolSource.Subscribe()
+		defer unsubscribe()
+		poolCh = ch
 	}
 
 	checkEvery := opts.HeartbeatTimeout / 4
@@ -566,18 +742,19 @@ func schedule(ctx context.Context, pool []*hostState, work []int, m *dispatch.Ma
 	ticker := time.NewTicker(checkEvery)
 	defer ticker.Stop()
 
+	live := func(hs *hostState) bool { return !hs.excluded && !hs.departed }
 	eligible := func(pr *rangeState) bool {
 		for _, hs := range pool {
-			if !hs.excluded && !pr.excluded[hs.Name] {
+			if live(hs) && !pr.excluded[hs.Name] {
 				return true
 			}
 		}
 		return false
 	}
-	pickHost := func(pr *rangeState) *hostState {
+	pickHost := func(pr *rangeState, not *hostState) *hostState {
 		var best *hostState
 		for _, hs := range pool {
-			if hs.excluded || pr.excluded[hs.Name] || hs.inflight >= hs.Slots {
+			if !live(hs) || hs == not || pr.excluded[hs.Name] || hs.inflight >= hs.Slots {
 				continue
 			}
 			if best == nil || hs.Slots-hs.inflight > best.Slots-best.inflight {
@@ -585,6 +762,45 @@ func schedule(ctx context.Context, pool []*hostState, work []int, m *dispatch.Ma
 			}
 		}
 		return best
+	}
+	release := func(fl *flight) {
+		if !fl.released {
+			fl.released = true
+			fl.host.inflight--
+			fl.rng.inflight--
+		}
+	}
+	abandon := func(fl *flight) {
+		if !fl.abandoned {
+			fl.abandoned = true
+			fl.cancel()
+			release(fl)
+		}
+	}
+	backoffUntil := func(pr *rangeState) time.Time {
+		if opts.Backoff <= 0 {
+			return time.Time{}
+		}
+		shift := pr.attempts - 1
+		if shift > 20 {
+			shift = 20
+		}
+		d := opts.Backoff << uint(shift)
+		if d <= 0 || d > opts.BackoffMax {
+			d = opts.BackoffMax
+		}
+		// Deterministic jitter in [0.5,1.5), keyed by (seed, range,
+		// attempt): identical runs replay identical retry schedules, but
+		// ranges failing together don't thunder back together.
+		j := rng.Derive(m.Spec.Seed, int64(pr.idx)<<20+int64(pr.attempts)).Float64()
+		return time.Now().Add(time.Duration(float64(d) * (0.5 + j)))
+	}
+	finalFail := func(pr *rangeState) {
+		if !pr.failed {
+			pr.failed = true
+			rep.Failed = append(rep.Failed, pr.idx)
+			rep.Attempts[pr.idx] = pr.attempts
+		}
 	}
 	fail := func(hs *hostState, pr *rangeState, err error) {
 		hs.failures++
@@ -599,56 +815,143 @@ func schedule(ctx context.Context, pool []*hostState, work []int, m *dispatch.Ma
 			emit(Event{Type: EventExcluded, Host: hs.Name, Range: -1,
 				Err: fmt.Sprintf("%d failed attempt(s)", hs.failures)})
 		}
+		if pr.inflight > 0 {
+			// A speculative sibling is still racing: the range is not
+			// requeued — the survivor decides its fate.
+			return
+		}
+		pr.notBefore = backoffUntil(pr)
 		queue = append(queue, pr)
 	}
-	launch := func(hs *hostState, pr *rangeState) {
+	launch := func(hs *hostState, pr *rangeState, speculative bool) {
 		id := nextID
 		nextID++
 		flctx, cancel := context.WithCancel(ctx)
-		fl := &flight{id: id, host: hs, rng: pr, cancel: cancel}
-		fl.lastBeat.Store(time.Now().UnixNano())
-		inflight[id] = fl
+		fl := &flight{id: id, host: hs, rng: pr, cancel: cancel, started: time.Now(), speculative: speculative}
+		fl.lastBeat.Store(fl.started.UnixNano())
+		flights[id] = fl
 		hs.inflight++
+		pr.inflight++
 		pr.attempts++
 		partPath := filepath.Join(opts.Dir, dispatch.PartName(pr.idx))
-		outTmp := fmt.Sprintf("%s.attempt-%d", partPath, id)
-		logf("sched: range %d → host %s (attempt %d)", pr.idx, hs.Name, pr.attempts)
+		fl.outTmp = fmt.Sprintf("%s.attempt-%d", partPath, id)
+		if speculative {
+			if !pr.speculated {
+				pr.speculated = true
+				rep.Speculated = append(rep.Speculated, pr.idx)
+			}
+			emit(Event{Type: EventSpeculated, Host: hs.Name, Range: pr.idx})
+		}
+		suffix := ""
+		if speculative {
+			suffix = ", speculative"
+		}
+		logf("sched: range %d → host %s (attempt %d%s)", pr.idx, hs.Name, pr.attempts, suffix)
+		outTmp := fl.outTmp
 		go func() {
-			ctx := flctx
 			defer cancel()
-			err := hs.transport.Run(ctx, hs.Host, Assignment{
+			err := hs.transport.Run(flctx, hs.Host, Assignment{
 				ManifestPath: manifestPath, Manifest: manifestBytes, Range: pr.idx, OutPath: outTmp,
 			}, func() {
 				fl.lastBeat.Store(time.Now().UnixNano())
 				emit(Event{Type: EventHeartbeat, Host: hs.Name, Range: pr.idx})
 			})
-			if err == nil && ctx.Err() != nil {
-				// The scheduler abandoned this attempt (heartbeat lapse)
-				// and may already have reassigned — or merged — the
-				// range; a zombie's late success must not touch the part.
-				err = ctx.Err()
-			}
-			if err == nil {
-				// The shared acceptance gate: an attempt only becomes the
-				// part when its envelope validates against the manifest.
-				if verr := dispatch.ValidatePart(outTmp, m, pr.idx); verr != nil {
-					err = fmt.Errorf("host %s produced an invalid part: %w", hs.Name, verr)
-				} else if rerr := os.Rename(outTmp, partPath); rerr != nil {
-					err = rerr
-				}
+			if err == nil && flctx.Err() != nil {
+				// The scheduler abandoned this attempt (heartbeat lapse,
+				// speculation loss) and may already have accepted — or
+				// merged — the range; a zombie's late success must not
+				// touch the part.
+				err = flctx.Err()
 			}
 			if err != nil {
 				os.Remove(outTmp)
+				events <- doneEvent{id: id, err: err}
+				return
 			}
-			events <- doneEvent{id: id, err: err}
+			// Acceptance is NOT decided here: the event loop validates and
+			// renames exactly one attempt per range, so racing winners
+			// cannot both promote their files.
+			events <- doneEvent{id: id, outTmp: outTmp}
 		}()
+	}
+	maybeSpeculate := func() {
+		if !opts.Speculate || len(durations) == 0 {
+			return
+		}
+		threshold := time.Duration(opts.SpeculateFactor * float64(median(durations)))
+		if threshold < opts.SpeculateFloor {
+			threshold = opts.SpeculateFloor
+		}
+		now := time.Now()
+		for _, fl := range flights {
+			if fl.abandoned || fl.rng.done || fl.rng.inflight != 1 || now.Sub(fl.started) < threshold {
+				continue
+			}
+			hs := pickHost(fl.rng, fl.host)
+			if hs == nil {
+				continue
+			}
+			logf("sched: range %d on host %s is a straggler (%v > %v) — speculating on %s",
+				fl.rng.idx, fl.host.Name, now.Sub(fl.started).Round(time.Millisecond), threshold.Round(time.Millisecond), hs.Name)
+			launch(hs, fl.rng, true)
+		}
+	}
+	applyPoolUpdate := func(up PoolUpdate) {
+		for _, name := range up.Leave {
+			for _, hs := range pool {
+				if hs.Name != name || hs.departed {
+					continue
+				}
+				hs.departed = true
+				rep.Departed = append(rep.Departed, name)
+				logf("sched: host %s left the pool: no new assignments, %d in-flight attempt(s) drain", name, hs.inflight)
+				emit(Event{Type: EventDeparted, Host: name, Range: -1})
+			}
+		}
+		for _, h := range up.Join {
+			if h.Name == "" {
+				logf("sched: ignoring joining host with no name")
+				continue
+			}
+			if h.Slots <= 0 {
+				h.Slots = 1
+			}
+			key := h.Transport
+			if key == "" {
+				key = "local"
+			}
+			tr, ok := transports[key]
+			if !ok {
+				logf("sched: ignoring joining host %s: unknown transport %q", h.Name, key)
+				continue
+			}
+			rejoined := false
+			for _, hs := range pool {
+				if hs.Name != h.Name {
+					continue
+				}
+				// An explicit re-add is an operator's vote of confidence:
+				// refresh the definition and clear strikes, exclusion, and
+				// departure so the host earns work again.
+				hs.Host, hs.transport = h, tr
+				hs.departed, hs.excluded, hs.failures = false, false, 0
+				rejoined = true
+			}
+			if !rejoined {
+				pool = append(pool, &hostState{Host: h, transport: tr})
+			}
+			rep.Joined = append(rep.Joined, h.Name)
+			logf("sched: host %s joined the pool (%d slot(s), transport %s)", h.Name, h.Slots, key)
+			emit(Event{Type: EventJoined, Host: h.Name, Range: -1})
+		}
 	}
 
 	ctxDone := ctx.Done()
 	for {
 		// Assign every queued range an eligible host with a free slot;
 		// ranges every live host has failed get their exclusions reset
-		// (one round) until the retry budget runs out. A done ctx stops
+		// (one round) until the retry budget runs out; ranges inside
+		// their backoff window wait for the ticker. A done ctx stops
 		// launching: queued ranges drain straight to Failed (the
 		// directory stays resumable) while in-flight attempts wind down.
 		for progress := true; progress; {
@@ -656,13 +959,7 @@ func schedule(ctx context.Context, pool []*hostState, work []int, m *dispatch.Ma
 			var still []*rangeState
 			for _, pr := range queue {
 				if ctx.Err() != nil {
-					rep.Failed = append(rep.Failed, pr.idx)
-					rep.Attempts[pr.idx] = pr.attempts
-					continue
-				}
-				if hs := pickHost(pr); hs != nil {
-					launch(hs, pr)
-					progress = true
+					finalFail(pr)
 					continue
 				}
 				if !eligible(pr) {
@@ -671,65 +968,123 @@ func schedule(ctx context.Context, pool []*hostState, work []int, m *dispatch.Ma
 						pr.excluded = map[string]bool{}
 						logf("sched: range %d: every live host has failed it; retry round %d/%d", pr.idx, pr.rounds, opts.Retries)
 						progress = true
+						still = append(still, pr)
 					} else {
-						rep.Failed = append(rep.Failed, pr.idx)
-						rep.Attempts[pr.idx] = pr.attempts
+						finalFail(pr)
 						logf("sched: range %d failed for good after %d attempt(s): %v", pr.idx, pr.attempts, pr.lastErr)
-						continue
 					}
+					continue
+				}
+				if time.Now().Before(pr.notBefore) {
+					still = append(still, pr)
+					continue
+				}
+				if hs := pickHost(pr, nil); hs != nil {
+					launch(hs, pr, false)
+					progress = true
+					continue
 				}
 				still = append(still, pr)
 			}
 			queue = still
 		}
-		if len(inflight) == 0 {
-			if len(queue) > 0 {
-				// Nothing running and nothing assignable: the pool is dead.
-				for _, pr := range queue {
-					rep.Failed = append(rep.Failed, pr.idx)
-					rep.Attempts[pr.idx] = pr.attempts
+		// A range inside its backoff window needs a wake-up of its own —
+		// the heartbeat ticker can be many seconds coarse.
+		var wake <-chan time.Time
+		var wakeTimer *time.Timer
+		var earliest time.Time
+		for _, pr := range queue {
+			if eligible(pr) && time.Now().Before(pr.notBefore) {
+				if earliest.IsZero() || pr.notBefore.Before(earliest) {
+					earliest = pr.notBefore
 				}
-				queue = nil
 			}
-			return
+		}
+		if len(flights) == 0 && earliest.IsZero() {
+			// Nothing running, nothing waiting out a backoff, nothing
+			// assignable: the pool is dead for whatever remains.
+			for _, pr := range queue {
+				finalFail(pr)
+			}
+			return pool
+		}
+		if !earliest.IsZero() {
+			d := time.Until(earliest)
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+			wakeTimer = time.NewTimer(d)
+			wake = wakeTimer.C
 		}
 		select {
 		case ev := <-events:
-			fl, ok := inflight[ev.id]
+			fl, ok := flights[ev.id]
 			if !ok {
-				break // an abandoned attempt's late report
-			}
-			delete(inflight, ev.id)
-			fl.host.inflight--
-			if ev.err != nil {
-				if ctx.Err() != nil {
-					// Cancelled, not a host's fault: no strike, no
-					// exclusion — record the range as missing and drain.
-					fl.rng.lastErr = ev.err
-					rep.Failed = append(rep.Failed, fl.rng.idx)
-					rep.Attempts[fl.rng.idx] = fl.rng.attempts
-					break
-				}
-				fail(fl.host, fl.rng, ev.err)
 				break
 			}
-			rep.Completed[fl.host.Name] = append(rep.Completed[fl.host.Name], fl.rng.idx)
-			rep.Attempts[fl.rng.idx] = fl.rng.attempts
-			emit(Event{Type: EventCompleted, Host: fl.host.Name, Range: fl.rng.idx})
+			delete(flights, ev.id)
+			wasAbandoned := fl.abandoned
+			release(fl)
+			pr, hs := fl.rng, fl.host
+			switch {
+			case pr.done || wasAbandoned:
+				// A speculation loser or reaped zombie: discard whatever
+				// it produced. Losing a race is not a failure — no strike.
+				if ev.outTmp != "" {
+					os.Remove(ev.outTmp)
+				}
+			case ev.err == nil:
+				// Exactly-once acceptance: the event loop is the only
+				// place an attempt file becomes the part, so a racing
+				// sibling can never overwrite a decided range.
+				partPath := filepath.Join(opts.Dir, dispatch.PartName(pr.idx))
+				if aerr := dispatch.AcceptPart(ev.outTmp, partPath, m, pr.idx); aerr != nil {
+					os.Remove(ev.outTmp)
+					if ctx.Err() != nil {
+						pr.lastErr = aerr
+						finalFail(pr)
+						break
+					}
+					fail(hs, pr, fmt.Errorf("host %s produced an invalid part: %w", hs.Name, aerr))
+					break
+				}
+				pr.done = true
+				durations = append(durations, time.Since(fl.started))
+				rep.Completed[hs.Name] = append(rep.Completed[hs.Name], pr.idx)
+				rep.Attempts[pr.idx] = pr.attempts
+				if fl.speculative {
+					logf("sched: range %d: speculative attempt on host %s won the race", pr.idx, hs.Name)
+				}
+				emit(Event{Type: EventCompleted, Host: hs.Name, Range: pr.idx})
+				for _, sib := range flights {
+					if sib.rng == pr && !sib.abandoned {
+						logf("sched: range %d: cancelling losing attempt on host %s (no strike)", pr.idx, sib.host.Name)
+						abandon(sib)
+					}
+				}
+			case ctx.Err() != nil:
+				// Cancelled, not a host's fault: no strike, no exclusion —
+				// record the range as missing and drain.
+				pr.lastErr = ev.err
+				finalFail(pr)
+			default:
+				fail(hs, pr, ev.err)
+			}
+		case <-wake:
+			// A backoff window closed: fall through to the assign loop.
+		case up := <-poolCh:
+			applyPoolUpdate(up)
 		case <-ctxDone:
 			ctxDone = nil
-			for _, fl := range inflight {
+			for _, fl := range flights {
 				fl.cancel()
 			}
 		case <-ticker.C:
 			deadline := time.Now().Add(-opts.HeartbeatTimeout).UnixNano()
-			for id, fl := range inflight {
-				if fl.lastBeat.Load() >= deadline {
+			for _, fl := range flights {
+				if fl.abandoned || fl.lastBeat.Load() >= deadline {
 					continue
 				}
-				fl.cancel()
-				delete(inflight, id)
-				fl.host.inflight--
 				// A heartbeat lapse is a death sentence, not a strike: the
 				// transport itself went unresponsive, so the host leaves
 				// the pool immediately instead of collecting further
@@ -741,10 +1096,25 @@ func schedule(ctx context.Context, pool []*hostState, work []int, m *dispatch.Ma
 					emit(Event{Type: EventExcluded, Host: fl.host.Name, Range: fl.rng.idx,
 						Err: fmt.Sprintf("no heartbeat for %s", opts.HeartbeatTimeout)})
 				}
-				fail(fl.host, fl.rng, fmt.Errorf("no heartbeat from host %s for %s — declared dead", fl.host.Name, opts.HeartbeatTimeout))
+				abandon(fl)
+				if !fl.rng.done {
+					fail(fl.host, fl.rng, fmt.Errorf("no heartbeat from host %s for %s — declared dead", fl.host.Name, opts.HeartbeatTimeout))
+				}
 			}
+			maybeSpeculate()
+		}
+		if wakeTimer != nil {
+			wakeTimer.Stop()
 		}
 	}
+}
+
+// median returns the middle value of ds (upper middle for even counts);
+// callers guarantee ds is non-empty.
+func median(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
 }
 
 func sum(xs []int) int {

@@ -57,7 +57,7 @@ func TestBuildPoolValidation(t *testing.T) {
 		{[]Host{{Name: "a", Transport: "teleport"}}, "unknown transport"},
 	}
 	for _, c := range cases {
-		if _, err := buildPool(&Options{Hosts: c.hosts}); err == nil ||
+		if _, _, err := buildPool(&Options{Hosts: c.hosts}); err == nil ||
 			!strings.Contains(err.Error(), c.want) {
 			t.Fatalf("hosts %+v: got %v, want %q", c.hosts, err, c.want)
 		}
@@ -65,7 +65,7 @@ func TestBuildPoolValidation(t *testing.T) {
 
 	// Defaults: one local host, slots filled in, shard target = slots.
 	opts := &Options{Hosts: []Host{{Name: "a"}, {Name: "b", Slots: 3}}}
-	pool, err := buildPool(opts)
+	pool, _, err := buildPool(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestBuildPoolValidation(t *testing.T) {
 	}
 	// A negative retry budget means zero extra rounds.
 	neg := &Options{Retries: -5}
-	if _, err := buildPool(neg); err != nil || neg.Retries != 0 {
+	if _, _, err := buildPool(neg); err != nil || neg.Retries != 0 {
 		t.Fatalf("negative retries: %v %d", err, neg.Retries)
 	}
 }

@@ -8,7 +8,6 @@ import (
 	"os"
 	"os/exec"
 	"strconv"
-	"strings"
 	"time"
 
 	"fairbench/internal/dispatch"
@@ -107,11 +106,11 @@ func (t *LocalExec) Run(ctx context.Context, host Host, asn Assignment, beat fun
 	if err != nil {
 		return err
 	}
-	var stderr strings.Builder
+	stderr := dispatch.NewBoundedBuffer(0)
 	if cmd.Stderr == nil {
-		cmd.Stderr = &stderr
+		cmd.Stderr = stderr
 	}
-	return runCmd(ctx, cmd, beat, &stderr)
+	return runCmd(ctx, cmd, beat, stderr)
 }
 
 // RemoteExec runs the worker binary through an arbitrary command prefix —
@@ -161,11 +160,11 @@ func (t *RemoteExec) Run(ctx context.Context, host Host, asn Assignment, beat fu
 	}
 	var stdout bytes.Buffer
 	cmd.Stdout = &stdout
-	var stderr strings.Builder
+	stderr := dispatch.NewBoundedBuffer(0)
 	if cmd.Stderr == nil {
-		cmd.Stderr = &stderr
+		cmd.Stderr = stderr
 	}
-	if err := runCmd(ctx, cmd, beat, &stderr); err != nil {
+	if err := runCmd(ctx, cmd, beat, stderr); err != nil {
 		return err
 	}
 	if _, err := shard.Decode(stdout.Bytes()); err != nil {
@@ -175,8 +174,10 @@ func (t *RemoteExec) Run(ctx context.Context, host Host, asn Assignment, beat fu
 }
 
 // runCmd starts cmd, heartbeats while the process is alive, kills it on
-// ctx cancellation, and returns its terminal error with a stderr tail.
-func runCmd(ctx context.Context, cmd *exec.Cmd, beat func(), stderr *strings.Builder) error {
+// ctx cancellation, and returns its terminal error with a (bounded)
+// stderr tail — including the truncation marker when the worker wrote
+// more than the capture budget.
+func runCmd(ctx context.Context, cmd *exec.Cmd, beat func(), stderr *dispatch.BoundedBuffer) error {
 	if err := cmd.Start(); err != nil {
 		return err
 	}

@@ -80,6 +80,13 @@ type Config struct {
 	// HeartbeatTimeout and MaxHostFailures tune sched failure handling.
 	HeartbeatTimeout time.Duration
 	MaxHostFailures  int
+	// Speculate enables sched speculative execution for every run.
+	Speculate bool
+	// Backoff is sched's retry backoff base (negative disables).
+	Backoff time.Duration
+	// LocalFallback lets sched runs complete in-process (Degraded) when
+	// the whole pool is lost.
+	LocalFallback bool
 	// Transports overlays sched's transport registry (tests).
 	Transports map[string]sched.Transport
 	// Spawn overrides worker subprocess creation (tests).
@@ -120,10 +127,12 @@ type run struct {
 
 // hostHealth aggregates sched events for one pool member.
 type hostHealth struct {
-	lastBeat  time.Time
-	completed int64
-	failed    int64
-	excluded  bool
+	lastBeat   time.Time
+	completed  int64
+	failed     int64
+	speculated int64
+	excluded   bool
+	departed   bool
 }
 
 // Server is the benchmark-as-a-service daemon state. Create with New,
@@ -131,6 +140,10 @@ type hostHealth struct {
 type Server struct {
 	cfg Config
 	eng *engine.Engine
+
+	// pool fans dynamic membership changes (the POST /pool admin
+	// endpoint) out to every running sched-backed run.
+	pool *sched.PoolChan
 
 	mu       sync.Mutex
 	runs     map[string]*run
@@ -140,6 +153,7 @@ type Server struct {
 	counters struct {
 		submitted, deduped, completed, failed, resumed int64
 		cellsComputed, cellsCached                     int64
+		speculated, joined, departed, degraded         int64
 	}
 
 	wg         sync.WaitGroup
@@ -166,6 +180,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:  cfg,
 		runs: map[string]*run{},
+		pool: sched.NewPoolChan(),
 	}
 	s.hosts = map[string]*hostHealth{}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -178,6 +193,10 @@ func New(cfg Config) (*Server, error) {
 		Hosts:            cfg.Hosts,
 		HeartbeatTimeout: cfg.HeartbeatTimeout,
 		MaxHostFailures:  cfg.MaxHostFailures,
+		Speculate:        cfg.Speculate,
+		Backoff:          cfg.Backoff,
+		LocalFallback:    cfg.LocalFallback,
+		PoolSource:       s.pool,
 		Transports:       cfg.Transports,
 		Spawn:            cfg.Spawn,
 		OnEvent:          s.onSchedEvent,
@@ -211,6 +230,17 @@ func (s *Server) onSchedEvent(ev sched.Event) {
 		h.failed++
 	case sched.EventExcluded:
 		h.excluded = true
+	case sched.EventSpeculated:
+		h.speculated++
+		s.counters.speculated++
+	case sched.EventJoined:
+		// A (re)join clears prior exclusion/departure: the scheduler
+		// trusts the host again, so health reporting should too.
+		h.excluded, h.departed = false, false
+		s.counters.joined++
+	case sched.EventDeparted:
+		h.departed = true
+		s.counters.departed++
 	}
 }
 
@@ -387,12 +417,17 @@ func (s *Server) finish(r *run, out *experiments.Output, rep *engine.Report, err
 		if rep != nil {
 			s.counters.cellsComputed += int64(rep.CellsComputed)
 			s.counters.cellsCached += int64(rep.CellsCached)
+			if rep.Degraded {
+				s.counters.degraded++
+			}
 		}
 	}
 	s.mu.Unlock()
 	close(r.done)
 	if err != nil {
 		s.logf("serve: run %s failed: %v", r.id, err)
+	} else if rep != nil && rep.Degraded {
+		s.logf("serve: run %s done DEGRADED: pool lost, completed via local fallback, computed=%d cached=%d", r.id, rep.CellsComputed, rep.CellsCached)
 	} else if rep != nil && rep.ServedFromCache {
 		s.logf("serve: run %s done: fully cached, computed=0 cached=%d", r.id, rep.CellsCached)
 	} else if rep != nil {
@@ -427,6 +462,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /runs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /runs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /runs/{id}/table", s.handleTable)
+	mux.HandleFunc("POST /pool", s.handlePool)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -462,6 +498,9 @@ type runStatus struct {
 	CellsComputed   int  `json:"cellsComputed"`
 	CellsCached     int  `json:"cellsCached"`
 	ServedFromCache bool `json:"servedFromCache,omitempty"`
+	// Degraded marks a run that lost its whole pool and completed via
+	// the scheduler's local in-process fallback.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 func (s *Server) statusOf(r *run, deduped bool) runStatus {
@@ -482,6 +521,7 @@ func (s *Server) statusOf(r *run, deduped bool) runStatus {
 		st.CellsComputed = r.report.CellsComputed
 		st.CellsCached = r.report.CellsCached
 		st.ServedFromCache = r.report.ServedFromCache
+		st.Degraded = r.report.Degraded
 	}
 	if m, err := dispatch.ReadManifest(filepath.Join(r.dir, dispatch.ManifestName)); err == nil {
 		st.PartsTotal = m.Shards
@@ -761,6 +801,44 @@ func (s *Server) handleTable(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
+// poolRequest is the wire shape of a POST /pool membership change:
+// hosts to add (full definitions) and host names to drain.
+type poolRequest struct {
+	Join  []sched.Host `json:"join,omitempty"`
+	Leave []string     `json:"leave,omitempty"`
+}
+
+// handlePool applies a dynamic membership change to every executing
+// sched-backed run: joined hosts pick up work at the next scheduling
+// round, departing hosts drain their in-flight assignments (no strikes)
+// and receive no new work. The change is run-scoped, not persisted —
+// runs started later begin from the configured hosts file again.
+func (s *Server) handlePool(w http.ResponseWriter, req *http.Request) {
+	var pr poolRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pr); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding pool update: %v", err)
+		return
+	}
+	if len(pr.Join) == 0 && len(pr.Leave) == 0 {
+		writeError(w, http.StatusBadRequest, "pool update joins or leaves no hosts")
+		return
+	}
+	for _, h := range pr.Join {
+		if h.Name == "" {
+			writeError(w, http.StatusBadRequest, "joining host has no name")
+			return
+		}
+	}
+	if len(s.cfg.Hosts) == 0 {
+		writeError(w, http.StatusConflict, "daemon runs without a host pool; pool updates need -hosts")
+		return
+	}
+	s.pool.Update(sched.PoolUpdate{Join: pr.Join, Leave: pr.Leave})
+	writeJSON(w, http.StatusOK, map[string]int{"joined": len(pr.Join), "left": len(pr.Leave)})
+}
+
 // handleMetrics hand-rolls the Prometheus text exposition format: run
 // counters and queue state, the grid-cell cache split (the store's
 // effective hit rate over served work), on-disk store usage, and
@@ -798,6 +876,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("fairbench_runs_failed_total", "Runs that ended in error (resubmittable).", c.failed)
 	counter("fairbench_cells_computed_total", "Grid cells computed by workers across completed runs.", c.cellsComputed)
 	counter("fairbench_cells_cached_total", "Grid cells served from the result store across completed runs.", c.cellsCached)
+	counter("fairbench_runs_degraded_total", "Runs that lost the whole pool and completed via local fallback.", c.degraded)
+	counter("fairbench_sched_speculations_total", "Speculative duplicate attempts launched against stragglers.", c.speculated)
+	counter("fairbench_hosts_joined_total", "Hosts that joined the pool mid-run.", c.joined)
+	counter("fairbench_hosts_departed_total", "Hosts drained out of the pool mid-run.", c.departed)
 	gauge("fairbench_runs_active", "Runs currently executing.", active)
 	gauge("fairbench_run_slots", "Admission limit on concurrently executing runs.", slots)
 	gauge("fairbench_queue_depth", "Submissions executing or waiting (admission rejects beyond the slots, so this equals active runs).", active)
@@ -813,12 +895,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	for _, hr := range hostRows {
 		up := 1
-		if hr.h.excluded {
+		if hr.h.excluded || hr.h.departed {
 			up = 0
 		}
 		fmt.Fprintf(&b, "fairbench_host_up{host=%q} %d\n", hr.name, up)
 		fmt.Fprintf(&b, "fairbench_host_ranges_completed_total{host=%q} %d\n", hr.name, hr.h.completed)
 		fmt.Fprintf(&b, "fairbench_host_attempts_failed_total{host=%q} %d\n", hr.name, hr.h.failed)
+		fmt.Fprintf(&b, "fairbench_host_speculations_total{host=%q} %d\n", hr.name, hr.h.speculated)
 		if !hr.h.lastBeat.IsZero() {
 			fmt.Fprintf(&b, "fairbench_host_heartbeat_age_seconds{host=%q} %.3f\n", hr.name, time.Since(hr.h.lastBeat).Seconds())
 		}

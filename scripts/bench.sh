@@ -7,8 +7,9 @@
 # four perf trajectories populate.
 #
 # Also runs the scheduler benchmarks in ./internal/sched (they need that
-# package's worker re-exec helper) and records the cache-aware plan +
-# two-host local run pair to BENCH_sched.json.
+# package's worker re-exec helper) and records the cache-aware plan, the
+# two-host local run, and the straggler run with/without speculative
+# execution to BENCH_sched.json.
 #
 # Usage:
 #   scripts/bench.sh [output.json] [shard-output.json] [cache-output.json] [train-output.json] [sched-output.json]
@@ -211,21 +212,27 @@ sched_col() { # sched_col <benchmark-name> <awk-field> — min across -count run
 plan_ns="$(sched_col BenchmarkSchedPlanCacheAware 3)"
 plan_allocs="$(sched_col BenchmarkSchedPlanCacheAware 7)"
 local_ns="$(sched_col BenchmarkSchedLocal 3)"
+straggler_ns="$(sched_col BenchmarkSchedStraggler 3)"
+speculate_ns="$(sched_col BenchmarkSchedSpeculation 3)"
 
-if [[ -z "$plan_ns" || -z "$plan_allocs" || -z "$local_ns" ]]; then
-    skip "$sched_out" "SchedPlanCacheAware/SchedLocal not in output"
+if [[ -z "$plan_ns" || -z "$plan_allocs" || -z "$local_ns" || -z "$straggler_ns" || -z "$speculate_ns" ]]; then
+    skip "$sched_out" "SchedPlanCacheAware/SchedLocal/SchedStraggler/SchedSpeculation not in output"
 else
+    speculation_speedup="$(awk -v a="$straggler_ns" -v b="$speculate_ns" 'BEGIN { printf "%.2f", a/b }')"
     cat > "$sched_out" <<EOF
 {
-  "benchmark": "sched: cache-aware plan (fig7 German n=300, half-cached, k=4) + two-host local run (fig23 COMPAS n=300, 4 cells, cold)",
+  "benchmark": "sched: cache-aware plan (fig7 German n=300, half-cached, k=4) + two-host local run (fig23 COMPAS n=300, 4 cells, cold) + scripted-straggler run with/without speculative execution",
   "go": "$(go env GOVERSION)",
   "cpus": $(nproc),
   "benchtime": "$benchtime",
   "plan_cache_aware": { "ns_per_op": $plan_ns, "allocs_per_op": $plan_allocs },
-  "sched_local": { "ns_per_op": $local_ns }
+  "sched_local": { "ns_per_op": $local_ns },
+  "sched_straggler": { "ns_per_op": $straggler_ns },
+  "sched_speculation": { "ns_per_op": $speculate_ns },
+  "speculation_speedup": $speculation_speedup
 }
 EOF
-    echo "bench.sh: wrote $sched_out (plan ${plan_ns} ns/op, local run ${local_ns} ns/op)"
+    echo "bench.sh: wrote $sched_out (plan ${plan_ns} ns/op, local run ${local_ns} ns/op, speculation ${speculation_speedup}x over straggler)"
 fi
 
 # Declared-output contract: the full suite must produce every BENCH
