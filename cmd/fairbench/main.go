@@ -132,6 +132,7 @@ import (
 	"fairbench/internal/report"
 	"fairbench/internal/sched"
 	"fairbench/internal/serve"
+	"fairbench/internal/store"
 )
 
 // shardableCommands maps figure commands to their grid experiment names
@@ -163,6 +164,7 @@ func main() {
 	outFlag := fs.String("out", "", "file for the -shard envelope or the merged-output JSON (default: envelope to stdout; merge prints tables only)")
 	gridFlag := fs.String("grid", "rows", "which fig8 grid to shard: rows|attrs")
 	cacheFlag := fs.String("cache", "", "result-cache directory: serve already-computed cells from disk, write fresh ones back")
+	remoteStoreFlag := fs.String("remote-store", "", "shared result-store base URL (a fairbench cachesrv or serve daemon's /cache): read-through behind -cache, every entry verified before use")
 	biasFlag := fs.String("bias", "", "bias-injection model applied to the training data: under|label (default: clean data)")
 	biasRateFlag := fs.Float64("bias-rate", 0, "bias rate: under-representation's positive-label drop rate β⁺, or label bias's flip rate ν")
 	biasRateNegFlag := fs.Float64("bias-rate-neg", 0, "under-representation's negative-label drop rate β⁻")
@@ -190,8 +192,8 @@ func main() {
 	// for the Source-based commands that predate the options struct.
 	parallelism = *parallelFlag
 	fairbench.SetParallelism(*parallelFlag)
-	if *cacheFlag != "" {
-		exitIf(fairbench.CacheDir(*cacheFlag))
+	if *cacheFlag != "" || *remoteStoreFlag != "" {
+		exitIf(fairbench.CacheRemote(*cacheFlag, *remoteStoreFlag))
 	}
 	exitIf(startProfiles(*cpuProfFlag, *memProfFlag))
 	bias := biasSpec{model: *biasFlag, rate: *biasRateFlag, rateNeg: *biasRateNegFlag}
@@ -208,16 +210,24 @@ func main() {
 
 	if cmd == "sched" {
 		exit(cmdSched(*expFlag, *datasetFlag, *nFlag, *kFlag, *runsFlag, *seedFlag, bias,
-			*dirFlag, *cacheFlag, *hostsFlag, *shardsFlag, *procsFlag, *retriesFlag,
+			*dirFlag, *cacheFlag, *remoteStoreFlag, *hostsFlag, *shardsFlag, *procsFlag, *retriesFlag,
 			*maxHostFailFlag, *heartbeatFlag, *speculateFlag, *backoffFlag,
 			*watchHostsFlag, *localFallbackFlag, *outFlag))
 	}
 
 	if cmd == "serve" {
-		exit(cmdServe(*addrFlag, *stateFlag, *cacheFlag, *hostsFlag,
+		exit(cmdServe(*addrFlag, *stateFlag, *cacheFlag, *remoteStoreFlag, *hostsFlag,
 			*shardsFlag, *procsFlag, *retriesFlag, *maxRunsFlag,
 			*maxHostFailFlag, *heartbeatFlag, *speculateFlag, *backoffFlag,
 			*localFallbackFlag))
+	}
+
+	if cmd == "cachesrv" {
+		exit(cmdCacheSrv(*addrFlag, *dirFlag))
+	}
+
+	if cmd == "fingerprint" {
+		exit(cmdFingerprint(*expFlag, *datasetFlag, *nFlag, *kFlag, *runsFlag, *seedFlag, bias))
 	}
 
 	if *shardFlag != "" {
@@ -270,7 +280,7 @@ func main() {
 		err = cmdMerge(fs.Args(), *outFlag)
 	case "dispatch":
 		err = cmdDispatch(*expFlag, *datasetFlag, *nFlag, *kFlag, *runsFlag, *seedFlag, bias,
-			*dirFlag, *cacheFlag, *shardsFlag, *procsFlag, *retriesFlag, *outFlag)
+			*dirFlag, *cacheFlag, *remoteStoreFlag, *shardsFlag, *procsFlag, *retriesFlag, *outFlag)
 	case "resume":
 		err = cmdResume(*dirFlag, *procsFlag, *retriesFlag, *outFlag)
 	case "all":
@@ -373,15 +383,20 @@ func usage() {
        fairbench <figN|cv> ... -shard i/K [-out part.json] [-cache DIR]  run one grid shard
        fairbench merge part0.json part1.json ...                         combine shards
        fairbench dispatch -exp <figN|cv|fig8rows|fig8attrs> [figure flags]
-                 -dir DIR [-shards K] [-procs N] [-retries R] [-cache DIR]
+                 -dir DIR [-shards K] [-procs N] [-retries R]
+                 [-cache DIR] [-remote-store URL]
        fairbench resume -dir DIR [-procs N] [-retries R]                 finish an interrupted dispatch
        fairbench sched -exp <figN|cv|fig8rows|fig8attrs> [figure flags] -dir DIR
-                 [-hosts hosts.json] [-shards K] [-cache DIR] [-retries R]
-                 [-heartbeat 60s] [-max-host-failures 3] [-speculate]
+                 [-hosts hosts.json] [-shards K] [-cache DIR] [-remote-store URL]
+                 [-retries R] [-heartbeat 60s] [-max-host-failures 3] [-speculate]
                  [-backoff 100ms] [-watch-hosts 5s] [-local-fallback]    multi-host run
        fairbench serve -state DIR [-addr 127.0.0.1:8080] [-cache DIR]
-                 [-hosts hosts.json] [-shards K] [-procs N] [-retries R]
-                 [-max-runs 1] [-speculate] [-backoff 100ms]             benchmark-as-a-service daemon`)
+                 [-remote-store URL] [-hosts hosts.json] [-shards K] [-procs N]
+                 [-retries R] [-max-runs 1] [-speculate] [-backoff 100ms]
+                 benchmark-as-a-service daemon (also serves /cache)
+       fairbench cachesrv -dir DIR [-addr 127.0.0.1:8080]                standalone shared result store
+       fairbench fingerprint -exp <figN|cv|fig8rows|fig8attrs> [figure flags]
+                 print the grid's store/cache fingerprint (CI cache key)`)
 }
 
 // biasSpec collects the bias-injection flags shared by every grid
@@ -429,7 +444,7 @@ func signalContext() (context.Context, context.CancelFunc) {
 // cmdDispatch runs a grid as worker subprocesses and prints the merged
 // tables, exactly as the serial figure command would print them.
 func cmdDispatch(exp, ds string, n, k, runs int, seed int64, bias biasSpec,
-	dir, cache string, shards, procs, retries int, out string) error {
+	dir, cache, remoteStore string, shards, procs, retries int, out string) error {
 	if exp == "" {
 		return fmt.Errorf("dispatch requires -exp (fig7|fig9|fig10|fig15|cv|fig22|fig23|fig8rows|fig8attrs)")
 	}
@@ -442,7 +457,7 @@ func cmdDispatch(exp, ds string, n, k, runs int, seed int64, bias biasSpec,
 	merged, rep, err := fairbench.Run(ctx, spec, fairbench.RunOptions{
 		Backend: fairbench.BackendDispatch,
 		Dir:     dir, Shards: shards, Procs: procs, Retries: retries,
-		Parallelism: parallelism, CacheDir: cache, Log: os.Stderr,
+		Parallelism: parallelism, CacheDir: cache, RemoteStore: remoteStore, Log: os.Stderr,
 	})
 	if err != nil {
 		return err
@@ -467,7 +482,7 @@ func cmdResume(dir string, procs, retries int, out string) error {
 
 // cmdSched runs a grid across a pool of hosts and prints the merged
 // tables — the serial figure command's output, fault-tolerantly.
-func cmdSched(exp, ds string, n, k, runs int, seed int64, bias biasSpec, dir, cache, hostsPath string,
+func cmdSched(exp, ds string, n, k, runs int, seed int64, bias biasSpec, dir, cache, remoteStore, hostsPath string,
 	shards, procs, retries, maxHostFailures int, heartbeat time.Duration,
 	speculate bool, backoff, watchHosts time.Duration, localFallback bool, out string) error {
 	if exp == "" {
@@ -501,7 +516,7 @@ func cmdSched(exp, ds string, n, k, runs int, seed int64, bias biasSpec, dir, ca
 	defer stop()
 	merged, rep, err := fairbench.Run(ctx, gridSpecFor(exp, ds, n, k, runs, seed, bias), fairbench.RunOptions{
 		Backend: fairbench.BackendSched,
-		Dir:     dir, Hosts: hosts, Shards: shards, CacheDir: cache,
+		Dir:     dir, Hosts: hosts, Shards: shards, CacheDir: cache, RemoteStore: remoteStore,
 		HeartbeatTimeout: heartbeat, Retries: retries, MaxHostFailures: maxHostFailures,
 		Speculate: speculate, Backoff: backoff, LocalFallback: localFallback, PoolSource: pool,
 		Parallelism: parallelism, Log: os.Stderr,
@@ -516,7 +531,7 @@ func cmdSched(exp, ds string, n, k, runs int, seed int64, bias biasSpec, dir, ca
 // over HTTP execute on the same engine the dispatch/sched commands
 // use, deduplicated by grid fingerprint and checkpointed under -state.
 // SIGTERM/SIGINT drain gracefully; interrupted runs resume on restart.
-func cmdServe(addr, stateDir, cache, hostsPath string,
+func cmdServe(addr, stateDir, cache, remoteStore, hostsPath string,
 	shards, procs, retries, maxRuns, maxHostFailures int, heartbeat time.Duration,
 	speculate bool, backoff time.Duration, localFallback bool) error {
 	if stateDir == "" {
@@ -530,7 +545,7 @@ func cmdServe(addr, stateDir, cache, hostsPath string,
 		}
 	}
 	srv, err := serve.New(serve.Config{
-		StateDir: stateDir, CacheDir: cache, MaxConcurrent: maxRuns,
+		StateDir: stateDir, CacheDir: cache, RemoteStore: remoteStore, MaxConcurrent: maxRuns,
 		Shards: shards, Procs: procs, Retries: retries, Parallelism: parallelism,
 		Hosts: hosts, HeartbeatTimeout: heartbeat, MaxHostFailures: maxHostFailures,
 		Speculate: speculate, Backoff: backoff, LocalFallback: localFallback,
@@ -573,6 +588,65 @@ func cmdServe(addr, stateDir, cache, hostsPath string,
 	return drainErr
 }
 
+// cmdCacheSrv runs the standalone shared result store: an on-disk
+// store exposed over the content-addressed /cache HTTP protocol the
+// -remote-store clients speak. Every PUT body is verified before it
+// is stored; every GET re-encodes an already-verified entry.
+func cmdCacheSrv(addr, dir string) error {
+	if dir == "" {
+		return fmt.Errorf("cachesrv requires -dir (the on-disk store directory it serves)")
+	}
+	ds, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/cache/", http.StripPrefix("/cache", store.Handler(ds)))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: mux}
+	ctx, stop := signalContext()
+	defer stop()
+	fmt.Fprintf(os.Stderr, "fairbench: cachesrv: serving %s on http://%s/cache\n", dir, ln.Addr())
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return err
+	}
+	c := ds.Counters()
+	fmt.Fprintf(os.Stderr, "fairbench: cachesrv: stopped — hits=%d misses=%d writes=%d rejected=%d\n",
+		c.Hits, c.Misses, c.Writes, c.Rejected)
+	return nil
+}
+
+// cmdFingerprint prints the fingerprint of the grid the flags
+// describe — the address prefix the result store keys its cells
+// under. CI keys its cross-run cache (actions/cache) on this value so
+// a grid change invalidates the cache exactly when the keys change.
+func cmdFingerprint(exp, ds string, n, k, runs int, seed int64, bias biasSpec) error {
+	if exp == "" {
+		return fmt.Errorf("fingerprint requires -exp (fig7|fig9|fig10|fig15|cv|fig22|fig23|fig8rows|fig8attrs)")
+	}
+	fp, err := fairbench.GridFingerprint(gridSpecFor(exp, ds, n, k, runs, seed, bias))
+	if err != nil {
+		return err
+	}
+	fmt.Println(fp)
+	return nil
+}
+
 // renderRun prints the merged tables, the backend's provenance summary
 // line (the e2e jobs assert on computed=0 and "fully cached" for warm
 // runs), and the optional JSON dump.
@@ -601,6 +675,13 @@ func renderRun(merged *fairbench.GridOutput, rep *fairbench.RunReport, out strin
 		if s.Degraded {
 			fmt.Fprintf(os.Stderr, "fairbench: sched: DEGRADED — every host was lost; %d range(s) finished by the local in-process fallback\n", len(s.Fallback))
 		}
+	}
+	if rep.CacheStats.Rejected > 0 {
+		fmt.Fprintf(os.Stderr, "fairbench: WARNING: result store rejected %d corrupt or mismatched entrie(s); each was recomputed from scratch\n",
+			rep.CacheStats.Rejected)
+	}
+	if rep.CacheDegraded {
+		fmt.Fprintln(os.Stderr, "fairbench: remote store DEGRADED — repeated transport failures; the run finished on the local cache tier alone")
 	}
 	if out != "" {
 		data, err := jsonIndent(merged)

@@ -218,8 +218,12 @@ type (
 	// executed, per-shard attempts, and the computed/cached cell split.
 	DispatchReport = dispatch.Report
 	// CacheCounters are the in-memory hit/miss/write/reject counters of
-	// the installed result cache.
+	// the installed result cache (plus transport-error counts for
+	// remote-backed caches).
 	CacheCounters = store.Counters
+	// CacheBackend is a verified result cache: on-disk, remote HTTP, or
+	// tiered (disk in front of a shared remote). See store.Backend.
+	CacheBackend = store.Backend
 	// CacheUsage summarizes the cache directory: entries, bytes, and
 	// distinct grid fingerprints, plus the counters.
 	CacheUsage = store.Stats
@@ -384,10 +388,13 @@ func DecodeShardEnvelope(data []byte) (*ShardEnvelope, error) {
 	return shard.Decode(data)
 }
 
-// activeCache tracks the handle CacheDir installed, for the stat/GC API.
+// activeCache tracks the handle CacheDir/CacheRemote installed, for the
+// stat/GC API. disk is the local tier (nil for a remote-only install),
+// the only backend with a directory to walk or collect.
 var activeCache = struct {
-	mu sync.Mutex
-	s  *store.Store
+	mu   sync.Mutex
+	s    store.Backend
+	disk *store.DiskStore
 }{}
 
 // CacheDir installs a process-wide on-disk result cache at dir (created
@@ -402,19 +409,37 @@ var activeCache = struct {
 // pure-timing (fig8) cells — resumability requires it — so clear it, or
 // run without one, to re-measure timings.
 func CacheDir(dir string) error {
+	return CacheRemote(dir, "")
+}
+
+// CacheRemote installs the process-wide result cache dir and remoteURL
+// select (see store.OpenBackend): a local on-disk cache, a shared
+// remote HTTP cache (`fairbench cachesrv` or a serve daemon's /cache
+// mount), or — with both set — a tiered store that reads local-first,
+// promotes remote hits, and writes computed cells through to the fleet.
+// Every read is verified (key fields + SHA-256) regardless of backend;
+// a remote outage degrades reads and writes to local-only rather than
+// failing the run. Both arguments empty removes the cache.
+func CacheRemote(dir, remoteURL string) error {
 	activeCache.mu.Lock()
 	defer activeCache.mu.Unlock()
-	if dir == "" {
-		activeCache.s = nil
-		experiments.SetDefaultCache(nil)
-		return nil
-	}
-	s, err := store.Open(dir)
+	b, err := store.OpenBackend(dir, remoteURL)
 	if err != nil {
 		return err
 	}
-	activeCache.s = s
-	experiments.SetDefaultCache(s)
+	activeCache.s = b
+	activeCache.disk = nil
+	if dir != "" {
+		// The local tier is what Stats/GC walk; OpenBackend built it as
+		// either the whole backend or the tiered front.
+		switch s := b.(type) {
+		case *store.DiskStore:
+			activeCache.disk = s
+		case *store.TieredStore:
+			activeCache.disk, _ = s.Local().(*store.DiskStore)
+		}
+	}
+	experiments.SetDefaultCache(b)
 	return nil
 }
 
@@ -430,14 +455,15 @@ func CacheStats() CacheCounters {
 	return s.Counters()
 }
 
-// CacheDiskUsage walks the installed cache directory and reports entry
-// count, bytes, and distinct grid fingerprints.
+// CacheDiskUsage walks the installed cache's local directory and reports
+// entry count, bytes, and distinct grid fingerprints. A remote-only
+// cache has no directory to walk and errors.
 func CacheDiskUsage() (CacheUsage, error) {
 	activeCache.mu.Lock()
-	s := activeCache.s
+	s := activeCache.disk
 	activeCache.mu.Unlock()
 	if s == nil {
-		return CacheUsage{}, fmt.Errorf("fairbench: no cache installed (call CacheDir first)")
+		return CacheUsage{}, fmt.Errorf("fairbench: no on-disk cache installed (call CacheDir first)")
 	}
 	return s.Stats()
 }
@@ -447,10 +473,10 @@ func CacheDiskUsage() (CacheUsage, error) {
 // the figures still being iterated on; everything else is reclaimed.
 func CacheGC(keep ...GridSpec) (removed int, err error) {
 	activeCache.mu.Lock()
-	s := activeCache.s
+	s := activeCache.disk
 	activeCache.mu.Unlock()
 	if s == nil {
-		return 0, fmt.Errorf("fairbench: no cache installed (call CacheDir first)")
+		return 0, fmt.Errorf("fairbench: no on-disk cache installed (call CacheDir first)")
 	}
 	inUse := map[string]bool{}
 	for _, spec := range keep {
@@ -514,12 +540,9 @@ func ResumeRun(ctx context.Context, dir string, opts RunOptions) (*GridOutput, *
 // is balanced by uncached cell count. An empty cacheDir plans every cell
 // as work. Over a fully-cached grid the plan's Assigned() is empty.
 func PlanShardsCacheAware(spec GridSpec, k int, cacheDir string) (*ShardPlan, error) {
-	var s *store.Store
-	if cacheDir != "" {
-		var err error
-		if s, err = store.Open(cacheDir); err != nil {
-			return nil, err
-		}
+	s, err := store.OpenBackend(cacheDir, "")
+	if err != nil {
+		return nil, err
 	}
 	return experiments.PlanShardsCacheAware(spec, k, s)
 }

@@ -63,6 +63,12 @@ type Manifest struct {
 	// CacheDir is the result-cache directory workers consult, empty for
 	// cacheless runs. Recorded here so resume uses the same cache.
 	CacheDir string `json:"cacheDir,omitempty"`
+	// RemoteStore is the shared HTTP cache URL workers layer behind
+	// CacheDir (see store.OpenBackend), empty for local-only runs.
+	// Recorded here so every worker — including ones spawned on other
+	// machines by transports that ship the manifest — writes its cells
+	// through to the same fleet-wide cache a resume would read.
+	RemoteStore string `json:"remoteStore,omitempty"`
 	// Ranges, when present, is an explicit shard plan: worker i executes
 	// Ranges[i] instead of slice i of the uniform aligned split. The
 	// cache-aware scheduler (internal/sched) records its plan here so
@@ -114,6 +120,11 @@ type Options struct {
 	// every worker, making retries and resumes incremental at cell
 	// granularity.
 	CacheDir string
+	// RemoteStore, when set, is the shared HTTP cache URL recorded in
+	// the manifest: workers open a tiered store (CacheDir in front, this
+	// URL behind) so computed cells land in the fleet-wide cache and
+	// cells computed elsewhere are served instead of recomputed.
+	RemoteStore string
 	// Spawn overrides how worker subprocesses are launched (see
 	// SpawnFunc). Nil uses the self-exec default.
 	Spawn SpawnFunc
@@ -183,7 +194,7 @@ func ResumeContext(ctx context.Context, dir string, opts Options) (*experiments.
 	if err != nil {
 		return nil, nil, fmt.Errorf("dispatch: %s: %w — nothing to resume (run dispatch first)", dir, err)
 	}
-	opts.Dir, opts.Shards, opts.CacheDir = dir, m.Shards, m.CacheDir
+	opts.Dir, opts.Shards, opts.CacheDir, opts.RemoteStore = dir, m.Shards, m.CacheDir, m.RemoteStore
 	if err := verifyFingerprint(m); err != nil {
 		return nil, nil, err
 	}
@@ -223,6 +234,7 @@ func prepare(spec experiments.Spec, opts *Options) (*Manifest, string, error) {
 		Shards:      opts.Shards,
 		Fingerprint: fp,
 		CacheDir:    opts.CacheDir,
+		RemoteStore: opts.RemoteStore,
 	}
 	manifestPath := filepath.Join(opts.Dir, ManifestName)
 	if existing, err := ReadManifest(manifestPath); err == nil {
@@ -239,8 +251,14 @@ func prepare(spec experiments.Spec, opts *Options) (*Manifest, string, error) {
 			return nil, "", fmt.Errorf("dispatch: %s was dispatched with cache directory %q; re-dispatch cannot change it to %q — use a fresh dispatch directory",
 				opts.Dir, existing.CacheDir, opts.CacheDir)
 		}
+		// Same rule for the shared remote cache URL: one run, one store.
+		if opts.RemoteStore != "" && opts.RemoteStore != existing.RemoteStore {
+			return nil, "", fmt.Errorf("dispatch: %s was dispatched with remote store %q; re-dispatch cannot change it to %q — use a fresh dispatch directory",
+				opts.Dir, existing.RemoteStore, opts.RemoteStore)
+		}
 		m = existing
 		opts.CacheDir = existing.CacheDir
+		opts.RemoteStore = existing.RemoteStore
 	} else if !errors.Is(err, fs.ErrNotExist) {
 		return nil, "", err
 	} else if err := m.Write(manifestPath); err != nil {
@@ -689,15 +707,11 @@ func workerEnvelope(m *Manifest, shardIdx int) ([]byte, error) {
 	if ms, err := strconv.Atoi(os.Getenv("FAIRBENCH_WORKER_DELAY_MS")); err == nil && ms > 0 {
 		time.Sleep(time.Duration(ms) * time.Millisecond)
 	}
-	var cache *store.Store
-	if m.CacheDir != "" {
-		var err error
-		if cache, err = store.Open(m.CacheDir); err != nil {
-			return nil, err
-		}
+	cache, err := store.OpenBackend(m.CacheDir, m.RemoteStore)
+	if err != nil {
+		return nil, err
 	}
 	var env *shard.Envelope
-	var err error
 	if len(m.Ranges) > 0 {
 		env, err = experiments.RunShardPlanned(m.Spec, m.Ranges, shardIdx, cache)
 	} else {

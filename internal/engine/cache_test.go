@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"io/fs"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"fairbench/internal/store"
+)
+
+// corruptOneCacheEntry overwrites exactly one stored cell under the
+// cache directory with bytes that cannot verify, returning how many
+// entries existed.
+func corruptOneCacheEntry(t *testing.T, cacheDir string) int {
+	t.Helper()
+	var entries []string
+	err := filepath.WalkDir(filepath.Join(cacheDir, "cells"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".json") {
+			entries = append(entries, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no cache entries to corrupt")
+	}
+	if err := os.WriteFile(entries[0], []byte(`{"version":1,"tampered":true`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return len(entries)
+}
+
+// TestCorruptCacheEntryRejectedOnce is the regression test for the
+// Rejected counter's plumbing: a warm rerun over a cache with exactly
+// one corrupted cell must reject that entry exactly once (surfaced in
+// Report.CacheStats), recompute exactly that one cell, and still
+// produce the serial bytes.
+func TestCorruptCacheEntryRejectedOnce(t *testing.T) {
+	spec := smallSpec()
+	want := serialReference(t, spec)
+	cache := t.TempDir()
+	eng := New(RunOptions{CacheDir: cache})
+
+	_, rep, err := eng.Run(context.Background(), spec, RunOptions{Backend: BackendInproc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CellsComputed != 4 {
+		t.Fatalf("cold report %+v", rep)
+	}
+	if n := corruptOneCacheEntry(t, cache); n != 4 {
+		t.Fatalf("cache holds %d entries after the cold run, want 4", n)
+	}
+
+	out, rep, err := eng.Run(context.Background(), spec, RunOptions{Backend: BackendInproc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("warm run over a corrupted cache diverges from serial run")
+	}
+	if rep.CacheStats.Rejected != 1 {
+		t.Fatalf("rejected=%d, want exactly 1 (stats %+v)", rep.CacheStats.Rejected, rep.CacheStats)
+	}
+	if rep.CellsComputed != 1 || rep.CellsCached != 3 {
+		t.Fatalf("warm report computed=%d cached=%d, want 1/3", rep.CellsComputed, rep.CellsCached)
+	}
+}
+
+// TestRemoteStoreWarmRunSpawnsNothing is the engine-level acceptance
+// check for the shared store: a process whose only cache is a remote
+// server — no local cache directory at all — serves a grid another
+// process computed with computed=0, zero worker spawns, and serial
+// bytes.
+func TestRemoteStoreWarmRunSpawnsNothing(t *testing.T) {
+	spec := smallSpec()
+	want := serialReference(t, spec)
+	serverDisk, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(store.Handler(serverDisk))
+	defer srv.Close()
+
+	// First process: computes everything, writing through to the server.
+	eng := New(RunOptions{RemoteStore: srv.URL})
+	_, rep, err := eng.Run(context.Background(), spec, RunOptions{Backend: BackendInproc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CellsComputed != 4 || rep.CacheStats.Writes != 4 {
+		t.Fatalf("cold report %+v (stats %+v)", rep, rep.CacheStats)
+	}
+
+	// Second process (same engine config, but nothing local): a
+	// dispatch-backed run must short-circuit to the cache with no spawns.
+	var spawns atomic.Int64
+	out, rep, err := eng.Run(context.Background(), spec, RunOptions{
+		Dir: t.TempDir(), Spawn: countingSpawn(&spawns),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ServedFromCache || rep.CellsComputed != 0 || rep.CellsCached != 4 {
+		t.Fatalf("warm report %+v", rep)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("remote-warm output diverges from serial run")
+	}
+	if n := spawns.Load(); n != 0 {
+		t.Fatalf("remote-warm run spawned %d worker subprocess(es), want 0", n)
+	}
+}

@@ -85,6 +85,15 @@ type RunOptions struct {
 	// already computed are served from disk on every backend, and a
 	// fully-cached grid short-circuits to ServedFromCache.
 	CacheDir string
+	// RemoteStore, when set, is a shared HTTP cache URL (a `fairbench
+	// cachesrv` or a serve daemon's /cache mount) layered behind
+	// CacheDir via store.OpenBackend: cells computed by other machines
+	// or past CI runs are served instead of recomputed, and cells this
+	// run computes are written through for the rest of the fleet.
+	// Dispatch and sched record it in the manifest so workers and
+	// resumes inherit it. A remote outage degrades the run to
+	// local-only (Report.CacheDegraded) instead of failing it.
+	RemoteStore string
 	// Hosts is the sched execution pool. Setting it (with BackendAuto)
 	// selects the sched backend.
 	Hosts []sched.Host
@@ -141,6 +150,17 @@ type Report struct {
 	// Degraded marks a sched run that completed only through the
 	// coordinator's local fallback after the whole pool was lost.
 	Degraded bool
+	// CacheStats is the coordinating process's result-store counters for
+	// this run. Rejected > 0 means cache bytes (on disk or from the
+	// remote) failed verification and were recomputed instead of served
+	// — correct, but worth an operator's attention. Dispatch workers
+	// keep their own counters; for that backend this reflects only the
+	// coordinator's plan-time probes.
+	CacheStats store.Counters
+	// CacheDegraded marks that the tiered store's remote side was
+	// declared down mid-run: the run completed on local cache and
+	// compute alone, byte-identical, without the fleet-wide cache.
+	CacheDegraded bool
 	// Dispatch and Sched carry the backend-native report when that
 	// backend ran.
 	Dispatch *dispatch.Report
@@ -183,6 +203,9 @@ func (e *Engine) merged(opts RunOptions) RunOptions {
 	}
 	if opts.CacheDir == "" {
 		opts.CacheDir = d.CacheDir
+	}
+	if opts.RemoteStore == "" {
+		opts.RemoteStore = d.RemoteStore
 	}
 	if opts.Hosts == nil {
 		opts.Hosts = d.Hosts
@@ -278,7 +301,7 @@ func (e *Engine) ResumeRun(ctx context.Context, dir string, opts RunOptions) (*e
 // runInproc executes the whole grid as one in-process "shard" on the
 // runner pool — the path serial CLI commands and library callers take.
 func runInproc(ctx context.Context, spec experiments.Spec, opts RunOptions) (*experiments.Output, *Report, error) {
-	s, err := openStore(opts.CacheDir)
+	s, err := store.OpenBackend(opts.CacheDir, opts.RemoteStore)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -290,13 +313,28 @@ func runInproc(ctx context.Context, spec experiments.Spec, opts RunOptions) (*ex
 	if err != nil {
 		return nil, nil, err
 	}
-	return out, &Report{
+	rep := &Report{
 		Backend:       BackendInproc,
 		Arch:          runtime.GOARCH,
 		Fingerprint:   env.Fingerprint,
 		CellsComputed: len(env.Indices) - len(env.Cached),
 		CellsCached:   len(env.Cached),
-	}, nil
+	}
+	attachCache(rep, s)
+	return out, rep, nil
+}
+
+// attachCache copies a store handle's counters (and, for tiered stores,
+// the remote-outage latch) onto the report — the one place every
+// backend's cache observability goes through.
+func attachCache(rep *Report, s store.Backend) {
+	if rep == nil || s == nil {
+		return
+	}
+	rep.CacheStats = s.Counters()
+	if td, ok := s.(*store.TieredStore); ok && td.Degraded() {
+		rep.CacheDegraded = true
+	}
 }
 
 // serveFromCache is the warm-grid short-circuit for the process-backed
@@ -306,13 +344,13 @@ func runInproc(ctx context.Context, spec experiments.Spec, opts RunOptions) (*ex
 // manifest (interrupted, being resumed by Run) fall through so the
 // directory protocol stays in charge.
 func serveFromCache(ctx context.Context, spec experiments.Spec, opts RunOptions, backend Backend) (*experiments.Output, *Report, bool, error) {
-	if opts.CacheDir == "" {
+	if opts.CacheDir == "" && opts.RemoteStore == "" {
 		return nil, nil, false, nil
 	}
 	if _, err := os.Stat(filepath.Join(opts.Dir, "manifest.json")); err == nil {
 		return nil, nil, false, nil
 	}
-	s, err := openStore(opts.CacheDir)
+	s, err := store.OpenBackend(opts.CacheDir, opts.RemoteStore)
 	if err != nil {
 		return nil, nil, false, err
 	}
@@ -353,22 +391,21 @@ func serveFromCache(ctx context.Context, spec experiments.Spec, opts RunOptions,
 		fp = envs[0].Fingerprint
 	}
 	if opts.Log != nil {
-		fmt.Fprintf(opts.Log, "engine: grid fully cached — served %d cell(s) from %s without touching a worker or host\n", cached, opts.CacheDir)
+		src := opts.CacheDir
+		if src == "" {
+			src = opts.RemoteStore
+		}
+		fmt.Fprintf(opts.Log, "engine: grid fully cached — served %d cell(s) from %s without touching a worker or host\n", cached, src)
 	}
-	return out, &Report{
+	rep := &Report{
 		Backend:         backend,
 		Arch:            runtime.GOARCH,
 		Fingerprint:     fp,
 		CellsCached:     cached,
 		ServedFromCache: true,
-	}, true, nil
-}
-
-func openStore(dir string) (*store.Store, error) {
-	if dir == "" {
-		return nil, nil
 	}
-	return store.Open(dir)
+	attachCache(rep, s)
+	return out, rep, true, nil
 }
 
 func dispatchOptions(opts RunOptions) dispatch.Options {
@@ -379,13 +416,14 @@ func dispatchOptions(opts RunOptions) dispatch.Options {
 		procs = opts.Parallelism
 	}
 	return dispatch.Options{
-		Dir:      opts.Dir,
-		Shards:   opts.Shards,
-		Procs:    procs,
-		Retries:  opts.Retries,
-		CacheDir: opts.CacheDir,
-		Spawn:    opts.Spawn,
-		Log:      opts.Log,
+		Dir:         opts.Dir,
+		Shards:      opts.Shards,
+		Procs:       procs,
+		Retries:     opts.Retries,
+		CacheDir:    opts.CacheDir,
+		RemoteStore: opts.RemoteStore,
+		Spawn:       opts.Spawn,
+		Log:         opts.Log,
 	}
 }
 
@@ -411,6 +449,7 @@ func schedOptions(opts RunOptions) sched.Options {
 		Hosts:            hosts,
 		Shards:           opts.Shards,
 		CacheDir:         opts.CacheDir,
+		RemoteStore:      opts.RemoteStore,
 		HeartbeatTimeout: opts.HeartbeatTimeout,
 		Retries:          opts.Retries,
 		MaxHostFailures:  opts.MaxHostFailures,
@@ -449,6 +488,8 @@ func fromSched(rep *sched.Report) *Report {
 		CellsComputed: rep.CellsComputed,
 		CellsCached:   rep.CellsCached,
 		Degraded:      rep.Degraded,
+		CacheStats:    rep.Cache,
+		CacheDegraded: rep.CacheDegraded,
 		Sched:         rep,
 	}
 }

@@ -12,7 +12,7 @@ import (
 	"fairbench/internal/synth"
 )
 
-func openStore(t *testing.T) *store.Store {
+func openStore(t *testing.T) *store.DiskStore {
 	t.Helper()
 	s, err := store.Open(t.TempDir())
 	if err != nil {

@@ -7,7 +7,6 @@ import (
 	"runtime"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"fairbench/internal/causal"
 	"fairbench/internal/corrupt"
@@ -20,20 +19,34 @@ import (
 )
 
 // defaultCache is the process-wide result cache grids opened from a Spec
-// consult (see SetDefaultCache). Nil disables caching.
-var defaultCache atomic.Pointer[store.Store]
+// consult (see SetDefaultCache). Nil disables caching. Guarded by a
+// mutex rather than an atomic pointer because store.Backend is an
+// interface value.
+var defaultCache struct {
+	mu sync.RWMutex
+	b  store.Backend
+}
 
 // SetDefaultCache installs (or, with nil, removes) the process-wide
-// result cache. Every grid subsequently materialized by Open consults it
-// in RunRange: cells whose (fingerprint, index, seed, GOARCH) key is
-// cached are served from disk instead of recomputed, and freshly
-// computed cells are written back. Safe for concurrent use; grids opened
-// before the call keep the cache they were opened with.
-func SetDefaultCache(s *store.Store) { defaultCache.Store(s) }
+// result cache — any store.Backend: on-disk, remote, or tiered. Every
+// grid subsequently materialized by Open consults it in RunRange: cells
+// whose (fingerprint, index, seed, GOARCH) key is cached are served
+// instead of recomputed, and freshly computed cells are written back.
+// Safe for concurrent use; grids opened before the call keep the cache
+// they were opened with.
+func SetDefaultCache(b store.Backend) {
+	defaultCache.mu.Lock()
+	defaultCache.b = b
+	defaultCache.mu.Unlock()
+}
 
 // DefaultCache returns the process-wide result cache, or nil when
 // caching is disabled.
-func DefaultCache() *store.Store { return defaultCache.Load() }
+func DefaultCache() store.Backend {
+	defaultCache.mu.RLock()
+	defer defaultCache.mu.RUnlock()
+	return defaultCache.b
+}
 
 // Spec is the serializable identity of one experiment grid: enough to
 // rebuild the exact same (approach × dataset-slice) job list in any
@@ -326,8 +339,8 @@ type Grid struct {
 	scale    []scaleSlice
 	assemble func(g *Grid, cells []Cell) (*Output, error)
 	// cache, when non-nil on a grid opened from a Spec, short-circuits
-	// RunRange cells through the on-disk result store.
-	cache *store.Store
+	// RunRange cells through the result store (disk, remote, or tiered).
+	cache store.Backend
 	// workers overrides the runner pool size for this grid's RunRange
 	// calls; 0 uses the process default (see SetWorkers).
 	workers int
@@ -389,7 +402,7 @@ func Open(spec Spec) (*Grid, error) {
 // SetCache overrides the grid's result cache (nil disables it for this
 // grid). Open installs the process-wide default; this hook lets one run
 // use a dedicated cache directory without touching global state.
-func (g *Grid) SetCache(s *store.Store) { g.cache = s }
+func (g *Grid) SetCache(s store.Backend) { g.cache = s }
 
 // SetWorkers pins the worker-pool size this grid's RunRange calls use
 // (n <= 0 restores the process-wide default from runner.SetParallelism).
@@ -755,7 +768,7 @@ func (g *Grid) RunRangeContext(ctx context.Context, start, end int) ([]Cell, err
 // grids: a warm run reports the cold run's measurements, which is what
 // resumability requires — clear the cache (or run without one) to
 // re-measure.
-func (g *Grid) cachedCell(c *store.Store, fp string, i int) (Cell, error) {
+func (g *Grid) cachedCell(c store.Backend, fp string, i int) (Cell, error) {
 	key := store.Key{Fingerprint: fp, Index: i, Seed: g.spec.Seed, Arch: runtime.GOARCH}
 	if payload, ok := c.Get(key); ok {
 		var cell Cell

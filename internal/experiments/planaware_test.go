@@ -39,7 +39,7 @@ func canonicalOutput(t *testing.T, out *Output) []byte {
 
 // populateSubset fills a fresh store with the given cells' entries,
 // copied from a fully-populated reference store.
-func populateSubset(t *testing.T, full, dst *store.Store, fp string, seed int64, cells []int) {
+func populateSubset(t *testing.T, full, dst *store.DiskStore, fp string, seed int64, cells []int) {
 	t.Helper()
 	for _, i := range cells {
 		key := store.Key{Fingerprint: fp, Index: i, Seed: seed, Arch: runtime.GOARCH}

@@ -99,7 +99,7 @@ func (p *ShardPlan) TotalUncached() int {
 // every good entry, the plan keeps those payloads so ServeEnvelope can
 // hand fully-cached ranges to the coordinator without a second store
 // pass.
-func PlanShardsCacheAware(spec Spec, k int, s *store.Store) (*ShardPlan, error) {
+func PlanShardsCacheAware(spec Spec, k int, s store.Backend) (*ShardPlan, error) {
 	g, err := Open(spec)
 	if err != nil {
 		return nil, err
@@ -137,7 +137,7 @@ func PlanShardsCacheAware(spec Spec, k int, s *store.Store) (*ShardPlan, error) 
 // probe loop behind cache-aware planning and the scheduler's
 // adopted-manifest resume path; keeping both on one helper means a
 // change to the cache key shape can never make them drift.
-func UncachedInRange(fp string, seed int64, r shard.Range, s *store.Store) int {
+func UncachedInRange(fp string, seed int64, r shard.Range, s store.Backend) int {
 	return probeRange(fp, seed, r, s, nil)
 }
 
@@ -146,7 +146,7 @@ func UncachedInRange(fp string, seed int64, r shard.Range, s *store.Store) int {
 // payload to it. Store probing goes through Get, which checks each entry
 // end to end, so a payload passed to hit carries exactly the bytes a
 // later cache read would.
-func probeRange(fp string, seed int64, r shard.Range, s *store.Store, hit func(i int, payload []byte)) int {
+func probeRange(fp string, seed int64, r shard.Range, s store.Backend, hit func(i int, payload []byte)) int {
 	if s == nil {
 		return r.Len()
 	}
@@ -233,7 +233,7 @@ func RunShard(spec Spec, i, k int) (*shard.Envelope, error) {
 // the error wraps ctx.Err(). A nil store runs every cell cold, matching
 // the worker subprocess contract rather than inheriting the process
 // default; workers <= 0 uses the process-wide runner default.
-func RunShardContext(ctx context.Context, spec Spec, i, k int, s *store.Store, workers int) (*shard.Envelope, error) {
+func RunShardContext(ctx context.Context, spec Spec, i, k int, s store.Backend, workers int) (*shard.Envelope, error) {
 	g, err := Open(spec)
 	if err != nil {
 		return nil, err
@@ -246,7 +246,7 @@ func RunShardContext(ctx context.Context, spec Spec, i, k int, s *store.Store, w
 // RunShardCached is RunShard against an explicit result store, leaving
 // the process-wide default untouched — the worker-subprocess entry point
 // and the facade's one-shot cached path.
-func RunShardCached(spec Spec, i, k int, s *store.Store) (*shard.Envelope, error) {
+func RunShardCached(spec Spec, i, k int, s store.Backend) (*shard.Envelope, error) {
 	g, err := Open(spec)
 	if err != nil {
 		return nil, err
@@ -263,7 +263,7 @@ func RunShardCached(spec Spec, i, k int, s *store.Store) (*shard.Envelope, error
 // plan position i of len(ranges), so a complete planned set merges
 // through MergeShards exactly like a uniform one. A nil store runs
 // every cell cold.
-func RunShardPlanned(spec Spec, ranges []shard.Range, i int, s *store.Store) (*shard.Envelope, error) {
+func RunShardPlanned(spec Spec, ranges []shard.Range, i int, s store.Backend) (*shard.Envelope, error) {
 	g, err := Open(spec)
 	if err != nil {
 		return nil, err

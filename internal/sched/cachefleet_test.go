@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"fairbench/internal/store"
+)
+
+// outageHandler is the fault script for the shared cache server: the
+// first allow requests pass through to the real store handler, every
+// later one answers 500 — a deterministic mid-run outage, in the same
+// spirit as FaultTransport's scripted host faults.
+type outageHandler struct {
+	inner http.Handler
+	allow int64
+	n     atomic.Int64
+}
+
+func (o *outageHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if o.n.Add(1) > o.allow {
+		http.Error(w, "injected cache outage", http.StatusInternalServerError)
+		return
+	}
+	o.inner.ServeHTTP(w, r)
+}
+
+// TestSchedFleetSharesRemoteCache: the fleet-shares-cache e2e. "Host A"
+// (one sched run, real worker subprocesses) computes a grid cold with a
+// remote store behind its local cache; every cell write-through lands
+// on the shared server. "Host B" (a second run with a different sched
+// directory and NO local cache — the remote is all it has) must then
+// plan every range as fully cached, never invoke a transport, report
+// computed=0, and produce the serial bytes.
+func TestSchedFleetSharesRemoteCache(t *testing.T) {
+	spec := smallSpec()
+	want := serialReference(t, spec)
+	serverDisk, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(store.Handler(serverDisk))
+	defer srv.Close()
+
+	// Host A: cold compute, local cache tiered over the shared remote.
+	_, repA, err := Run(spec, Options{
+		Dir:         t.TempDir(),
+		Shards:      2,
+		CacheDir:    t.TempDir(),
+		RemoteStore: srv.URL,
+		Hosts:       []Host{{Name: "a", Slots: 2}},
+		Transports:  map[string]Transport{"local": workerTransport()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repA.CellsComputed != 4 || repA.CacheDegraded {
+		t.Fatalf("cold run: computed=%d degraded=%v", repA.CellsComputed, repA.CacheDegraded)
+	}
+	st, err := serverDisk.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 4 {
+		t.Fatalf("shared server holds %d cells after the cold run, want 4", st.Entries)
+	}
+
+	// Host B: nothing local — a fresh sched directory and only the
+	// remote store. The forbidding transport fails the test if any
+	// range is ever assigned to a host.
+	outB, repB, err := Run(spec, Options{
+		Dir:         t.TempDir(),
+		Shards:      2,
+		RemoteStore: srv.URL,
+		Hosts:       []Host{{Name: "b", Slots: 2}},
+		Transports:  map[string]Transport{"local": forbidTransport{t}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, canonical(t, outB)) {
+		t.Fatal("remote-warm host diverges from serial run")
+	}
+	if repB.CellsComputed != 0 || repB.CellsCached != 4 {
+		t.Fatalf("warm run: computed=%d cached=%d, want 0/4", repB.CellsComputed, repB.CellsCached)
+	}
+	if len(repB.Skipped) != len(repB.Ranges) {
+		t.Fatalf("warm plan assigned ranges: %d skipped of %d", len(repB.Skipped), len(repB.Ranges))
+	}
+	if repB.Cache.Hits != 4 {
+		t.Fatalf("coordinator store counters %+v, want 4 hits", repB.Cache)
+	}
+}
+
+// TestSchedRemoteOutageDegradesToLocal: the cache server dies after its
+// first answered request (a scripted, deterministic outage — the
+// coordinator's very first plan probe succeeds, everything after 500s).
+// The run must complete on local cache and compute alone, byte-identical
+// to serial, with the report marking the degradation rather than any
+// error surfacing.
+func TestSchedRemoteOutageDegradesToLocal(t *testing.T) {
+	spec := smallSpec()
+	want := serialReference(t, spec)
+	serverDisk, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	outage := &outageHandler{inner: store.Handler(serverDisk), allow: 1}
+	srv := httptest.NewServer(outage)
+	defer srv.Close()
+
+	out, rep, err := Run(spec, Options{
+		Dir:         t.TempDir(),
+		Shards:      2,
+		CacheDir:    t.TempDir(),
+		RemoteStore: srv.URL,
+		Hosts:       []Host{{Name: "a", Slots: 2}},
+		Transports:  map[string]Transport{"local": workerTransport()},
+	})
+	if err != nil {
+		t.Fatalf("a cache outage must never fail the run: %v", err)
+	}
+	if !bytes.Equal(want, canonical(t, out)) {
+		t.Fatal("outage-degraded run diverges from serial run")
+	}
+	if rep.CellsComputed != 4 {
+		t.Fatalf("computed=%d, want all 4 (nothing was cached anywhere)", rep.CellsComputed)
+	}
+	if !rep.CacheDegraded {
+		t.Fatal("report does not surface the remote-store degradation")
+	}
+	if rep.Cache.Errors == 0 {
+		t.Fatalf("coordinator counters %+v record no transport errors", rep.Cache)
+	}
+	// Degraded means local-only: the dead server never learned the cells.
+	st, err := serverDisk.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("server gained %d entries through a scripted outage", st.Entries)
+	}
+}

@@ -92,6 +92,12 @@ type Options struct {
 	// CacheDir, when set, is the result store consulted at plan time
 	// (to skip and balance) and by every worker at cell granularity.
 	CacheDir string
+	// RemoteStore, when set, is the shared HTTP cache URL layered behind
+	// CacheDir (store.OpenBackend): plan-time probes see cells computed
+	// by other machines, and every worker writes its cells through to
+	// the fleet-wide cache. Recorded in the manifest so workers and
+	// resumes inherit it.
+	RemoteStore string
 	// HeartbeatTimeout is how long an in-flight assignment may go
 	// without a transport heartbeat before its host is declared dead
 	// and the range reassigned. Default 60s.
@@ -224,6 +230,18 @@ type Report struct {
 	// CellsComputed and CellsCached split the grid's cells by who did
 	// the work, summed over all envelopes.
 	CellsComputed, CellsCached int
+	// Cache is the coordinator's result-store counters for this run —
+	// plan-time probes, coordinator-served ranges, and local fallback
+	// all pass through them. Worker subprocesses keep their own (their
+	// rejects trigger their own recomputes); a nonzero Rejected here
+	// means the coordinator itself saw cache bytes that failed
+	// verification.
+	Cache store.Counters
+	// CacheDegraded marks that the tiered store's remote side was
+	// declared down mid-run: the run completed on local cache and
+	// compute alone, byte-identical, but its cells never reached the
+	// fleet-wide cache.
+	CacheDegraded bool
 }
 
 // Run schedules the spec's grid across the pool and merges the completed
@@ -262,7 +280,7 @@ func ResumeContext(ctx context.Context, dir string, opts Options) (*experiments.
 	if err != nil {
 		return nil, nil, fmt.Errorf("sched: %s: %w — nothing to resume (run sched first)", dir, err)
 	}
-	opts.Dir, opts.CacheDir = dir, m.CacheDir
+	opts.Dir, opts.CacheDir, opts.RemoteStore = dir, m.CacheDir, m.RemoteStore
 	return run(ctx, m.Spec, opts, true)
 }
 
@@ -280,11 +298,9 @@ func run(ctx context.Context, ns experiments.Spec, opts Options, resuming bool) 
 	if opts.Dir == "" {
 		return nil, nil, fmt.Errorf("sched: no sched directory")
 	}
-	var st *store.Store
-	if opts.CacheDir != "" {
-		if st, err = store.Open(opts.CacheDir); err != nil {
-			return nil, nil, err
-		}
+	st, err := store.OpenBackend(opts.CacheDir, opts.RemoteStore)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	m, manifestPath, ranges, uncached, plan, st, err := prepare(ns, &opts, st, resuming)
@@ -301,6 +317,18 @@ func run(ctx context.Context, ns experiments.Spec, opts Options, resuming bool) 
 		Completed:   map[string][]int{},
 		Attempts:    map[int]int{},
 	}
+	// Snapshot the coordinator's store view on every exit path: counters
+	// (including verification rejects) and, for tiered stores, whether
+	// the remote side was declared down mid-run.
+	defer func() {
+		if st == nil {
+			return
+		}
+		rep.Cache = st.Counters()
+		if td, ok := st.(*store.TieredStore); ok && td.Degraded() {
+			rep.CacheDegraded = true
+		}
+	}()
 
 	// Scan: reuse every envelope that still validates; anything else is
 	// moved aside and its range re-enters the plan.
@@ -561,8 +589,8 @@ func buildPool(opts *Options) ([]*hostState, map[string]Transport, error) {
 // existing manifest): it carries the payloads the cache-aware probe
 // already verified, letting the serve step materialize fully-cached
 // ranges without a second pass over the store.
-func prepare(ns experiments.Spec, opts *Options, st *store.Store, resuming bool) (*dispatch.Manifest, string, []shard.Range, []int, *experiments.ShardPlan, *store.Store, error) {
-	fail := func(err error) (*dispatch.Manifest, string, []shard.Range, []int, *experiments.ShardPlan, *store.Store, error) {
+func prepare(ns experiments.Spec, opts *Options, st store.Backend, resuming bool) (*dispatch.Manifest, string, []shard.Range, []int, *experiments.ShardPlan, store.Backend, error) {
+	fail := func(err error) (*dispatch.Manifest, string, []shard.Range, []int, *experiments.ShardPlan, store.Backend, error) {
 		return nil, "", nil, nil, nil, nil, err
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
@@ -601,10 +629,15 @@ func prepare(ns experiments.Spec, opts *Options, st *store.Store, resuming bool)
 				return fail(fmt.Errorf("sched: %s was scheduled with cache directory %q; re-scheduling cannot change it to %q — use a fresh directory",
 					opts.Dir, existing.CacheDir, opts.CacheDir))
 			}
+			if opts.RemoteStore != "" && opts.RemoteStore != existing.RemoteStore {
+				return fail(fmt.Errorf("sched: %s was scheduled with remote store %q; re-scheduling cannot change it to %q — use a fresh directory",
+					opts.Dir, existing.RemoteStore, opts.RemoteStore))
+			}
 		}
-		opts.CacheDir = existing.CacheDir
-		if st == nil && existing.CacheDir != "" {
-			if st, err = store.Open(existing.CacheDir); err != nil {
+		adopted := opts.CacheDir != existing.CacheDir || opts.RemoteStore != existing.RemoteStore
+		opts.CacheDir, opts.RemoteStore = existing.CacheDir, existing.RemoteStore
+		if st == nil || adopted {
+			if st, err = store.OpenBackend(existing.CacheDir, existing.RemoteStore); err != nil {
 				return fail(err)
 			}
 		}
@@ -633,6 +666,7 @@ func prepare(ns experiments.Spec, opts *Options, st *store.Store, resuming bool)
 			Shards:      len(plan.Ranges),
 			Fingerprint: plan.Fingerprint,
 			CacheDir:    opts.CacheDir,
+			RemoteStore: opts.RemoteStore,
 			Ranges:      plan.Ranges,
 		}
 		if err := m.Write(manifestPath); err != nil {

@@ -62,8 +62,14 @@ type Config struct {
 	StateDir string
 	// CacheDir, when set, is the shared result store: runs serve
 	// already-computed cells from it and fully-cached grids never
-	// reach a worker.
+	// reach a worker. It is also exported to the fleet: the daemon
+	// mounts the content-addressed cache protocol at /cache/, so other
+	// machines point -remote-store at this daemon and share its cells.
 	CacheDir string
+	// RemoteStore, when set, layers an upstream shared cache URL behind
+	// CacheDir for this daemon's own runs (see engine.RunOptions) —
+	// daemons can chain to a central `fairbench cachesrv`.
+	RemoteStore string
 	// MaxConcurrent caps concurrently executing runs; submissions
 	// beyond it are rejected with 429. Default 1 (each run already
 	// parallelizes across the worker pool).
@@ -154,7 +160,13 @@ type Server struct {
 		submitted, deduped, completed, failed, resumed int64
 		cellsComputed, cellsCached                     int64
 		speculated, joined, departed, degraded         int64
+		storeRejected, cacheDegraded                   int64
 	}
+
+	// cacheStore is the daemon's handle on CacheDir, opened once: it
+	// backs the /cache/ protocol mount and the store gauges/counters in
+	// /metrics. Nil when no CacheDir is configured.
+	cacheStore *store.DiskStore
 
 	wg         sync.WaitGroup
 	baseCtx    context.Context
@@ -183,6 +195,13 @@ func New(cfg Config) (*Server, error) {
 		pool: sched.NewPoolChan(),
 	}
 	s.hosts = map[string]*hostHealth{}
+	if cfg.CacheDir != "" {
+		st, err := store.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.cacheStore = st
+	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.eng = engine.New(engine.RunOptions{
 		Shards:           cfg.Shards,
@@ -190,6 +209,7 @@ func New(cfg Config) (*Server, error) {
 		Parallelism:      cfg.Parallelism,
 		Retries:          cfg.Retries,
 		CacheDir:         cfg.CacheDir,
+		RemoteStore:      cfg.RemoteStore,
 		Hosts:            cfg.Hosts,
 		HeartbeatTimeout: cfg.HeartbeatTimeout,
 		MaxHostFailures:  cfg.MaxHostFailures,
@@ -422,6 +442,15 @@ func (s *Server) finish(r *run, out *experiments.Output, rep *engine.Report, err
 			}
 		}
 	}
+	if rep != nil {
+		// Surfaced regardless of run outcome: rejects mean cache bytes
+		// failed verification somewhere; a degraded cache means the run
+		// lost its remote tier mid-flight.
+		s.counters.storeRejected += rep.CacheStats.Rejected
+		if rep.CacheDegraded {
+			s.counters.cacheDegraded++
+		}
+	}
 	s.mu.Unlock()
 	close(r.done)
 	if err != nil {
@@ -464,6 +493,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /runs/{id}/table", s.handleTable)
 	mux.HandleFunc("POST /pool", s.handlePool)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cacheStore != nil {
+		// The fleet-facing side of the shared cache: other machines set
+		// -remote-store http://this-daemon/cache and read/write the same
+		// verified entries this daemon's own runs use.
+		mux.Handle("/cache/", http.StripPrefix("/cache", store.Handler(s.cacheStore)))
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
@@ -501,6 +536,12 @@ type runStatus struct {
 	// Degraded marks a run that lost its whole pool and completed via
 	// the scheduler's local in-process fallback.
 	Degraded bool `json:"degraded,omitempty"`
+	// CacheRejected counts cache entries this run's coordinator rejected
+	// at read verification (recomputed instead of served).
+	CacheRejected int64 `json:"cacheRejected,omitempty"`
+	// CacheDegraded marks a run whose tiered store lost its remote side
+	// and finished on local cache and compute alone.
+	CacheDegraded bool `json:"cacheDegraded,omitempty"`
 }
 
 func (s *Server) statusOf(r *run, deduped bool) runStatus {
@@ -522,6 +563,8 @@ func (s *Server) statusOf(r *run, deduped bool) runStatus {
 		st.CellsCached = r.report.CellsCached
 		st.ServedFromCache = r.report.ServedFromCache
 		st.Degraded = r.report.Degraded
+		st.CacheRejected = r.report.CacheStats.Rejected
+		st.CacheDegraded = r.report.CacheDegraded
 	}
 	if m, err := dispatch.ReadManifest(filepath.Join(r.dir, dispatch.ManifestName)); err == nil {
 		st.PartsTotal = m.Shards
@@ -877,6 +920,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("fairbench_cells_computed_total", "Grid cells computed by workers across completed runs.", c.cellsComputed)
 	counter("fairbench_cells_cached_total", "Grid cells served from the result store across completed runs.", c.cellsCached)
 	counter("fairbench_runs_degraded_total", "Runs that lost the whole pool and completed via local fallback.", c.degraded)
+	counter("fairbench_store_rejected_total", "Cache entries that failed read verification across runs (rejected and recomputed).", c.storeRejected)
+	counter("fairbench_store_remote_degraded_total", "Runs whose tiered store lost its remote side mid-run and finished local-only.", c.cacheDegraded)
 	counter("fairbench_sched_speculations_total", "Speculative duplicate attempts launched against stragglers.", c.speculated)
 	counter("fairbench_hosts_joined_total", "Hosts that joined the pool mid-run.", c.joined)
 	counter("fairbench_hosts_departed_total", "Hosts drained out of the pool mid-run.", c.departed)
@@ -884,14 +929,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("fairbench_run_slots", "Admission limit on concurrently executing runs.", slots)
 	gauge("fairbench_queue_depth", "Submissions executing or waiting (admission rejects beyond the slots, so this equals active runs).", active)
 	gauge("fairbench_draining", "1 while the daemon is draining for shutdown.", draining)
-	if s.cfg.CacheDir != "" {
-		if st, err := store.Open(s.cfg.CacheDir); err == nil {
-			if stats, err := st.Stats(); err == nil {
-				gauge("fairbench_store_entries", "Result-store entries on disk.", stats.Entries)
-				gauge("fairbench_store_bytes", "Result-store bytes on disk.", stats.Bytes)
-				gauge("fairbench_store_grids", "Distinct grid fingerprints in the result store.", stats.Fingerprints)
-			}
+	if s.cacheStore != nil {
+		if stats, err := s.cacheStore.Stats(); err == nil {
+			gauge("fairbench_store_entries", "Result-store entries on disk.", stats.Entries)
+			gauge("fairbench_store_bytes", "Result-store bytes on disk.", stats.Bytes)
+			gauge("fairbench_store_grids", "Distinct grid fingerprints in the result store.", stats.Fingerprints)
 		}
+		// The /cache/ protocol mount's traffic, as seen by this handle.
+		cc := s.cacheStore.Counters()
+		counter("fairbench_cache_http_hits_total", "Verified entries served over the /cache protocol.", cc.Hits)
+		counter("fairbench_cache_http_misses_total", "Cache-protocol lookups with no entry to serve.", cc.Misses)
+		counter("fairbench_cache_http_writes_total", "Entries stored via the /cache protocol.", cc.Writes)
+		counter("fairbench_cache_http_rejected_total", "Stored entries that failed verification when read over the /cache protocol.", cc.Rejected)
 	}
 	for _, hr := range hostRows {
 		up := 1

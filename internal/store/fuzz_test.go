@@ -1,0 +1,110 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// stubTransport answers every request with a fixed status and body —
+// the adversarial wire: whatever bytes the fuzzer invents, delivered as
+// a well-formed HTTP 200.
+type stubTransport struct {
+	status int
+	body   []byte
+}
+
+func (s stubTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	return &http.Response{
+		StatusCode: s.status,
+		Body:       io.NopCloser(bytes.NewReader(s.body)),
+		Header:     make(http.Header),
+		Request:    r,
+	}, nil
+}
+
+// FuzzRemoteStoreDecode feeds arbitrary bytes to RemoteStore.Get as a
+// 200 response body. The invariants: the client never panics, and a
+// payload is returned only if the bytes independently pass DecodeEntry's
+// full verification for the requested key — the remote can be wrong,
+// hostile, or insane, but it can never sneak an unverified payload into
+// a run.
+func FuzzRemoteStoreDecode(f *testing.F) {
+	k := Key{Fingerprint: strings.Repeat("ab", 32), Index: 3, Seed: 42, Arch: "amd64"}
+	if good, err := EncodeEntry(k, []byte(`{"index":3}`)); err != nil {
+		f.Fatal(err)
+	} else {
+		f.Add(good)
+		f.Add(good[:len(good)/2])
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1,"fingerprint":"` + strings.Repeat("ab", 32) + `","index":3,"seed":42,"arch":"amd64","sha256":"","payload":{}}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		r, err := NewRemote("http://fuzz.invalid/cache")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.client.Transport = stubTransport{status: http.StatusOK, body: body}
+		payload, ok := r.Get(k)
+		want, verr := DecodeEntry(k, body)
+		if ok != (verr == nil) {
+			t.Fatalf("Get ok=%v but independent verification says err=%v", ok, verr)
+		}
+		if ok && !bytes.Equal(payload, want) {
+			t.Fatalf("Get returned %q, verification says %q", payload, want)
+		}
+	})
+}
+
+// FuzzDecodeKeyPath holds the codec's round-trip law on the decode
+// side: DecodeKeyPath never panics, and every accepted path is the
+// canonical rendering of the key it decodes to — encode(decode(p)) == p.
+func FuzzDecodeKeyPath(f *testing.F) {
+	f.Add(strings.Repeat("ab", 32) + "/amd64/42/3")
+	f.Add(strings.Repeat("ab", 32) + "/arm64/-7/0")
+	f.Add("short/amd64/1/1")
+	f.Add("../../../etc/passwd")
+	f.Add(strings.Repeat("ab", 32) + "/amd64/007/3")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, p string) {
+		k, err := DecodeKeyPath(p)
+		if err != nil {
+			return
+		}
+		if got := EncodeKeyPath(k); got != p {
+			t.Fatalf("accepted %q but re-encodes as %q", p, got)
+		}
+	})
+}
+
+// FuzzEncodeKeyPath holds the other direction: every key the encoder
+// renders decodes back to itself — decode(encode(k)) == k — and keys
+// the encoder refuses are exactly the ones ParseKeyFields rejects.
+func FuzzEncodeKeyPath(f *testing.F) {
+	f.Add(strings.Repeat("ab", 32), "amd64", int64(42), 3)
+	f.Add(strings.Repeat("ab", 8), "arm64", int64(-1), 0)
+	f.Add("UPPER", "amd64", int64(1), 1)
+	f.Add("", "", int64(0), -5)
+	f.Fuzz(func(t *testing.T, fp, arch string, seed int64, index int) {
+		k := Key{Fingerprint: fp, Index: index, Seed: seed, Arch: arch}
+		p := EncodeKeyPath(k)
+		if p == "" {
+			if ParseKeyFields(fp, arch, strconv.FormatInt(seed, 10), strconv.Itoa(index)) != (Key{}) {
+				t.Fatalf("encoder refused a key ParseKeyFields accepts: %+v", k)
+			}
+			return
+		}
+		k2, err := DecodeKeyPath(p)
+		if err != nil {
+			t.Fatalf("encoded %q does not decode: %v", p, err)
+		}
+		if k2 != k {
+			t.Fatalf("round trip %+v -> %q -> %+v", k, p, k2)
+		}
+	})
+}

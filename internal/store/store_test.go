@@ -17,7 +17,7 @@ func key(fp string, idx int, seed int64) Key {
 	return Key{Fingerprint: fp, Index: idx, Seed: seed, Arch: "amd64"}
 }
 
-func mustOpen(t *testing.T) *Store {
+func mustOpen(t *testing.T) *DiskStore {
 	t.Helper()
 	s, err := Open(t.TempDir())
 	if err != nil {
